@@ -1,0 +1,183 @@
+package gfmap
+
+// End-to-end tests of the command-line tools: each binary is built once
+// into a temporary directory and driven the way a user would drive it.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildTools compiles all commands once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "gfmap-cli")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildDir = dir
+		cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
+			"./cmd/asyncmap", "./cmd/hazardcheck", "./cmd/libaudit", "./cmd/paperbench")
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			t.Logf("build output: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building CLIs: %v", buildErr)
+	}
+	return buildDir
+}
+
+func run(t *testing.T, name string, stdin string, args ...string) (string, int) {
+	t.Helper()
+	dir := buildTools(t)
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v\n%s", name, err, out)
+	}
+	return string(out), code
+}
+
+const fig3Eqn = `
+INPUT(a, b, c)
+OUTPUT(f)
+f = a*b + a'*c + b*c;
+`
+
+func TestCLIAsyncmapStdin(t *testing.T) {
+	out, code := run(t, "asyncmap", fig3Eqn, "-lib", "LSI9K", "-mode", "async", "-verify")
+	if code != 0 {
+		t.Fatalf("asyncmap failed (%d):\n%s", code, out)
+	}
+	for _, want := range []string{"mode=async", "hazard safety: cones checked", "new hazards 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIAsyncmapSyncIntroducesHazard(t *testing.T) {
+	out, code := run(t, "asyncmap", fig3Eqn, "-lib", "LSI9K", "-mode", "sync", "-verify")
+	if code != 2 {
+		t.Fatalf("sync verify should exit 2 on introduced hazards, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "not a subset") {
+		t.Errorf("expected a hazard-violation detail:\n%s", out)
+	}
+}
+
+func TestCLIAsyncmapFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig3.eqn")
+	if err := os.WriteFile(path, []byte(fig3Eqn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, "asyncmap", "", "-lib", "CMOS3", "-q", path)
+	if code != 0 {
+		t.Fatalf("asyncmap file failed (%d):\n%s", code, out)
+	}
+	if strings.Contains(out, "INPUT(") {
+		t.Error("-q should suppress the netlist body")
+	}
+	if !strings.Contains(out, "library=CMOS3") {
+		t.Errorf("missing stats line:\n%s", out)
+	}
+}
+
+func TestCLIAsyncmapBadInput(t *testing.T) {
+	if out, code := run(t, "asyncmap", "garbage", "-lib", "LSI9K"); code == 0 {
+		t.Errorf("garbage input should fail:\n%s", out)
+	}
+	if out, code := run(t, "asyncmap", fig3Eqn, "-lib", "NoSuchLib"); code == 0 {
+		t.Errorf("unknown library should fail:\n%s", out)
+	}
+}
+
+func TestCLIHazardcheck(t *testing.T) {
+	out, code := run(t, "hazardcheck", "", "s'*a + s*b")
+	if code != 0 {
+		t.Fatalf("hazardcheck failed (%d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "static-1") {
+		t.Errorf("mux report missing static-1 hazard:\n%s", out)
+	}
+	out, code = run(t, "hazardcheck", "", "-fix", "s'*a + s*b")
+	if code != 0 || !strings.Contains(out, "repaired cover") {
+		t.Errorf("fix output wrong (%d):\n%s", code, out)
+	}
+	if _, code := run(t, "hazardcheck", "", "((("); code == 0 {
+		t.Error("bad expression should fail")
+	}
+}
+
+func TestCLILibaudit(t *testing.T) {
+	out, code := run(t, "libaudit", "")
+	if code != 0 {
+		t.Fatalf("libaudit failed (%d):\n%s", code, out)
+	}
+	for _, want := range []string{"LSI9K", "CMOS3", "GDT", "Actel", "29%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("census missing %q:\n%s", want, out)
+		}
+	}
+	out, code = run(t, "libaudit", "", "-lib", "ActelAct2")
+	if code != 0 {
+		t.Fatalf("libaudit ActelAct2 failed (%d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 hazardous (0%)") {
+		t.Errorf("Act2 should audit hazard-free:\n%s", out)
+	}
+}
+
+func TestCLIPaperbenchTable1(t *testing.T) {
+	out, code := run(t, "paperbench", "", "-table", "1")
+	if code != 0 {
+		t.Fatalf("paperbench failed (%d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "MUX") {
+		t.Errorf("table 1 output wrong:\n%s", out)
+	}
+}
+
+func TestCLIAsyncmapCustomLibrary(t *testing.T) {
+	dir := t.TempDir()
+	lib := filepath.Join(dir, "tiny.genlib")
+	if err := os.WriteFile(lib, []byte(`
+LIBRARY tiny
+GATE INV - 0.3 a' ;
+GATE BUF - 0.3 a ;
+GATE AND2 - 0.5 a*b ;
+GATE OR2 - 0.5 a + b ;
+GATE MUX - 0.8 s'*a + s*b ;
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, "asyncmap", fig3Eqn, "-libfile", lib, "-mode", "async", "-verify")
+	if code != 0 {
+		t.Fatalf("custom library mapping failed (%d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "new hazards 0") {
+		t.Errorf("verification missing:\n%s", out)
+	}
+}

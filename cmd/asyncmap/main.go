@@ -1,0 +1,154 @@
+// Command asyncmap is the hazard-aware technology mapper: it reads a
+// technology-independent logic network (eqn or BLIF format), maps it onto
+// a cell library, and writes the mapped netlist with area/delay statistics.
+//
+// Usage:
+//
+//	asyncmap -lib LSI9K [-mode async|sync] [-depth 5] [-verify] design.eqn
+//	asyncmap -libfile mylib.genlib design.blif
+//
+// With no positional argument the network is read from standard input in
+// eqn format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gfmap/internal/blif"
+	"gfmap/internal/core"
+	"gfmap/internal/eqn"
+	"gfmap/internal/library"
+	"gfmap/internal/network"
+)
+
+func main() {
+	libName := flag.String("lib", "LSI9K", "built-in library: LSI9K, CMOS3, GDT or Actel")
+	libFile := flag.String("libfile", "", "library file in the GATE format (overrides -lib)")
+	mode := flag.String("mode", "async", "mapping mode: async (hazard-aware) or sync")
+	depth := flag.Int("depth", 5, "maximum match-cluster depth")
+	leaves := flag.Int("leaves", 6, "maximum match-cluster inputs")
+	objective := flag.String("objective", "area", "covering objective: area or delay")
+	workers := flag.Int("workers", 1, "parallel covering workers (result is deterministic)")
+	maxBurst := flag.Int("maxburst", 0, "hazard don't-cares: ignore cell hazards on bursts wider than this (0 = off)")
+	verify := flag.Bool("verify", false, "verify functional equivalence and per-cone hazard safety")
+	quiet := flag.Bool("q", false, "print statistics only, not the netlist")
+	format := flag.String("o", "netlist", "output format: netlist or verilog")
+	showPath := flag.Bool("path", false, "print the critical path")
+	flag.Parse()
+
+	net, err := readNetwork(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	lib, err := loadLibrary(*libName, *libFile)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{MaxDepth: *depth, MaxLeaves: *leaves, Workers: *workers, MaxBurst: *maxBurst}
+	switch *objective {
+	case "area":
+		opts.Objective = core.MinArea
+	case "delay":
+		opts.Objective = core.MinDelay
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+	switch *mode {
+	case "async":
+		opts.Mode = core.Async
+	case "sync":
+		opts.Mode = core.Sync
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	res, err := core.Map(net, lib, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		switch *format {
+		case "netlist":
+			fmt.Print(res.Netlist)
+		case "verilog":
+			text, err := res.Netlist.VerilogString()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(text)
+		default:
+			fatal(fmt.Errorf("unknown output format %q", *format))
+		}
+	}
+	if *showPath {
+		report, err := res.Netlist.FormatCriticalPath()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+	}
+	fmt.Printf("# mode=%s library=%s gates=%d area=%g delay=%.2fns\n",
+		*mode, lib.Name, res.Netlist.GateCount(), res.Area, res.Delay)
+	fmt.Printf("# cones=%d clusters=%d matches=%d hazardous=%d rejected=%d\n",
+		res.Stats.Cones, res.Stats.ClustersEnumerated, res.Stats.MatchesFound,
+		res.Stats.HazardousMatches, res.Stats.MatchesRejected)
+	if *verify {
+		if err := core.VerifyEquivalence(net, res.Netlist); err != nil {
+			fatal(err)
+		}
+		rep, err := core.VerifyHazardSafety(net, res.Netlist)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# verify: equivalent; hazard safety: %s\n", rep)
+		if !rep.Clean() {
+			for _, d := range rep.Details {
+				fmt.Println("#   " + d)
+			}
+			os.Exit(2)
+		}
+	}
+}
+
+func readNetwork(path string) (*network.Network, error) {
+	if path == "" {
+		return eqn.Parse(os.Stdin, "stdin")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	if strings.HasSuffix(path, ".blif") {
+		return blif.Parse(f, name)
+	}
+	return eqn.Parse(f, name)
+}
+
+func loadLibrary(name, file string) (*library.Library, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		lib, err := library.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		if err := lib.Annotate(); err != nil {
+			return nil, err
+		}
+		return lib, nil
+	}
+	return library.Get(name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asyncmap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command hazardcheck analyses a Boolean-factored-form expression — or
+// every node of an eqn network — for logic hazards, using the full
+// algorithm suite of the paper's §4: static-1 analysis via cube
+// adjacencies, static-0 and s.i.c. dynamic analysis via path labelling,
+// m.i.c. dynamic analysis via findMicDynHaz2level, and (for small
+// supports) the exact transition-level characterisation.
+//
+// Usage:
+//
+//	hazardcheck "s'*a + s*b"
+//	hazardcheck -eqn design.eqn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/eqn"
+	"gfmap/internal/hazard"
+)
+
+var fix = flag.Bool("fix", false, "repair static-1 hazards by inserting redundant prime cubes")
+
+func main() {
+	eqnFile := flag.String("eqn", "", "analyse every node of an eqn network file")
+	flag.Parse()
+
+	if *eqnFile != "" {
+		analyzeEqn(*eqnFile)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hazardcheck <expression> | hazardcheck -eqn <file>")
+		os.Exit(1)
+	}
+	fn, err := bexpr.Parse(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	analyzeOne(fn.String(), fn)
+}
+
+func analyzeEqn(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	net, err := eqn.Parse(f, path)
+	if err != nil {
+		fatal(err)
+	}
+	for _, name := range net.NodeNames() {
+		node := net.Node(name)
+		fn := bexpr.New(node.Expr)
+		analyzeOne(name+" = "+fn.String(), fn)
+	}
+}
+
+func analyzeOne(title string, fn *bexpr.Function) {
+	fmt.Printf("== %s\n", title)
+	rep, err := hazard.AnalyzeFunction(fn)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Describe(fn.Vars))
+	if *fix && len(rep.Static1) > 0 {
+		cov, err := fn.Cover()
+		if err != nil {
+			fatal(err)
+		}
+		fixed, err := hazard.RepairStatic1(cov)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("static-1 repaired cover: %s\n", fixed.StringVars(fn.Vars))
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hazardcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command paperbench regenerates every table of the paper's evaluation
+// (§5, Tables 1–5) using the reproduced system: the four libraries, the
+// hazard analyser, the synchronous and asynchronous mappers, and the
+// benchmark suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gfmap/internal/bench"
+)
+
+func main() {
+	only := flag.String("table", "", "regenerate only one table (1-5); default all")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	figures := flag.Bool("figures", false, "also regenerate the conceptual figures")
+	flag.Parse()
+
+	want := func(n string) bool { return *only == "" || *only == n }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+
+	if want("1") {
+		rows, err := bench.Table1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable1(rows))
+	}
+	if want("2") {
+		rows, err := bench.Table2()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable2(rows))
+	}
+	if want("3") {
+		rows, err := bench.Table3()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable3(rows))
+	}
+	if want("4") {
+		rows, err := bench.Table4()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable4(rows))
+	}
+	if want("5") {
+		rows, err := bench.Table5()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable5(rows))
+	}
+	if *figures {
+		text, err := bench.Figures()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(text)
+	}
+	if *ablations {
+		runAblations(fail)
+	}
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Println("All requested tables regenerated.")
+}
+
+func runAblations(fail func(error)) {
+	rows, err := bench.AblationDepth("abcs", "GDT")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(bench.FormatAblation("cluster depth bound (abcs on GDT)", rows))
+	rows, err = bench.AblationFilter("scsi", "Actel")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(bench.FormatAblation("hazard filter and burst don't-cares (scsi on Actel)", rows))
+	rows, err = bench.AblationObjective("dean-ctrl", "CMOS3")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(bench.FormatAblation("covering objective (dean-ctrl on CMOS3)", rows))
+}

@@ -1,0 +1,14 @@
+// Package gfmap is a from-scratch Go reproduction of "Automatic Technology
+// Mapping for Generalized Fundamental-Mode Asynchronous Designs" (Siegel,
+// De Micheli, Dill — DAC 1993 / Stanford CSL-TR-93-580): a hazard-aware
+// technology mapper for burst-mode asynchronous circuits, together with
+// every substrate the paper depends on — cube algebra, Boolean factored
+// forms, the hazard-analysis algorithm suite of §4, Boolean matching, tree
+// covering, four synthetic cell libraries with the paper's hazard census,
+// a hazard-free two-level minimiser, and a burst-mode synthesis front end.
+//
+// The implementation lives under internal/; the runnable surfaces are the
+// commands in cmd/ (asyncmap, hazardcheck, libaudit, paperbench) and the
+// programs in examples/. See README.md for a tour, DESIGN.md for the
+// architecture and EXPERIMENTS.md for the paper-versus-measured record.
+package gfmap

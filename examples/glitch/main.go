@@ -1,0 +1,97 @@
+// Glitch makes the paper's hazards visible as waveforms: the event-driven
+// delay simulator drives the classic multiplexer static-1 hazard (select
+// change with both data inputs at 1) under an adversarial delay
+// assignment, then shows that the consensus-completed structure cannot be
+// made to glitch on the same transition, no matter the delays.
+//
+// Run with: go run ./examples/glitch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/dsim"
+	"gfmap/internal/network"
+)
+
+func buildNet(expr string, vars []string) *network.Network {
+	n := network.New("g")
+	for _, v := range vars {
+		if err := n.AddInput(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	e, err := bexpr.ParseExpr(expr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := n.AddNode("f", e); err != nil {
+		log.Fatal(err)
+	}
+	if err := n.MarkOutput("f"); err != nil {
+		log.Fatal(err)
+	}
+	return n
+}
+
+func show(trace *dsim.Trace, signals ...string) {
+	sort.Strings(signals)
+	for _, s := range signals {
+		fmt.Printf("  %-3s:", s)
+		for _, ev := range trace.Waves[s] {
+			v := 0
+			if ev.Value {
+				v = 1
+			}
+			fmt.Printf("  %g→%d", ev.Time, v)
+		}
+		fmt.Println()
+	}
+}
+
+func main() {
+	fmt.Println("== hazardous mux structure: f = s'*a + s*b")
+	mux := buildNet("s'*a + s*b", []string{"s", "a", "b"})
+	c, err := dsim.New(mux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	trace, delays, found, err := c.HuntGlitch(
+		map[string]bool{"s": false, "a": true, "b": true},
+		map[string]bool{"s": true, "a": true, "b": true},
+		"f", rng, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !found {
+		log.Fatal("no glitch found — the hazard analysis predicts one!")
+	}
+	fmt.Println("glitch exhibited (s: 0→1 with a=b=1); waveforms (time→value):")
+	show(trace, "s", "f")
+	fmt.Printf("adversarial path delays into f: %v\n\n", delays.Path["f"])
+
+	fmt.Println("== consensus-completed structure: f = s'*a + s*b + a*b")
+	fixed := buildNet("s'*a + s*b + a*b", []string{"s", "a", "b"})
+	cf, err := dsim.New(fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, _, found, err = cf.HuntGlitch(
+		map[string]bool{"s": false, "a": true, "b": true},
+		map[string]bool{"s": true, "a": true, "b": true},
+		"f", rng, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if found {
+		log.Fatal("the hazard-free structure glitched — impossible!")
+	}
+	fmt.Println("2000 adversarial delay assignments: no glitch. The redundant")
+	fmt.Println("cube a*b holds the output through the select transition,")
+	fmt.Println("exactly as §2.3 of the paper explains.")
+}

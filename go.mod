@@ -1,0 +1,3 @@
+module gfmap
+
+go 1.22

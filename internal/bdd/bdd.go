@@ -1,0 +1,439 @@
+// Package bdd implements reduced ordered binary decision diagrams. The
+// original CERES mapper performed its Boolean matching and equivalence
+// reasoning on BDDs (Mailhot & De Micheli, reference [6] of the paper);
+// this package provides that substrate: a shared-node manager with an ITE
+// core, constructors from covers, expressions and whole networks, and the
+// canonical-form equivalence that makes network verification scale past
+// the exhaustive-enumeration bound.
+package bdd
+
+import (
+	"fmt"
+	"math"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/cube"
+	"gfmap/internal/network"
+)
+
+// Ref is a node reference. The constants False and True are the terminal
+// nodes; all other refs index into the manager's node table. Because nodes
+// are hash-consed, two functions are equivalent iff their refs are equal.
+type Ref uint32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  uint32 // variable index; terminals use ^uint32(0)
+	lo, hi Ref
+}
+
+const termLevel = ^uint32(0)
+
+// Manager owns the shared node table. Variables are identified by their
+// level: lower levels are tested first.
+type Manager struct {
+	nodes  []node
+	unique map[node]Ref
+	ite    map[[3]Ref]Ref
+	nvars  int
+}
+
+// NewManager creates a manager for n variables.
+func NewManager(n int) *Manager {
+	m := &Manager{
+		nodes:  make([]node, 2, 1024),
+		unique: make(map[node]Ref),
+		ite:    make(map[[3]Ref]Ref),
+		nvars:  n,
+	}
+	m.nodes[False] = node{level: termLevel}
+	m.nodes[True] = node{level: termLevel}
+	return m
+}
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// Size returns the number of live nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+func (m *Manager) level(r Ref) uint32 { return m.nodes[r].level }
+
+// mk returns the canonical node (level, lo, hi), applying the reduction
+// rules.
+func (m *Manager) mk(level uint32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r
+}
+
+// Var returns the function of variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", i))
+	}
+	return m.mk(uint32(i), False, True)
+}
+
+// NVar returns the complemented literal of variable i.
+func (m *Manager) NVar(i int) Ref {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", i))
+	}
+	return m.mk(uint32(i), True, False)
+}
+
+// Ite computes if-then-else(f, g, h) — the universal connective.
+func (m *Manager) Ite(f, g, h Ref) Ref {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := [3]Ref{f, g, h}
+	if r, ok := m.ite[key]; ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactor(f, top)
+	g0, g1 := m.cofactor(g, top)
+	h0, h1 := m.cofactor(h, top)
+	lo := m.Ite(f0, g0, h0)
+	hi := m.Ite(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	m.ite[key] = r
+	return r
+}
+
+func (m *Manager) cofactor(f Ref, level uint32) (lo, hi Ref) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.Ite(f, g, False) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.Ite(f, True, g) }
+
+// Not returns ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.Ite(f, False, True) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.Ite(f, m.Not(g), g) }
+
+// Implies reports whether f ⇒ g holds universally.
+func (m *Manager) Implies(f, g Ref) bool { return m.Ite(f, g, True) == True }
+
+// FromCube builds the BDD of a product term.
+func (m *Manager) FromCube(c cube.Cube) Ref {
+	out := True
+	for _, v := range c.Vars() {
+		var lit Ref
+		if c.PhaseOf(v) {
+			lit = m.Var(v)
+		} else {
+			lit = m.NVar(v)
+		}
+		out = m.And(out, lit)
+	}
+	return out
+}
+
+// FromCover builds the BDD of a sum-of-products cover.
+func (m *Manager) FromCover(f cube.Cover) Ref {
+	out := False
+	for _, c := range f.Cubes {
+		out = m.Or(out, m.FromCube(c))
+	}
+	return out
+}
+
+// FromExpr builds the BDD of a Boolean factored form over the function's
+// variable order.
+func (m *Manager) FromExpr(f *bexpr.Function) (Ref, error) {
+	if f.NumVars() > m.nvars {
+		return False, fmt.Errorf("bdd: expression has %d variables, manager has %d", f.NumVars(), m.nvars)
+	}
+	var rec func(e *bexpr.Expr) Ref
+	rec = func(e *bexpr.Expr) Ref {
+		switch e.Op {
+		case bexpr.OpConst:
+			if e.Val {
+				return True
+			}
+			return False
+		case bexpr.OpVar:
+			return m.Var(f.VarIndex(e.Name))
+		case bexpr.OpNot:
+			return m.Not(rec(e.Kids[0]))
+		case bexpr.OpAnd:
+			out := True
+			for _, k := range e.Kids {
+				out = m.And(out, rec(k))
+			}
+			return out
+		default:
+			out := False
+			for _, k := range e.Kids {
+				out = m.Or(out, rec(k))
+			}
+			return out
+		}
+	}
+	return rec(f.Root), nil
+}
+
+// Eval evaluates the function at an input point (bit i = variable i).
+// Only meaningful for managers with at most 64 variables.
+func (m *Manager) Eval(f Ref, point uint64) bool {
+	for f != True && f != False {
+		n := m.nodes[f]
+		if point&(1<<n.level) != 0 {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments over the
+// manager's full variable set.
+func (m *Manager) SatCount(f Ref) float64 {
+	memo := map[Ref]float64{}
+	var rec func(r Ref) float64 // fraction of the space
+	rec = func(r Ref) float64 {
+		switch r {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := m.nodes[r]
+		v := 0.5*rec(n.lo) + 0.5*rec(n.hi)
+		memo[r] = v
+		return v
+	}
+	return rec(f) * math.Pow(2, float64(m.nvars))
+}
+
+// Support returns a bitmask of the variables the function depends on.
+func (m *Manager) Support(f Ref) uint64 {
+	seen := map[Ref]bool{}
+	var out uint64
+	var rec func(r Ref)
+	rec = func(r Ref) {
+		if r == True || r == False || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := m.nodes[r]
+		out |= 1 << n.level
+		rec(n.lo)
+		rec(n.hi)
+	}
+	rec(f)
+	return out
+}
+
+// NetworkRefs builds the BDD of every signal of a combinational network
+// over its primary-input order, returning a map from signal name to ref.
+func NetworkRefs(m *Manager, net *network.Network) (map[string]Ref, error) {
+	order, err := net.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	refs := make(map[string]Ref)
+	for i, in := range net.Inputs {
+		refs[in] = m.Var(i)
+	}
+	var build func(e *bexpr.Expr) (Ref, error)
+	build = func(e *bexpr.Expr) (Ref, error) {
+		switch e.Op {
+		case bexpr.OpConst:
+			if e.Val {
+				return True, nil
+			}
+			return False, nil
+		case bexpr.OpVar:
+			r, ok := refs[e.Name]
+			if !ok {
+				return False, fmt.Errorf("bdd: undefined signal %q", e.Name)
+			}
+			return r, nil
+		case bexpr.OpNot:
+			k, err := build(e.Kids[0])
+			if err != nil {
+				return False, err
+			}
+			return m.Not(k), nil
+		case bexpr.OpAnd:
+			out := True
+			for _, kid := range e.Kids {
+				k, err := build(kid)
+				if err != nil {
+					return False, err
+				}
+				out = m.And(out, k)
+			}
+			return out, nil
+		default:
+			out := False
+			for _, kid := range e.Kids {
+				k, err := build(kid)
+				if err != nil {
+					return False, err
+				}
+				out = m.Or(out, k)
+			}
+			return out, nil
+		}
+	}
+	for _, name := range order {
+		r, err := build(net.Node(name).Expr)
+		if err != nil {
+			return nil, err
+		}
+		refs[name] = r
+	}
+	return refs, nil
+}
+
+// NetworksEquivalent compares two combinational networks with identical
+// input and output name sets by canonical BDD identity — no exhaustive
+// enumeration, so it scales to the benchmark-suite sizes.
+func NetworksEquivalent(a, b *network.Network) (bool, error) {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		return false, nil
+	}
+	if len(a.Inputs) > 1<<20 {
+		return false, fmt.Errorf("bdd: input count out of range")
+	}
+	// b's variable order must follow a's input naming.
+	idx := make(map[string]int, len(a.Inputs))
+	for i, in := range a.Inputs {
+		idx[in] = i
+	}
+	m := NewManager(len(a.Inputs))
+	aRefs, err := NetworkRefs(m, a)
+	if err != nil {
+		return false, err
+	}
+	// Build b with a's variable assignment: construct a manager-level remap
+	// by building b's refs on the same manager after checking names.
+	bInputRefs := make(map[string]Ref, len(b.Inputs))
+	for _, in := range b.Inputs {
+		i, ok := idx[in]
+		if !ok {
+			return false, nil
+		}
+		bInputRefs[in] = m.Var(i)
+	}
+	bRefs, err := networkRefsWithInputs(m, b, bInputRefs)
+	if err != nil {
+		return false, err
+	}
+	for _, o := range a.Outputs {
+		br, ok := bRefs[o]
+		if !ok {
+			return false, nil
+		}
+		if aRefs[o] != br {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func networkRefsWithInputs(m *Manager, net *network.Network, inputs map[string]Ref) (map[string]Ref, error) {
+	order, err := net.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	refs := make(map[string]Ref, len(inputs)+len(order))
+	for k, v := range inputs {
+		refs[k] = v
+	}
+	for _, name := range order {
+		fn := bexpr.New(net.Node(name).Expr)
+		r, err := buildWithRefs(m, fn.Root, refs)
+		if err != nil {
+			return nil, err
+		}
+		refs[name] = r
+	}
+	return refs, nil
+}
+
+func buildWithRefs(m *Manager, e *bexpr.Expr, refs map[string]Ref) (Ref, error) {
+	switch e.Op {
+	case bexpr.OpConst:
+		if e.Val {
+			return True, nil
+		}
+		return False, nil
+	case bexpr.OpVar:
+		r, ok := refs[e.Name]
+		if !ok {
+			return False, fmt.Errorf("bdd: undefined signal %q", e.Name)
+		}
+		return r, nil
+	case bexpr.OpNot:
+		k, err := buildWithRefs(m, e.Kids[0], refs)
+		if err != nil {
+			return False, err
+		}
+		return m.Not(k), nil
+	case bexpr.OpAnd:
+		out := True
+		for _, kid := range e.Kids {
+			k, err := buildWithRefs(m, kid, refs)
+			if err != nil {
+				return False, err
+			}
+			out = m.And(out, k)
+		}
+		return out, nil
+	default:
+		out := False
+		for _, kid := range e.Kids {
+			k, err := buildWithRefs(m, kid, refs)
+			if err != nil {
+				return False, err
+			}
+			out = m.Or(out, k)
+		}
+		return out, nil
+	}
+}

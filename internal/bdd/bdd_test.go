@@ -1,0 +1,242 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/cube"
+	"gfmap/internal/eqn"
+)
+
+func TestTerminalsAndVars(t *testing.T) {
+	m := NewManager(3)
+	if m.Var(0) == m.Var(1) {
+		t.Error("distinct variables must be distinct nodes")
+	}
+	if m.Var(0) != m.Var(0) {
+		t.Error("hash consing must return identical refs")
+	}
+	if m.Not(True) != False || m.Not(False) != True {
+		t.Error("terminal complement wrong")
+	}
+	if m.Not(m.Not(m.Var(2))) != m.Var(2) {
+		t.Error("double negation must be identity")
+	}
+}
+
+func TestConnectives(t *testing.T) {
+	m := NewManager(2)
+	a, b := m.Var(0), m.Var(1)
+	and := m.And(a, b)
+	or := m.Or(a, b)
+	xor := m.Xor(a, b)
+	for p := uint64(0); p < 4; p++ {
+		av := p&1 != 0
+		bv := p&2 != 0
+		if m.Eval(and, p) != (av && bv) {
+			t.Errorf("AND wrong at %02b", p)
+		}
+		if m.Eval(or, p) != (av || bv) {
+			t.Errorf("OR wrong at %02b", p)
+		}
+		if m.Eval(xor, p) != (av != bv) {
+			t.Errorf("XOR wrong at %02b", p)
+		}
+	}
+	if !m.Implies(and, or) {
+		t.Error("a∧b ⇒ a∨b must hold")
+	}
+	if m.Implies(or, and) {
+		t.Error("a∨b ⇒ a∧b must not hold")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := NewManager(3)
+	// Two different constructions of the same function share a node.
+	f1, err := m.FromExpr(bexpr.MustParse("a*b + a'*c + b*c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.FromExpr(bexpr.MustParse("a*b + a'*c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("consensus-redundant cover must reduce to the same node")
+	}
+}
+
+func TestAgainstCoverSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 5
+	for iter := 0; iter < 100; iter++ {
+		cov := cube.NewCover(n)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			used := rng.Uint64() & cube.VarMask(n)
+			cov.Add(cube.Cube{Used: used, Phase: rng.Uint64() & used})
+		}
+		m := NewManager(n)
+		f := m.FromCover(cov)
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			if m.Eval(f, p) != cov.Eval(p) {
+				t.Fatalf("cover %v: BDD disagrees at %05b", cov, p)
+			}
+		}
+		// Cross-check tautology and complement against the cube engine.
+		if (f == True) != cov.Tautology() {
+			t.Fatalf("cover %v: tautology mismatch", cov)
+		}
+		comp := m.FromCover(cov.Complement())
+		if comp != m.Not(f) {
+			t.Fatalf("cover %v: complement mismatch", cov)
+		}
+		// Containment: f contains each of its own cubes.
+		for _, c := range cov.Cubes {
+			if !m.Implies(m.FromCube(c), f) {
+				t.Fatalf("cover %v: lost its own cube %v", cov, c)
+			}
+		}
+	}
+}
+
+func TestSatCountAndSupport(t *testing.T) {
+	m := NewManager(4)
+	f, err := m.FromExpr(bexpr.MustParse("a*b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SatCount(f); got != 4 { // ab over 4 vars: 2^2 assignments
+		t.Errorf("SatCount = %g, want 4", got)
+	}
+	if got := m.Support(f); got != 0b0011 {
+		t.Errorf("Support = %04b, want 0011", got)
+	}
+}
+
+func TestNetworksEquivalent(t *testing.T) {
+	a, err := eqn.ParseString(`
+INPUT(a, b, c)
+OUTPUT(f)
+f = a*b + a'*c + b*c;
+`, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eqn.ParseString(`
+INPUT(a, b, c)
+OUTPUT(f)
+u = a*b;
+v = a'*c;
+f = u + v;
+`, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqv, err := NetworksEquivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqv {
+		t.Error("redundant and irredundant covers must be BDD-equivalent")
+	}
+	c, err := eqn.ParseString(`
+INPUT(a, b, c)
+OUTPUT(f)
+f = a*b + c;
+`, "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqv, err = NetworksEquivalent(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eqv {
+		t.Error("different functions must not be equivalent")
+	}
+}
+
+func TestNetworksEquivalentWideInputs(t *testing.T) {
+	// 30 inputs: far beyond the exhaustive-enumeration bound.
+	mk := func(name string, flip bool) string {
+		src := "INPUT("
+		for i := 0; i < 30; i++ {
+			if i > 0 {
+				src += ", "
+			}
+			src += string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		src += ")\nOUTPUT(f)\nf = "
+		for i := 0; i < 30; i += 2 {
+			if i > 0 {
+				src += " + "
+			}
+			v1 := string(rune('a'+i%26)) + string(rune('0'+i/26))
+			v2 := string(rune('a'+(i+1)%26)) + string(rune('0'+(i+1)/26))
+			if flip && i == 14 {
+				src += v2 + "*" + v1 // same product, commuted: still equivalent
+			} else {
+				src += v1 + "*" + v2
+			}
+		}
+		src += ";\n"
+		return src
+	}
+	a, err := eqn.ParseString(mk("a", false), "wide_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eqn.ParseString(mk("b", true), "wide_b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqv, err := NetworksEquivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqv {
+		t.Error("commuted products must be equivalent")
+	}
+}
+
+func TestEvalRandomAgainstExpr(t *testing.T) {
+	exprs := []string{
+		"(a + b')*(c + d)*(a' + e)",
+		"a*b*c + d*e + a'*d'",
+		"((a*b)' + c)*((d + e)' + a)",
+	}
+	for _, e := range exprs {
+		fn := bexpr.MustParse(e)
+		m := NewManager(fn.NumVars())
+		f, err := m.FromExpr(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := uint64(0); p < 1<<uint(fn.NumVars()); p++ {
+			if m.Eval(f, p) != fn.Eval(p) {
+				t.Fatalf("%q: mismatch at %b", e, p)
+			}
+		}
+	}
+}
+
+func BenchmarkBuildBenchmarkSizedBDD(b *testing.B) {
+	src := `
+INPUT(a, b, c, d, e, f, g, h)
+OUTPUT(y)
+y = a*b*c + d*e*f + g*h + a'*d' + b'*e'*g' + c'*f'*h';
+`
+	net, err := eqn.ParseString(src, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewManager(len(net.Inputs))
+		if _, err := NetworkRefs(m, net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

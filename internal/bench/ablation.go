@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gfmap/internal/core"
+	"gfmap/internal/library"
+)
+
+// AblationRow is one configuration's result on one design.
+type AblationRow struct {
+	Design  string
+	Library string
+	Config  string
+	Area    float64
+	Delay   float64
+	CPU     time.Duration
+	Stats   core.Stats
+}
+
+// AblationDepth sweeps the cluster depth bound — the design choice behind
+// the paper's fixed "depth of 5". Depth 1 is the gate-for-gate baseline;
+// quality saturates once clusters can reach the library's largest cells.
+func AblationDepth(designName, libName string) ([]AblationRow, error) {
+	d, err := DesignByName(designName)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := library.Get(libName)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, depth := range []int{1, 2, 3, 4, 5, 6} {
+		leaves := 6
+		if depth == 1 {
+			leaves = 2
+		}
+		start := time.Now()
+		res, err := core.Map(d.Net, lib, core.Options{Mode: core.Async, MaxDepth: depth, MaxLeaves: leaves})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Design: designName, Library: libName,
+			Config: fmt.Sprintf("depth=%d", depth),
+			Area:   res.Area, Delay: res.Delay, CPU: time.Since(start), Stats: res.Stats,
+		})
+	}
+	return rows, nil
+}
+
+// AblationFilter compares the mapper with and without the hazard filter
+// (async vs sync) and with bounded-burst hazard don't-cares — quantifying
+// what hazard safety costs in area and what don't-cares buy back.
+func AblationFilter(designName, libName string) ([]AblationRow, error) {
+	d, err := DesignByName(designName)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := library.Get(libName)
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"sync (no filter)", core.Options{Mode: core.Sync}},
+		{"async", core.Options{Mode: core.Async}},
+		{"async burst<=2", core.Options{Mode: core.Async, MaxBurst: 2}},
+		{"async burst<=1", core.Options{Mode: core.Async, MaxBurst: 1}},
+	}
+	var rows []AblationRow
+	for _, c := range configs {
+		start := time.Now()
+		res, err := core.Map(d.Net, lib, c.opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Design: designName, Library: libName, Config: c.name,
+			Area: res.Area, Delay: res.Delay, CPU: time.Since(start), Stats: res.Stats,
+		})
+	}
+	return rows, nil
+}
+
+// AblationObjective compares area-driven and delay-driven covering.
+func AblationObjective(designName, libName string) ([]AblationRow, error) {
+	d, err := DesignByName(designName)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := library.Get(libName)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, obj := range []core.Objective{core.MinArea, core.MinDelay} {
+		start := time.Now()
+		res, err := core.Map(d.Net, lib, core.Options{Mode: core.Async, Objective: obj})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Design: designName, Library: libName, Config: "objective=" + obj.String(),
+			Area: res.Area, Delay: res.Delay, CPU: time.Since(start), Stats: res.Stats,
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblation renders ablation rows.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: %s\n", title)
+	fmt.Fprintf(&b, "%-10s %-8s %-18s %8s %9s %10s %9s\n",
+		"Design", "Library", "Config", "Area", "Delay", "CPU", "Rejected")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-8s %-18s %8.0f %7.1fns %10s %9d\n",
+			r.Design, r.Library, r.Config, r.Area, r.Delay,
+			r.CPU.Round(time.Millisecond), r.Stats.MatchesRejected)
+	}
+	return b.String()
+}

@@ -1,0 +1,364 @@
+// Package bench contains the asynchronous benchmark suite and the table
+// generators reproducing the paper's evaluation (§5, Tables 1–5).
+//
+// The paper's eleven benchmark circuits come from unpublished
+// locally-clocked and 3D synthesis runs; we rebuild the suite from
+// burst-mode controller specifications of the same character and relative
+// size ordering, synthesised to hazard-free logic by the hfmin/bmspec
+// substrate. Large designs (oscsi-ctrl, scsi, abcs, dean-ctrl) are
+// multi-channel controllers: several controller slices with disjoint
+// signal sets, exactly how the originals accumulate many small state
+// machines.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/bmspec"
+	"gfmap/internal/network"
+)
+
+// Burst-mode sources for the controller slices. Every machine revisits at
+// least one input vector in states with different outputs or successors,
+// so the synthesised logic genuinely depends on the state variables — the
+// signature of real asynchronous controllers (a machine whose outputs are
+// pure input functions would synthesise to trivial combinational logic).
+const (
+	// dmeSrc is a distributed-mutual-exclusion ring cell: a local grant
+	// lap (token held) followed by a ring-forward lap (token requested
+	// from the right neighbour). The input vector lreq=1,rack=0 occurs in
+	// both laps with different outputs.
+	dmeSrc = `
+name dme
+input lreq 0
+input rack 0
+output lack 0
+output rreq 0
+initial idle
+idle -> p1 : lreq+ / lack+
+p1 -> p2 : lreq- / lack-
+p2 -> p3 : lreq+ / rreq+
+p3 -> p4 : rack+ / lack+
+p4 -> p5 : lreq- / lack-
+p5 -> idle : rack- / rreq-
+`
+	// dmeFastSrc is the concurrent-burst dme variant: both handshake
+	// inputs move together, with a held-token lap and a forward lap.
+	dmeFastSrc = `
+name dmefast
+input lreq 0
+input rack 0
+output lack 0
+output rreq 0
+initial idle
+idle -> own : lreq+ rack+ / lack+
+own -> rel : lreq- rack- /
+rel -> fwd : lreq+ rack+ / lack- rreq+
+fwd -> idle : lreq- rack- / rreq-
+`
+	// chuAdSrc is Chu's a/d conversion controller with a two-round
+	// conversion cycle.
+	chuAdSrc = `
+name chuad
+input req 0
+input di 0
+output ack 0
+output dout 0
+initial s0
+s0 -> s1 : req+ / dout+
+s1 -> s2 : di+ / ack+
+s2 -> s3 : req- / dout-
+s3 -> s4 : req+ / dout+ ack-
+s4 -> s5 : di- /
+s5 -> s0 : req- / dout-
+`
+	// vanbekSrc is a van Berkel toggle element: concurrent input bursts
+	// alternately raise and lower the output.
+	vanbekSrc = `
+name vanbek
+input a 0
+input b 0
+output c 0
+initial s0
+s0 -> s1 : a+ b+ / c+
+s1 -> s2 : a- b- /
+s2 -> s3 : a+ b+ / c-
+s3 -> s0 : a- b- /
+`
+	// peSendSrc is the post-office send-interface controller.
+	peSendSrc = `
+name pesend
+input req 0
+input sendack 0
+input done 0
+output peack 0
+output sendreq 0
+initial idle
+idle -> t1 : req+ / sendreq+
+t1 -> t2 : sendack+ / peack+
+t2 -> t3 : done+ / sendreq-
+t3 -> t4 : sendack- done- / peack-
+t4 -> idle : req- /
+`
+	// scsiSliceSrc is one channel of the SCSI controller: arbitration,
+	// selection, transfer, release.
+	scsiSliceSrc = `
+name scsislice
+input req 0
+input busy 0
+input sel 0
+output drv 0
+output grant 0
+initial idle
+idle -> arb : req+ / drv+
+arb -> own : busy+ / grant+
+own -> xfer : sel+ / drv-
+xfer -> rel : busy- sel- / grant-
+rel -> idle : req- /
+`
+	// abcsSliceSrc is one channel of the ABCS infrared-link control: an
+	// eight-state double-lap protocol whose two laps emit different
+	// strobe/latch patterns at identical input vectors.
+	abcsSliceSrc = `
+name abcsslice
+input rx 0
+input sync 0
+output latch 0
+output strobe 0
+initial L0
+L0 -> L1 : rx+ / latch+
+L1 -> L2 : sync+ / strobe+
+L2 -> L3 : rx- / latch-
+L3 -> L4 : sync- /
+L4 -> L5 : rx+ / strobe-
+L5 -> L6 : sync+ / latch+
+L6 -> L7 : rx- / latch-
+L7 -> L0 : sync- /
+`
+	// deanSliceSrc is one channel of the dean-ctrl datapath controller: a
+	// success/failure branch whose outcome states share the input vector
+	// go=1,rdy=0,err=0 with three different output patterns.
+	deanSliceSrc = `
+name deanslice
+input go 0
+input rdy 0
+input err 0
+output run 0
+output ok 0
+output fail 0
+initial idle
+idle -> active : go+ / run+
+active -> good : rdy+ / ok+
+active -> bad : err+ / fail+
+good -> gdone : rdy- / run-
+bad -> bdone : err- / run-
+gdone -> idle : go- / ok-
+bdone -> idle : go- / fail-
+`
+)
+
+// Design is one benchmark circuit: a mapper-ready combinational network.
+type Design struct {
+	Name string
+	Net  *network.Network
+	// Slices records how many controller slices the design contains.
+	Slices int
+}
+
+// designSpec describes how a benchmark is assembled from slice sources.
+type designSpec struct {
+	name   string
+	src    string
+	copies int
+	// Optional compact state encoding (default is one-hot). The "-opt"
+	// variants of the paper's dme suite differ from their bases in how the
+	// synthesis assigned states; we model that with gray-code vs one-hot
+	// encodings of the same specifications.
+	encoding map[string]uint64
+	bits     int
+	// chainLen > 1 daisy-chains the slices in groups: output chainOut of
+	// slice i drives the first input of slice i+1 within a group, the way
+	// a request propagates through the channels of one large controller
+	// (or around a dme ring). Chaining is what makes the big designs'
+	// critical paths grow with size, as in the paper's Table 5.
+	chainLen int
+	chainOut int
+}
+
+// table5Specs lists the paper's Table 5 designs in the paper's order, with
+// replication factors chosen to preserve the paper's relative size
+// ordering (vanbek-opt smallest … dean-ctrl largest).
+var table5Specs = []designSpec{
+	{name: "chu-ad-opt", src: chuAdSrc, copies: 1},
+	{name: "dme-fast-opt", src: dmeFastSrc, copies: 1},
+	{name: "dme-fast", src: dmeFastSrc, copies: 1,
+		encoding: map[string]uint64{"idle": 0b00, "own": 0b01, "rel": 0b11, "fwd": 0b10}, bits: 2},
+	{name: "dme-opt", src: dmeSrc, copies: 1},
+	{name: "dme", src: dmeSrc, copies: 1,
+		encoding: map[string]uint64{"idle": 0b000, "p1": 0b001, "p2": 0b011, "p3": 0b010, "p4": 0b110, "p5": 0b100}, bits: 3},
+	{name: "oscsi-ctrl", src: scsiSliceSrc, copies: 34, chainLen: 10},
+	{name: "pe-send-ifc", src: peSendSrc, copies: 8, chainLen: 6, chainOut: 1},
+	{name: "vanbek-opt", src: vanbekSrc, copies: 1,
+		encoding: map[string]uint64{"s0": 0b00, "s1": 0b01, "s2": 0b11, "s3": 0b10}, bits: 2},
+	{name: "dean-ctrl", src: deanSliceSrc, copies: 61, chainLen: 14},
+	{name: "scsi", src: scsiSliceSrc, copies: 66, chainLen: 11},
+	{name: "abcs", src: abcsSliceSrc, copies: 17, chainLen: 9},
+}
+
+var (
+	designOnce sync.Once
+	designs    []*Design
+	designErr  error
+)
+
+// Designs returns the benchmark suite (synthesised once, cached).
+func Designs() ([]*Design, error) {
+	designOnce.Do(func() {
+		for _, spec := range table5Specs {
+			d, err := buildDesign(spec)
+			if err != nil {
+				designErr = fmt.Errorf("bench: design %s: %w", spec.name, err)
+				return
+			}
+			designs = append(designs, d)
+		}
+	})
+	return designs, designErr
+}
+
+// DesignByName returns one benchmark design.
+func DesignByName(name string) (*Design, error) {
+	ds, err := Designs()
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range ds {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown design %q", name)
+}
+
+// DesignNames lists the suite in Table 5 order.
+func DesignNames() []string {
+	names := make([]string, len(table5Specs))
+	for i, s := range table5Specs {
+		names[i] = s.name
+	}
+	return names
+}
+
+func buildDesign(spec designSpec) (*Design, error) {
+	m, err := bmspec.ParseString(spec.src)
+	if err != nil {
+		return nil, err
+	}
+	if spec.encoding != nil {
+		m.Encoding = spec.encoding
+		m.StateBitN = spec.bits
+	}
+	syn, err := bmspec.Synthesize(m)
+	if err != nil {
+		return nil, err
+	}
+	net, err := Replicate(spec.name, syn.Net, spec.copies, spec.chainLen, spec.chainOut)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{Name: spec.name, Net: net, Slices: spec.copies}, nil
+}
+
+// Replicate builds a network containing k copies of a slice network with
+// disjoint, prefixed signal names — the multi-channel composition used for
+// the large benchmarks. With chainLen > 1 the copies are daisy-chained in
+// groups of chainLen: the first output of a copy drives the first input of
+// the next copy in its group (a forward request chain), so the critical
+// path deepens with the group length.
+func Replicate(name string, slice *network.Network, k, chainLen, chainOut int) (*network.Network, error) {
+	if k == 1 {
+		out := network.New(name)
+		if err := copyInto(out, slice, "", nil); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	out := network.New(name)
+	for i := 0; i < k; i++ {
+		var alias map[string]string
+		if chainLen > 1 && i%chainLen != 0 && len(slice.Inputs) > 0 && chainOut < len(slice.Outputs) {
+			alias = map[string]string{
+				slice.Inputs[0]: fmt.Sprintf("u%d_%s", i-1, slice.Outputs[chainOut]),
+			}
+		}
+		if err := copyInto(out, slice, fmt.Sprintf("u%d_", i), alias); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// copyInto copies src into dst with every signal prefixed; alias maps
+// selected source input names directly onto existing dst signals instead
+// of declaring new primary inputs.
+func copyInto(dst, src *network.Network, prefix string, alias map[string]string) error {
+	ren := func(s string) string {
+		if a, ok := alias[s]; ok {
+			return a
+		}
+		return prefix + s
+	}
+	for _, in := range src.Inputs {
+		if _, ok := alias[in]; ok {
+			continue
+		}
+		if err := dst.AddInput(ren(in)); err != nil {
+			return err
+		}
+	}
+	order, err := src.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, n := range order {
+		node := src.Node(n)
+		if err := dst.AddNode(ren(n), bexpr.Rename(node.Expr, ren)); err != nil {
+			return err
+		}
+	}
+	for _, o := range src.Outputs {
+		if err := dst.MarkOutput(ren(o)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SliceSources exposes the named burst-mode sources (for the examples and
+// the burstmode CLI).
+func SliceSources() map[string]string {
+	return map[string]string{
+		"dme":      dmeSrc,
+		"dme-fast": dmeFastSrc,
+		"chu-ad":   chuAdSrc,
+		"vanbek":   vanbekSrc,
+		"pe-send":  peSendSrc,
+		"scsi":     scsiSliceSrc,
+		"abcs":     abcsSliceSrc,
+		"dean":     deanSliceSrc,
+	}
+}
+
+// SortedSliceNames lists SliceSources keys in sorted order.
+func SortedSliceNames() []string {
+	m := SliceSources()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

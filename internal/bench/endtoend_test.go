@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"gfmap/internal/bmspec"
+	"gfmap/internal/core"
+	"gfmap/internal/dsim"
+	"gfmap/internal/library"
+)
+
+// TestEndToEndGlitchFreedom is the paper's promise demonstrated through
+// the entire flow: a burst-mode machine is synthesised to hazard-free
+// logic, technology-mapped by the asynchronous mapper, and then *operated*
+// by the event-driven delay simulator — every specified input burst, under
+// dozens of adversarial gate/wire delay assignments, must produce
+// glitch-free outputs and next-state signals.
+func TestEndToEndGlitchFreedom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delay-simulation sweep skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, sliceName := range []string{"dme", "chu-ad", "scsi", "vanbek"} {
+		for _, libName := range []string{"Actel", "CMOS3"} {
+			m := bmspec.MustParseString(SliceSources()[sliceName])
+			syn, err := bmspec.Synthesize(m)
+			if err != nil {
+				t.Fatalf("%s: %v", sliceName, err)
+			}
+			res, err := core.AsyncTmap(syn.Net, library.MustGet(libName), core.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sliceName, libName, err)
+			}
+			mappedNet, err := res.Netlist.ToNetwork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			circuit, err := dsim.New(mappedNet)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Walk every machine edge; drive the mapped netlist through the
+			// input burst under adversarial delays.
+			walkEdges(t, m, func(state string, stateCode uint64, inBefore map[string]bool, e bmspec.Edge, inAfter map[string]bool) {
+				initial := combInputs(m, inBefore, stateCode)
+				var changes []dsim.InputChange
+				for sig := range e.In.Signals() {
+					changes = append(changes, dsim.InputChange{Signal: sig, Time: 1, Value: inAfter[sig]})
+				}
+				for trial := 0; trial < 25; trial++ {
+					trace, err := circuit.Run(initial, changes, circuit.RandomDelays(rng))
+					if err != nil {
+						t.Fatalf("%s/%s edge %s->%s: %v", sliceName, libName, e.From, e.To, err)
+					}
+					for _, out := range mappedNet.Outputs {
+						if trace.Glitched(out) {
+							t.Fatalf("%s/%s: output %s glitched during burst %s of edge %s->%s (trial %d): %v",
+								sliceName, libName, out, e.In, e.From, e.To, trial, trace.Waves[out])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// walkEdges visits every edge of the machine once, tracking the entry
+// input vector of each state.
+func walkEdges(t *testing.T, m *bmspec.Machine, visit func(state string, code uint64, inBefore map[string]bool, e bmspec.Edge, inAfter map[string]bool)) {
+	t.Helper()
+	entryIn := map[string]map[string]bool{m.Initial: copyBoolMap(m.InitialIn)}
+	queue := []string{m.Initial}
+	seen := map[string]bool{m.Initial: true}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, e := range m.Edges {
+			if e.From != s {
+				continue
+			}
+			before := entryIn[s]
+			after := copyBoolMap(before)
+			for _, sig := range e.In.Rise {
+				after[sig] = true
+			}
+			for _, sig := range e.In.Fall {
+				after[sig] = false
+			}
+			visit(s, m.EncodingOf(s), before, e, after)
+			if !seen[e.To] {
+				seen[e.To] = true
+				entryIn[e.To] = after
+				queue = append(queue, e.To)
+			}
+		}
+	}
+}
+
+func copyBoolMap(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// combInputs builds the combinational input assignment for a machine
+// state: machine inputs plus one bit per state variable.
+func combInputs(m *bmspec.Machine, in map[string]bool, code uint64) map[string]bool {
+	out := copyBoolMap(in)
+	for i := 0; i < m.StateBits(); i++ {
+		out[stateVar(i)] = code&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+func stateVar(i int) string {
+	return "y" + string(rune('0'+i))
+}
+
+// TestMappedMachineConformance closes the loop functionally: the mapped
+// netlist, operated as combinational-logic-plus-latches, reproduces the
+// burst-mode machine's specified behaviour along every edge.
+func TestMappedMachineConformance(t *testing.T) {
+	for _, sliceName := range SortedSliceNames() {
+		m := bmspec.MustParseString(SliceSources()[sliceName])
+		syn, err := bmspec.Synthesize(m)
+		if err != nil {
+			t.Fatalf("%s: %v", sliceName, err)
+		}
+		res, err := core.AsyncTmap(syn.Net, library.MustGet("LSI9K"), core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", sliceName, err)
+		}
+		mappedNet, err := res.Netlist.ToNetwork()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		entryOut := map[string]map[string]bool{m.Initial: copyBoolMap(m.InitialOut)}
+		walkEdges(t, m, func(state string, code uint64, inBefore map[string]bool, e bmspec.Edge, inAfter map[string]bool) {
+			expectedOut := copyBoolMap(entryOut[state])
+			for _, sig := range e.Out.Rise {
+				expectedOut[sig] = true
+			}
+			for _, sig := range e.Out.Fall {
+				expectedOut[sig] = false
+			}
+			entryOut[e.To] = expectedOut
+
+			vals, err := mappedNet.Eval(combInputs(m, inAfter, code))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range m.Outputs {
+				if vals[o] != expectedOut[o] {
+					t.Errorf("%s: edge %s->%s: mapped output %s = %v, want %v",
+						sliceName, e.From, e.To, o, vals[o], expectedOut[o])
+				}
+			}
+			// Next state must be the target's code.
+			var next uint64
+			for i := 0; i < m.StateBits(); i++ {
+				if vals["Y"+string(rune('0'+i))] {
+					next |= 1 << uint(i)
+				}
+			}
+			if next != m.EncodingOf(e.To) {
+				t.Errorf("%s: edge %s->%s: next state %b, want %b",
+					sliceName, e.From, e.To, next, m.EncodingOf(e.To))
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/core"
+	"gfmap/internal/cube"
+	"gfmap/internal/eqn"
+	"gfmap/internal/hazard"
+	"gfmap/internal/library"
+)
+
+// Figures regenerates the conceptual figures of the paper as computed
+// facts: each section runs the relevant algorithms and prints what the
+// figure illustrates. The deterministic assertions behind each figure live
+// in the test suite; this rendition is for human inspection via
+// `paperbench -figures`.
+func Figures() (string, error) {
+	var b strings.Builder
+	wxyz := []string{"w", "x", "y", "z"}
+
+	fmt.Fprintln(&b, "Figure 2a — static s.i.c. 1-hazard and its consensus repair")
+	f2 := cube.MustParseCover("w'yz + wxy", wxyz)
+	for _, rec := range hazard.Static1Hazards(f2) {
+		fmt.Fprintf(&b, "  f = %s: uncovered transition region %s\n",
+			f2.StringVars(wxyz), rec.T.StringVars(wxyz))
+	}
+	fixed, err := hazard.RepairStatic1(f2)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "  repaired: %s (hazard-free: %v)\n\n",
+		fixed.StringVars(wxyz), len(hazard.Static1Hazards(fixed)) == 0)
+
+	fmt.Fprintln(&b, "Figure 3 — Boolean matching can choose a cover with more hazards")
+	src := "INPUT(a, b, c)\nOUTPUT(f)\nf = a*b + a'*c + b*c;\n"
+	net, err := eqn.ParseString(src, "fig3")
+	if err != nil {
+		return "", err
+	}
+	lib, err := library.Get("LSI9K")
+	if err != nil {
+		return "", err
+	}
+	for _, mode := range []core.Mode{core.Sync, core.Async} {
+		n2, _ := eqn.ParseString(src, "fig3")
+		res, err := core.Map(n2, lib, core.Options{Mode: mode})
+		if err != nil {
+			return "", err
+		}
+		rep, err := core.VerifyHazardSafety(net, res.Netlist)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-5v cover: area %g, %d gates, new hazards: %d\n",
+			mode, res.Area, res.Netlist.GateCount(), rep.NewHazards)
+	}
+	fmt.Fprintln(&b)
+
+	fmt.Fprintln(&b, "Figure 4 — same function, different structure, different hazards")
+	for _, e := range []string{"w*y + x*y", "(w + x)*y"} {
+		set := hazard.MustAnalyze(bexpr.MustParse(e))
+		fmt.Fprintf(&b, "  %-12s -> %s\n", e, set)
+	}
+	fmt.Fprintln(&b)
+
+	fmt.Fprintln(&b, "Figure 5 — CONFLICTS vector adjacency detection")
+	c1 := cube.MustParseCube("wx'y", wxyz)
+	c2 := cube.MustParseCube("wxy", wxyz)
+	adj, _ := cube.Consensus(c1, c2)
+	fmt.Fprintf(&b, "  CONFLICTS(%s, %s) = %04b -> adjacency cube %s\n\n",
+		c1.StringVars(wxyz), c2.StringVars(wxyz), cube.Conflicts(c1, c2), adj.StringVars(wxyz))
+
+	fmt.Fprintln(&b, "Figure 6 — reconvergence hazards (McCluskey circuit)")
+	f6, err := bexpr.NewWithVars(bexpr.MustParseExpr("(w + y' + x')*(x*y + y'*z)"), wxyz)
+	if err != nil {
+		return "", err
+	}
+	s0, err := hazard.Static0Hazards(f6)
+	if err != nil {
+		return "", err
+	}
+	sic, err := hazard.SicDynHazards(f6)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "  f = %s\n  static-0 records: %d, s.i.c. dynamic records: %d\n\n",
+		f6, len(s0), len(sic))
+
+	fmt.Fprintln(&b, "Figures 8/10 — findMicDynHaz2level on f = w'xz + w'xy + xyz")
+	f8, err := bexpr.NewWithVars(bexpr.MustParseExpr("w'*x*z + w'*x*y + x*y*z"), wxyz)
+	if err != nil {
+		return "", err
+	}
+	cov := f8.MustCover()
+	for _, rec := range hazard.MicDynHaz2Level(cov) {
+		fmt.Fprintf(&b, "  intersection %s: |alpha| = %d, |beta| = %d\n",
+			rec.Intersection.StringVars(wxyz), len(rec.Alpha), len(rec.Beta))
+		for _, a := range rec.Alpha {
+			fmt.Fprintf(&b, "    alpha: %s\n", a.StringVars(wxyz))
+		}
+		for _, be := range rec.Beta {
+			fmt.Fprintf(&b, "    beta:  %s\n", be.StringVars(wxyz))
+		}
+	}
+	dyn := hazard.MustAnalyze(f8)
+	fmt.Fprintf(&b, "  exact dynamic hazard count: %d\n", len(dyn.Dynamic))
+	return b.String(), nil
+}

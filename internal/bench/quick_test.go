@@ -1,0 +1,19 @@
+package bench
+
+import "testing"
+
+func TestDesignsBuild(t *testing.T) {
+	ds, err := Designs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 11 {
+		t.Fatalf("got %d designs, want 11", len(ds))
+	}
+	for _, d := range ds {
+		if err := d.Net.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		t.Logf("%s: %d inputs, %d nodes, %d slices", d.Name, len(d.Net.Inputs), d.Net.NumNodes(), d.Slices)
+	}
+}

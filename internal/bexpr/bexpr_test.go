@@ -1,0 +1,319 @@
+package bexpr
+
+import (
+	"testing"
+
+	"gfmap/internal/cube"
+)
+
+func TestParseAndPrint(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string // canonical re-print; empty means same as in
+	}{
+		{"a", ""},
+		{"a'", ""},
+		{"a + b", ""},
+		{"a*b", ""},
+		{"a b", "a*b"},
+		{"(a + b)*c", ""},
+		{"(a*b + c)'", ""},
+		{"!a", "a'"},
+		{"!(a + b)", "(a + b)'"},
+		{"a''", "(a')'"},
+		{"1", ""},
+		{"0", ""},
+		{"s'*a + s*b", ""},
+	}
+	for _, tt := range tests {
+		f, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		want := tt.want
+		if want == "" {
+			want = tt.in
+		}
+		if got := f.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tt.in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "a +", "(a", "a)", "a @ b", "+a"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	f := MustParse("(a + b)*c'")
+	// Vars: a=0, b=1, c=2.
+	tests := []struct {
+		point uint64
+		want  bool
+	}{
+		{0b000, false},
+		{0b001, true},  // a=1, c=0
+		{0b010, true},  // b=1
+		{0b110, false}, // b=1 c=1
+		{0b011, true},
+	}
+	for _, tt := range tests {
+		if got := f.Eval(tt.point); got != tt.want {
+			t.Errorf("Eval(%03b) = %v, want %v", tt.point, got, tt.want)
+		}
+	}
+}
+
+func TestCoverMatchesEval(t *testing.T) {
+	exprs := []string{
+		"a",
+		"a'",
+		"a*b + c",
+		"(a + b)*(c + d)",
+		"(a*b + c*d)'",
+		"((a + b')*c + d*(a' + c'))'",
+		"s'*a + s*b",
+		"a*b + a'*c + b*c",
+		"(a + b)*(a' + c)*(b' + c')",
+	}
+	for _, e := range exprs {
+		f := MustParse(e)
+		cov, err := f.Cover()
+		if err != nil {
+			t.Fatalf("Cover(%q): %v", e, err)
+		}
+		n := uint(len(f.Vars))
+		for p := uint64(0); p < 1<<n; p++ {
+			if f.Eval(p) != cov.Eval(p) {
+				t.Errorf("%q: Cover disagrees with Eval at %b", e, p)
+			}
+		}
+	}
+}
+
+func TestCoverPreservesRedundantCubes(t *testing.T) {
+	// ab + a'c + bc: the consensus cube bc must not be simplified away.
+	f := MustParse("a*b + a'*c + b*c")
+	cov := f.MustCover()
+	if len(cov.Cubes) != 3 {
+		t.Fatalf("Cover dropped cubes: got %d, want 3", len(cov.Cubes))
+	}
+}
+
+func TestCoverDropsVacuousTerms(t *testing.T) {
+	// (a + b)(a' + c) distributes into aa' + ac + a'b + bc; aa' is vacuous.
+	f := MustParse("(a + b)*(a' + c)")
+	cov := f.MustCover()
+	if len(cov.Cubes) != 3 {
+		t.Fatalf("got %d cubes (%v), want 3", len(cov.Cubes), cov)
+	}
+	for _, c := range cov.Cubes {
+		if c.IsUniversal() {
+			t.Error("vacuous term leaked into cover as universal cube")
+		}
+	}
+}
+
+func TestNumLiteralsAndDepth(t *testing.T) {
+	tests := []struct {
+		in    string
+		lits  int
+		depth int
+	}{
+		{"a", 1, 0},
+		{"a'", 1, 0},
+		{"a*b", 2, 1},
+		{"a*b + c", 3, 2},
+		{"(a*b + c)'", 3, 2},
+		{"(a + b)*(c + d)", 4, 2},
+		{"s'*a + s*b", 4, 2},
+	}
+	for _, tt := range tests {
+		f := MustParse(tt.in)
+		if got := f.Root.NumLiterals(); got != tt.lits {
+			t.Errorf("%q NumLiterals = %d, want %d", tt.in, got, tt.lits)
+		}
+		if got := f.Root.Depth(); got != tt.depth {
+			t.Errorf("%q Depth = %d, want %d", tt.in, got, tt.depth)
+		}
+	}
+}
+
+func TestNewWithVars(t *testing.T) {
+	e := MustParseExpr("a + c")
+	f, err := NewWithVars(e, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.VarIndex("b") != 1 || f.VarIndex("c") != 2 {
+		t.Error("explicit variable order not respected")
+	}
+	if _, err := NewWithVars(MustParseExpr("q"), []string{"a"}); err == nil {
+		t.Error("want error for out-of-order variable")
+	}
+}
+
+func TestFromCover(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	cov := cube.MustParseCover("ab' + c", names)
+	f := FromCover(cov, names)
+	for p := uint64(0); p < 8; p++ {
+		if f.Eval(p) != cov.Eval(p) {
+			t.Errorf("FromCover disagrees at %03b", p)
+		}
+	}
+	if got := f.String(); got != "a*b' + c" {
+		t.Errorf("FromCover rendering = %q", got)
+	}
+}
+
+func TestLabeledPathsDistinct(t *testing.T) {
+	// Figure 4a: w*y + x*y — variable y fans out to two paths.
+	f := MustParse("w*y + x*y")
+	lc := f.MustLabeled()
+	if len(lc.Paths) != 4 {
+		t.Fatalf("got %d paths, want 4", len(lc.Paths))
+	}
+	if len(lc.Terms) != 2 {
+		t.Fatalf("got %d terms, want 2", len(lc.Terms))
+	}
+	// The two y leaves must be distinct paths.
+	yIdx := f.VarIndex("y")
+	var yPaths []int
+	for i, p := range lc.Paths {
+		if p.Var == yIdx {
+			yPaths = append(yPaths, i)
+		}
+	}
+	if len(yPaths) != 2 {
+		t.Fatalf("y should have 2 paths, got %d", len(yPaths))
+	}
+}
+
+func TestLabeledEvalAgrees(t *testing.T) {
+	exprs := []string{
+		"a*b + c",
+		"(a + b)*(a' + c)",
+		"(w + y')*(x' + y)*(w' + x + z)",
+		"((a*b)' + c)*(a + c')",
+	}
+	for _, e := range exprs {
+		f := MustParse(e)
+		lc := f.MustLabeled()
+		for p := uint64(0); p < 1<<uint(len(f.Vars)); p++ {
+			if f.Eval(p) != lc.Eval(p) {
+				t.Errorf("%q: labelled Eval disagrees at %b", e, p)
+			}
+		}
+	}
+}
+
+func TestLabeledVacuous(t *testing.T) {
+	// (a + b)(a' + c): distributed term a*a' spans two different paths of a.
+	f := MustParse("(a + b)*(a' + c)")
+	lc := f.MustLabeled()
+	if len(lc.Terms) != 4 {
+		t.Fatalf("got %d labelled terms, want 4", len(lc.Terms))
+	}
+	vac := 0
+	for t := range lc.Terms {
+		if lc.VacuousVar(t) >= 0 {
+			vac++
+		}
+	}
+	if vac != 1 {
+		t.Errorf("got %d vacuous terms, want 1", vac)
+	}
+}
+
+func TestMcCluskeyLabeledExpansion(t *testing.T) {
+	// The Figure 6 circuit: f = (w + y' + x')*(x*y + y'*z), whose labelled
+	// expansion the paper gives as
+	// wx2y2 + wy3'z + y1'x2y2 + y1'y3'z + x1'x2y2 + x1'y3'z.
+	f := MustParse("(w + y' + x')*(x*y + y'*z)")
+	lc := f.MustLabeled()
+	if len(lc.Terms) != 6 {
+		t.Fatalf("got %d labelled terms, want 6", len(lc.Terms))
+	}
+	// y has three paths (y', y, y'), x has two.
+	counts := map[string]int{}
+	for _, p := range lc.Paths {
+		counts[f.Vars[p.Var]]++
+	}
+	if counts["y"] != 3 || counts["x"] != 2 || counts["w"] != 1 || counts["z"] != 1 {
+		t.Errorf("path counts = %v, want y:3 x:2 w:1 z:1", counts)
+	}
+	// Exactly two terms are vacuous in y (y1'*x2*y2 and ... none in x).
+	vacY := 0
+	for t := range lc.Terms {
+		if v := lc.VacuousVar(t); v >= 0 && f.Vars[v] == "y" {
+			vacY++
+		}
+	}
+	if vacY != 1 {
+		t.Errorf("got %d y-vacuous terms, want 1 (y1'x2y2)", vacY)
+	}
+}
+
+func TestTermCanPulse(t *testing.T) {
+	// f = a*b' with a rising and b rising simultaneously: the term can pulse
+	// if a's path goes up before b's.
+	f := MustParse("a*b'")
+	lc := f.MustLabeled()
+	alpha := uint64(0b00) // a=0,b=0
+	beta := uint64(0b11)  // a=1,b=1
+	if !lc.TermCanPulse(0, alpha, beta) {
+		t.Error("a*b' must be able to pulse during 00 -> 11")
+	}
+	if lc.TermAt(0, alpha) || lc.TermAt(0, beta) {
+		t.Error("term must be 0 at both endpoints")
+	}
+	// With only a changing (b stays 0), the term ends at 1: cannot "pulse
+	// off" concern, but CanPulse is still true.
+	if !lc.TermCanPulse(0, 0b00, 0b01) {
+		t.Error("term reachable when it is 1 at an endpoint")
+	}
+	// With b=1 throughout the term can never be 1.
+	if lc.TermCanPulse(0, 0b10, 0b11) {
+		t.Error("term with a literal 0 at both endpoints cannot pulse")
+	}
+}
+
+func TestTermHoldsThrough(t *testing.T) {
+	f := MustParse("a*b + c")
+	lc := f.MustLabeled()
+	// During a,b stable 1 and c changing, term a*b holds.
+	holds := false
+	for t2 := range lc.Terms {
+		if lc.TermHoldsThrough(t2, 0b011, 0b111) {
+			holds = true
+		}
+	}
+	if !holds {
+		t.Error("a*b should hold through a c-only change with a=b=1")
+	}
+	// During a changing, no term holds from 010 -> 011 except... b=1,a:0->1,
+	// c=0: a*b is 0 at start, c term is 0: nothing holds.
+	for t2 := range lc.Terms {
+		if lc.TermHoldsThrough(t2, 0b010, 0b011) {
+			t.Errorf("term %d should not hold through 010 -> 011", t2)
+		}
+	}
+}
+
+func TestExprEqualClone(t *testing.T) {
+	e := MustParseExpr("(a + b')*c")
+	c := e.Clone()
+	if !e.Equal(c) {
+		t.Error("clone must be structurally equal")
+	}
+	c.Kids[1].Name = "d"
+	if e.Equal(c) {
+		t.Error("mutated clone must differ")
+	}
+}

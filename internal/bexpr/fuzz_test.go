@@ -1,0 +1,37 @@
+package bexpr
+
+import "testing"
+
+// FuzzParse: the expression parser must never panic, and everything it
+// accepts must survive a print/re-parse round trip with identical
+// semantics.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"a", "a'", "a*b + c", "(a + b')*(c + d)", "!(a*b)", "s'*a + s*b",
+		"((a*b + c*d)' + e)*f", "1", "0", "a''", "a  b   c", "x0*x1 + x2'",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fn, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(fn.Vars) > 16 {
+			return // avoid exponential evaluation on huge inputs
+		}
+		printed := fn.String()
+		fn2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed, src, err)
+		}
+		if len(fn.Vars) != len(fn2.Vars) {
+			t.Fatalf("variable count changed in round trip: %v vs %v", fn.Vars, fn2.Vars)
+		}
+		for p := uint64(0); p < 1<<uint(len(fn.Vars)) && p < 1<<10; p++ {
+			if fn.Eval(p) != fn2.Eval(p) {
+				t.Fatalf("round trip changed semantics of %q at %b", src, p)
+			}
+		}
+	})
+}

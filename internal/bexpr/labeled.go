@@ -1,0 +1,232 @@
+package bexpr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Path identifies one leaf occurrence of a variable in a BFF expression —
+// one physical path the signal takes through the corresponding circuit
+// structure. Neg records the parity of complements above the leaf after
+// DeMorgan push-down, so the *path signal* is Var XOR Neg and every product
+// term of the labelled SOP asserts its paths positively.
+type Path struct {
+	Var int  // index into the Function's variable order
+	Neg bool // true when the leaf is complemented after push-down
+}
+
+// LabeledCover is the path-labelled two-level form of a multi-level
+// expression (§4.2.3): the expression flattened by hazard-preserving laws
+// with every leaf occurrence kept distinct. Product terms are sets of path
+// indices. Unlike Function.Cover, vacuous terms (a variable reconverging in
+// both phases via different paths) are preserved — they are precisely the
+// source of static-0 and single-input-change dynamic hazards.
+type LabeledCover struct {
+	NumVars int
+	Paths   []Path
+	Terms   [][]int // each term: sorted, deduplicated path indices
+}
+
+// Labeled flattens the function to its path-labelled SOP.
+func (f *Function) Labeled() (*LabeledCover, error) {
+	lc := &LabeledCover{NumVars: len(f.Vars)}
+	terms, err := lc.flatten(f, f.Root, false)
+	if err != nil {
+		return nil, err
+	}
+	lc.Terms = dedupTerms(terms)
+	return lc, nil
+}
+
+// MustLabeled is Labeled that panics on error.
+func (f *Function) MustLabeled() *LabeledCover {
+	lc, err := f.Labeled()
+	if err != nil {
+		panic(err)
+	}
+	return lc
+}
+
+func (lc *LabeledCover) flatten(f *Function, e *Expr, neg bool) ([][]int, error) {
+	switch e.Op {
+	case OpConst:
+		if e.Val != neg {
+			return [][]int{{}}, nil // single universal term
+		}
+		return nil, nil // empty sum
+	case OpVar:
+		p := len(lc.Paths)
+		lc.Paths = append(lc.Paths, Path{Var: f.index[e.Name], Neg: neg})
+		return [][]int{{p}}, nil
+	case OpNot:
+		return lc.flatten(f, e.Kids[0], !neg)
+	case OpAnd, OpOr:
+		conj := (e.Op == OpAnd) != neg
+		parts := make([][][]int, len(e.Kids))
+		for i, k := range e.Kids {
+			t, err := lc.flatten(f, k, neg)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = t
+		}
+		if !conj {
+			var out [][]int
+			for _, p := range parts {
+				out = append(out, p...)
+			}
+			return out, nil
+		}
+		out := [][]int{{}}
+		for _, p := range parts {
+			next := make([][]int, 0, len(out)*len(p))
+			for _, a := range out {
+				for _, b := range p {
+					next = append(next, mergeTerm(a, b))
+				}
+			}
+			out = next
+			if len(out) > 1<<16 {
+				return nil, fmt.Errorf("bexpr: labelled flattening exceeds %d terms", 1<<16)
+			}
+		}
+		return out, nil
+	}
+	panic("bexpr: bad op")
+}
+
+func mergeTerm(a, b []int) []int {
+	m := make([]int, 0, len(a)+len(b))
+	m = append(m, a...)
+	m = append(m, b...)
+	sort.Ints(m)
+	out := m[:0]
+	for i, v := range m {
+		if i == 0 || v != m[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupTerms(ts [][]int) [][]int {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	out := ts[:0]
+	for i, t := range ts {
+		if i > 0 && equalTerm(t, ts[i-1]) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func equalTerm(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SignalAt returns the value of path p's signal at the given input point.
+func (lc *LabeledCover) SignalAt(p int, point uint64) bool {
+	pa := lc.Paths[p]
+	v := point&(1<<uint(pa.Var)) != 0
+	return v != pa.Neg
+}
+
+// TermAt evaluates product term t at a static input point: true iff every
+// path signal of the term is 1.
+func (lc *LabeledCover) TermAt(t int, point uint64) bool {
+	for _, p := range lc.Terms[t] {
+		if !lc.SignalAt(p, point) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates the whole labelled cover at a static point. It agrees with
+// the original Function for all points (vacuous terms are identically 0 at
+// static points).
+func (lc *LabeledCover) Eval(point uint64) bool {
+	for t := range lc.Terms {
+		if lc.TermAt(t, point) {
+			return true
+		}
+	}
+	return false
+}
+
+// VacuousVar inspects term t for reconvergence: it returns the smallest
+// variable that appears in the term through paths of both phases, or -1 if
+// the term is not vacuous.
+func (lc *LabeledCover) VacuousVar(t int) int {
+	var pos, neg uint64
+	for _, p := range lc.Terms[t] {
+		pa := lc.Paths[p]
+		if pa.Var >= 64 {
+			continue
+		}
+		if pa.Neg {
+			neg |= 1 << uint(pa.Var)
+		} else {
+			pos |= 1 << uint(pa.Var)
+		}
+	}
+	both := pos & neg
+	if both == 0 {
+		return -1
+	}
+	for v := 0; v < lc.NumVars; v++ {
+		if both&(1<<uint(v)) != 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// TermCanPulse reports whether term t can be momentarily 1 at some instant
+// during a monotone multi-input change from point alpha to point beta,
+// given that every path delay is arbitrary and independent: each path
+// signal whose variable changes is 1 during some sub-interval, so the term
+// can pulse iff every one of its path signals is 1 at alpha or at beta.
+func (lc *LabeledCover) TermCanPulse(t int, alpha, beta uint64) bool {
+	for _, p := range lc.Terms[t] {
+		if !lc.SignalAt(p, alpha) && !lc.SignalAt(p, beta) {
+			return false
+		}
+	}
+	return true
+}
+
+// TermHoldsThrough reports whether term t is 1 at every instant of a
+// monotone transition from alpha to beta regardless of delays: every path
+// signal must be 1 at both endpoints and its variable must not change (a
+// changing variable's path signal dips during the change window on some
+// delay assignment).
+func (lc *LabeledCover) TermHoldsThrough(t int, alpha, beta uint64) bool {
+	for _, p := range lc.Terms[t] {
+		if !lc.SignalAt(p, alpha) || !lc.SignalAt(p, beta) {
+			return false
+		}
+		v := lc.Paths[p].Var
+		if (alpha^beta)&(1<<uint(v)) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,233 @@
+package bexpr
+
+import (
+	"fmt"
+
+	"gfmap/internal/cube"
+)
+
+// Parse parses a Boolean factored form expression. The grammar:
+//
+//	expr   := term ('+' term)*
+//	term   := factor (('*')? factor)*      — '*' or juxtaposition is AND
+//	factor := '!' factor | atom ('\'')*    — postfix apostrophe is NOT
+//	atom   := IDENT | '0' | '1' | '(' expr ')'
+//
+// Identifiers are [A-Za-z_][A-Za-z0-9_]*; multi-character names must be
+// separated by whitespace or '*'. The variable order of the returned
+// Function is first-appearance order.
+func Parse(s string) (*Function, error) {
+	e, err := ParseExpr(s)
+	if err != nil {
+		return nil, err
+	}
+	return New(e), nil
+}
+
+// MustParse is Parse that panics on error; for static library data.
+func MustParse(s string) *Function {
+	f, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseExpr parses just the expression tree without fixing a variable
+// order.
+func ParseExpr(s string) (*Expr, error) {
+	p := &parser{src: s}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("bexpr: trailing input at %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParseExpr is ParseExpr that panics on error.
+func MustParseExpr(s string) *Expr {
+	e, err := ParseExpr(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseOr() (*Expr, error) {
+	var kids []*Expr
+	t, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids = append(kids, t)
+	for p.peek() == '+' {
+		p.pos++
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, t)
+	}
+	return Or(kids...), nil
+}
+
+func startsFactor(c byte) bool {
+	return c == '(' || c == '!' || c == '0' || c == '1' || isIdentStart(c)
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	var kids []*Expr
+	f, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	kids = append(kids, f)
+	for {
+		c := p.peek()
+		if c == '*' {
+			p.pos++
+		} else if !startsFactor(c) {
+			break
+		}
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, f)
+	}
+	return And(kids...), nil
+}
+
+func (p *parser) parseFactor() (*Expr, error) {
+	if p.peek() == '!' {
+		p.pos++
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	}
+	a, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.pos < len(p.src) && p.src[p.pos] == '\'' {
+		a = Not(a)
+		p.pos++
+	}
+	return a, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdent(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (p *parser) parseAtom() (*Expr, error) {
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("bexpr: missing ')' at offset %d in %q", p.pos, p.src)
+		}
+		p.pos++
+		return e, nil
+	case c == '0':
+		p.pos++
+		return Const(false), nil
+	case c == '1':
+		p.pos++
+		return Const(true), nil
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdent(p.src[p.pos]) {
+			p.pos++
+		}
+		return Var(p.src[start:p.pos]), nil
+	case c == 0:
+		return nil, fmt.Errorf("bexpr: unexpected end of input in %q", p.src)
+	default:
+		return nil, fmt.Errorf("bexpr: unexpected character %q at offset %d in %q", c, p.pos, p.src)
+	}
+}
+
+// FromCover converts a two-level cover into the corresponding BFF
+// expression (a sum of explicit products), preserving every cube. The
+// names slice supplies the variable order; it must have at least f.N
+// entries (missing entries default to x<i>).
+func FromCover(f cube.Cover, names []string) *Function {
+	name := func(v int) string {
+		if v < len(names) {
+			return names[v]
+		}
+		return fmt.Sprintf("x%d", v)
+	}
+	var terms []*Expr
+	for _, c := range f.Cubes {
+		var lits []*Expr
+		for _, v := range c.Vars() {
+			l := Var(name(v))
+			if !c.PhaseOf(v) {
+				l = Not(l)
+			}
+			lits = append(lits, l)
+		}
+		if len(lits) == 0 {
+			terms = append(terms, Const(true))
+			continue
+		}
+		terms = append(terms, And(lits...))
+	}
+	var root *Expr
+	if len(terms) == 0 {
+		root = Const(false)
+	} else {
+		root = Or(terms...)
+	}
+	vars := make([]string, f.N)
+	for i := range vars {
+		vars[i] = name(i)
+	}
+	fn, err := NewWithVars(root, vars)
+	if err != nil {
+		// Unreachable: every variable of the expression comes from names.
+		panic(err)
+	}
+	return fn
+}

@@ -1,0 +1,265 @@
+// Package blif reads and writes a subset of the Berkeley Logic Interchange
+// Format sufficient for exchanging combinational burst-mode controller
+// logic with classical synthesis tools: .model, .inputs, .outputs, .names
+// (PLA-style single-output covers) and .end. Latches (.latch) are parsed
+// and surfaced as metadata — the mapper works on the combinational network
+// between them, per the paper's Figure 1 architecture.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/network"
+)
+
+// Latch records one .latch statement (input, output and initial value).
+type Latch struct {
+	Input   string
+	Output  string
+	Initial int
+}
+
+// Model is a parsed BLIF model: the combinational network plus latches.
+type Model struct {
+	Net     *network.Network
+	Latches []Latch
+}
+
+// Parse reads a single BLIF model. Latch outputs become primary inputs of
+// the combinational network; latch inputs become primary outputs.
+func Parse(r io.Reader, fallbackName string) (*network.Network, error) {
+	m, err := ParseModel(r, fallbackName)
+	if err != nil {
+		return nil, err
+	}
+	return m.Net, nil
+}
+
+// ParseModel reads a single BLIF model with latch metadata.
+func ParseModel(r io.Reader, fallbackName string) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	// First pass: gather logical lines (with '\' continuations).
+	var lines []string
+	var cont strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimRight(line, " \t")
+		if strings.HasSuffix(line, "\\") {
+			cont.WriteString(strings.TrimSuffix(line, "\\"))
+			cont.WriteByte(' ')
+			continue
+		}
+		cont.WriteString(line)
+		full := strings.TrimSpace(cont.String())
+		cont.Reset()
+		if full != "" {
+			lines = append(lines, full)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	model := &Model{}
+	name := fallbackName
+	var inputs, outputs []string
+	type names struct {
+		signals []string // fanins then the output signal
+		rows    []string // PLA rows "pattern value"
+	}
+	var tables []*names
+	var cur *names
+
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+			cur = nil
+		case ".inputs":
+			inputs = append(inputs, fields[1:]...)
+			cur = nil
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+			cur = nil
+		case ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif: .names with no signals")
+			}
+			cur = &names{signals: fields[1:]}
+			tables = append(tables, cur)
+		case ".latch":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("blif: .latch wants input and output")
+			}
+			l := Latch{Input: fields[1], Output: fields[2]}
+			if len(fields) >= 4 && fields[len(fields)-1] == "1" {
+				l.Initial = 1
+			}
+			model.Latches = append(model.Latches, l)
+			cur = nil
+		case ".end":
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("blif: unexpected line %q", line)
+			}
+			cur.rows = append(cur.rows, line)
+		}
+	}
+
+	net := network.New(name)
+	for _, in := range inputs {
+		if err := net.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+	// Latch outputs feed the combinational logic: primary inputs here.
+	for _, l := range model.Latches {
+		if err := net.AddInput(l.Output); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range tables {
+		out := t.signals[len(t.signals)-1]
+		fanins := t.signals[:len(t.signals)-1]
+		expr, err := tableToExpr(fanins, t.rows)
+		if err != nil {
+			return nil, fmt.Errorf("blif: table for %s: %w", out, err)
+		}
+		if err := net.AddNode(out, expr); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range outputs {
+		if err := net.MarkOutput(o); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range model.Latches {
+		if err := net.MarkOutput(l.Input); err != nil {
+			return nil, err
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	model.Net = net
+	return model, nil
+}
+
+// tableToExpr converts a PLA table into an SOP expression. Only ON-set
+// tables (output value 1) are supported; an empty table is constant 0 and
+// a single empty row over zero inputs is constant 1.
+func tableToExpr(fanins []string, rows []string) (*bexpr.Expr, error) {
+	if len(fanins) == 0 {
+		// Constant node: a single "1" row makes it 1.
+		for _, r := range rows {
+			if strings.TrimSpace(r) == "1" {
+				return bexpr.Const(true), nil
+			}
+		}
+		return bexpr.Const(false), nil
+	}
+	var terms []*bexpr.Expr
+	for _, row := range rows {
+		fields := strings.Fields(row)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad PLA row %q", row)
+		}
+		pattern, val := fields[0], fields[1]
+		if val != "1" {
+			return nil, fmt.Errorf("only ON-set (output 1) tables are supported, got row %q", row)
+		}
+		if len(pattern) != len(fanins) {
+			return nil, fmt.Errorf("row %q has %d columns, want %d", row, len(pattern), len(fanins))
+		}
+		var lits []*bexpr.Expr
+		for i, ch := range pattern {
+			switch ch {
+			case '1':
+				lits = append(lits, bexpr.Var(fanins[i]))
+			case '0':
+				lits = append(lits, bexpr.Not(bexpr.Var(fanins[i])))
+			case '-':
+			default:
+				return nil, fmt.Errorf("bad PLA character %q in %q", ch, row)
+			}
+		}
+		if len(lits) == 0 {
+			terms = append(terms, bexpr.Const(true))
+		} else {
+			terms = append(terms, bexpr.And(lits...))
+		}
+	}
+	if len(terms) == 0 {
+		return bexpr.Const(false), nil
+	}
+	return bexpr.Or(terms...), nil
+}
+
+// Write renders a combinational network as BLIF. Every node is flattened
+// to its hazard-preserving SOP so the PLA rows mirror the cube structure.
+func Write(w io.Writer, net *network.Network) error {
+	if _, err := fmt.Fprintf(w, ".model %s\n.inputs %s\n.outputs %s\n",
+		net.Name, strings.Join(net.Inputs, " "), strings.Join(net.Outputs, " ")); err != nil {
+		return err
+	}
+	order, err := net.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		node := net.Node(name)
+		fn := bexpr.New(node.Expr)
+		cov, err := fn.Cover()
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, ".names %s %s\n", strings.Join(fn.Vars, " "), name); err != nil {
+			return err
+		}
+		for _, c := range cov.Cubes {
+			row := make([]byte, len(fn.Vars))
+			for i := range fn.Vars {
+				switch {
+				case !c.HasVar(i):
+					row[i] = '-'
+				case c.PhaseOf(i):
+					row[i] = '1'
+				default:
+					row[i] = '0'
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s 1\n", row); err != nil {
+				return err
+			}
+		}
+		if len(cov.Cubes) == 0 {
+			// Constant 0: no rows.
+			continue
+		}
+	}
+	_, err = fmt.Fprintln(w, ".end")
+	return err
+}
+
+// WriteString renders a network as BLIF text.
+func WriteString(net *network.Network) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, net); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,152 @@
+package blif
+
+import (
+	"strings"
+	"testing"
+
+	"gfmap/internal/eqn"
+	"gfmap/internal/network"
+)
+
+const sample = `
+# a controller fragment
+.model frag
+.inputs a b c
+.outputs f
+.names a b u
+11 1
+.names u c f
+1- 1
+-1 1
+.end
+`
+
+func TestParse(t *testing.T) {
+	net, err := Parse(strings.NewReader(sample), "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name != "frag" {
+		t.Errorf("name = %q", net.Name)
+	}
+	// f = a*b + c
+	ref, err := eqn.ParseString("INPUT(a,b,c)\nOUTPUT(f)\nu = a*b;\nf = u + c;\n", "frag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := network.Equivalent(net, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("parsed BLIF function wrong")
+	}
+}
+
+func TestLatches(t *testing.T) {
+	src := `
+.model lm
+.inputs req
+.outputs ack
+.latch Y0 y0 0
+.names req y0 ack
+11 1
+.names req Y0
+1 1
+.end
+`
+	m, err := ParseModel(strings.NewReader(src), "lm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Latches) != 1 || m.Latches[0].Input != "Y0" || m.Latches[0].Output != "y0" {
+		t.Fatalf("latches = %+v", m.Latches)
+	}
+	// y0 becomes a combinational input; Y0 a combinational output.
+	found := false
+	for _, in := range m.Net.Inputs {
+		if in == "y0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("latch output should be a combinational input")
+	}
+	found = false
+	for _, o := range m.Net.Outputs {
+		if o == "Y0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("latch input should be a combinational output")
+	}
+}
+
+func TestContinuationAndDontCare(t *testing.T) {
+	src := `
+.model c
+.inputs a b \
+        c
+.outputs f
+.names a b c f
+1-0 1
+01- 1
+.end
+`
+	net, err := Parse(strings.NewReader(src), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = a*c' + a'*b
+	if v, _ := net.EvalOutputs(0b001); v != 1 { // a=1
+		t.Error("f(a)=1 expected (c'=1)")
+	}
+	if v, _ := net.EvalOutputs(0b101); v != 0 { // a=1,c=1
+		t.Error("f(a,c)=0 expected")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `
+INPUT(a, b, c, d)
+OUTPUT(f, g)
+u = a*b + c';
+f = u*d;
+g = u' + a;
+`
+	net, err := eqn.ParseString(src, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := WriteString(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(text), "rt")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	eq, err := network.Equivalent(net, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("BLIF round trip changed the function:\n%s", text)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		".model m\n.inputs a\n.outputs f\n.names a f\n1 2\n.end",  // bad output value
+		".model m\n.inputs a\n.outputs f\n.names a f\n11 1\n.end", // wrong arity
+		".model m\n.inputs a\n.outputs f\nstray\n.end",            // stray line
+		".model m\n.inputs a\n.outputs f\n.names a f\n1x 1\n.end", // bad char
+		".model m\n.inputs a\n.outputs g\n.names a f\n1 1\n.end",  // undefined output
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c), "bad"); err == nil {
+			t.Errorf("Parse(%q): want error", c)
+		}
+	}
+}

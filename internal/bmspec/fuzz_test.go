@@ -1,0 +1,23 @@
+package bmspec
+
+import "testing"
+
+// FuzzParse: the burst-mode spec parser must never panic; accepted
+// machines must re-validate and round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("name t\ninput r 0\noutput a 0\ninitial s0\ns0 -> s1 : r+ / a+\ns1 -> s0 : r- / a-\n")
+	f.Add("name x\ninput p 0\ninput q 1\ninitial i\ni -> j : p+ q- /\nj -> i : p- q+ /\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		m2, err := ParseString(m.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, m.String())
+		}
+		if len(m2.Edges) != len(m.Edges) {
+			t.Fatal("round trip changed edge count")
+		}
+	})
+}

@@ -1,0 +1,424 @@
+// Package bmspec implements burst-mode (generalized fundamental-mode)
+// machine specifications and their synthesis into hazard-free two-level
+// logic — the front end of Figure 1 of the paper: a burst-mode state
+// machine becomes combinational next-state/output logic plus latches, and
+// the combinational part, synthesised through the hfmin substrate, is
+// hazard-free for exactly the transitions the machine can exercise. That
+// logic is what the technology mapper must map without introducing new
+// hazards.
+package bmspec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Burst is a set of signal edges: each named signal either rises or falls.
+type Burst struct {
+	Rise []string
+	Fall []string
+}
+
+// Empty reports whether the burst contains no edges.
+func (b Burst) Empty() bool { return len(b.Rise) == 0 && len(b.Fall) == 0 }
+
+// Signals returns the set of signals the burst touches.
+func (b Burst) Signals() map[string]bool {
+	m := make(map[string]bool, len(b.Rise)+len(b.Fall))
+	for _, s := range b.Rise {
+		m[s] = true
+	}
+	for _, s := range b.Fall {
+		m[s] = true
+	}
+	return m
+}
+
+func (b Burst) String() string {
+	var parts []string
+	for _, s := range b.Rise {
+		parts = append(parts, s+"+")
+	}
+	for _, s := range b.Fall {
+		parts = append(parts, s+"-")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Edge is one burst-mode transition: when the input burst completes, the
+// machine emits the output burst and moves to the next state.
+type Edge struct {
+	From, To string
+	In       Burst
+	Out      Burst
+}
+
+// Machine is a burst-mode specification.
+type Machine struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+
+	Initial    string
+	InitialIn  map[string]bool
+	InitialOut map[string]bool
+
+	Edges []Edge
+
+	// Encoding optionally fixes the state encoding (state name -> code over
+	// StateBits() bits). When nil, a one-hot encoding is derived, whose
+	// transition interiors can never collide with other state codes.
+	Encoding  map[string]uint64
+	StateBitN int // number of state bits when Encoding is set
+}
+
+// States returns the state names in first-appearance order (initial
+// first).
+func (m *Machine) States() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	add(m.Initial)
+	for _, e := range m.Edges {
+		add(e.From)
+		add(e.To)
+	}
+	return out
+}
+
+// StateBits returns the number of state variables used by the encoding.
+func (m *Machine) StateBits() int {
+	if m.Encoding != nil {
+		return m.StateBitN
+	}
+	return len(m.States())
+}
+
+// EncodingOf returns the code of a state under the chosen encoding
+// (one-hot by default).
+func (m *Machine) EncodingOf(state string) uint64 {
+	if m.Encoding != nil {
+		return m.Encoding[state]
+	}
+	for i, s := range m.States() {
+		if s == state {
+			return 1 << uint(i)
+		}
+	}
+	return 0
+}
+
+// entry describes the stable condition in which a state is entered.
+type entry struct {
+	in  map[string]bool
+	out map[string]bool
+}
+
+// entries computes each state's entry input/output vectors by propagating
+// bursts from the initial state, checking consistency: every path into a
+// state must agree on the values of all signals.
+func (m *Machine) entries() (map[string]*entry, error) {
+	ent := map[string]*entry{}
+	if m.Initial == "" {
+		return nil, fmt.Errorf("bmspec %s: no initial state", m.Name)
+	}
+	init := &entry{in: map[string]bool{}, out: map[string]bool{}}
+	for _, i := range m.Inputs {
+		init.in[i] = m.InitialIn[i]
+	}
+	for _, o := range m.Outputs {
+		init.out[o] = m.InitialOut[o]
+	}
+	ent[m.Initial] = init
+	queue := []string{m.Initial}
+	edgesFrom := map[string][]Edge{}
+	for _, e := range m.Edges {
+		edgesFrom[e.From] = append(edgesFrom[e.From], e)
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		cur := ent[s]
+		for _, e := range edgesFrom[s] {
+			nin, err := applyBurst(cur.in, e.In, "input", e)
+			if err != nil {
+				return nil, err
+			}
+			nout, err := applyBurst(cur.out, e.Out, "output", e)
+			if err != nil {
+				return nil, err
+			}
+			next := &entry{in: nin, out: nout}
+			if old, ok := ent[e.To]; ok {
+				if !sameVec(old.in, nin) || !sameVec(old.out, nout) {
+					return nil, fmt.Errorf("bmspec %s: state %s entered with inconsistent signal values via %s->%s",
+						m.Name, e.To, e.From, e.To)
+				}
+				continue
+			}
+			ent[e.To] = next
+			queue = append(queue, e.To)
+		}
+	}
+	for _, s := range m.States() {
+		if ent[s] == nil {
+			return nil, fmt.Errorf("bmspec %s: state %s unreachable from %s", m.Name, s, m.Initial)
+		}
+	}
+	return ent, nil
+}
+
+func applyBurst(cur map[string]bool, b Burst, kind string, e Edge) (map[string]bool, error) {
+	out := make(map[string]bool, len(cur))
+	for k, v := range cur {
+		out[k] = v
+	}
+	for _, s := range b.Rise {
+		v, ok := out[s]
+		if !ok {
+			return nil, fmt.Errorf("bmspec: edge %s->%s uses unknown %s signal %q", e.From, e.To, kind, s)
+		}
+		if v {
+			return nil, fmt.Errorf("bmspec: edge %s->%s raises %s %q which is already 1", e.From, e.To, kind, s)
+		}
+		out[s] = true
+	}
+	for _, s := range b.Fall {
+		v, ok := out[s]
+		if !ok {
+			return nil, fmt.Errorf("bmspec: edge %s->%s uses unknown %s signal %q", e.From, e.To, kind, s)
+		}
+		if !v {
+			return nil, fmt.Errorf("bmspec: edge %s->%s lowers %s %q which is already 0", e.From, e.To, kind, s)
+		}
+		out[s] = false
+	}
+	return out, nil
+}
+
+func sameVec(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural well-formedness: reachable consistent states,
+// non-empty distinguishable input bursts (the burst-mode maximal set
+// property: no input burst leaving a state may be a subset of another), and
+// a usable encoding.
+func (m *Machine) Validate() error {
+	if len(m.Inputs) == 0 {
+		return fmt.Errorf("bmspec %s: no inputs", m.Name)
+	}
+	if _, err := m.entries(); err != nil {
+		return err
+	}
+	byFrom := map[string][]Edge{}
+	for _, e := range m.Edges {
+		if e.In.Empty() {
+			return fmt.Errorf("bmspec %s: edge %s->%s has an empty input burst", m.Name, e.From, e.To)
+		}
+		byFrom[e.From] = append(byFrom[e.From], e)
+	}
+	for from, edges := range byFrom {
+		for i := 0; i < len(edges); i++ {
+			for j := 0; j < len(edges); j++ {
+				if i == j {
+					continue
+				}
+				if burstSubset(edges[i].In, edges[j].In) {
+					return fmt.Errorf("bmspec %s: state %s violates the maximal set property: burst %q is contained in %q",
+						m.Name, from, edges[i].In, edges[j].In)
+				}
+			}
+		}
+	}
+	if m.Encoding != nil {
+		states := m.States()
+		seen := map[uint64]string{}
+		for _, s := range states {
+			code, ok := m.Encoding[s]
+			if !ok {
+				return fmt.Errorf("bmspec %s: state %s has no encoding", m.Name, s)
+			}
+			if code >= 1<<uint(m.StateBitN) {
+				return fmt.Errorf("bmspec %s: state %s code %x exceeds %d bits", m.Name, s, code, m.StateBitN)
+			}
+			if other, dup := seen[code]; dup {
+				return fmt.Errorf("bmspec %s: states %s and %s share code %x", m.Name, s, other, code)
+			}
+			seen[code] = s
+		}
+	}
+	return nil
+}
+
+func burstSubset(a, b Burst) bool {
+	bs := b.Signals()
+	for s := range a.Signals() {
+		if !bs[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse reads a machine from the textual format:
+//
+//	name scsi
+//	input req 0
+//	output ack 0
+//	initial idle
+//	idle -> busy : req+ / ack+
+//	busy -> idle : req- / ack-
+//
+// Comments start with '#'. Input/output declarations give the reset value.
+func Parse(r io.Reader) (*Machine, error) {
+	m := &Machine{InitialIn: map[string]bool{}, InitialOut: map[string]bool{}}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "name":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("bmspec: line %d: name wants one identifier", lineNo)
+			}
+			m.Name = fields[1]
+		case "input", "output":
+			if len(fields) != 3 || (fields[2] != "0" && fields[2] != "1") {
+				return nil, fmt.Errorf("bmspec: line %d: %s wants a name and a reset value", lineNo, fields[0])
+			}
+			v := fields[2] == "1"
+			if fields[0] == "input" {
+				m.Inputs = append(m.Inputs, fields[1])
+				m.InitialIn[fields[1]] = v
+			} else {
+				m.Outputs = append(m.Outputs, fields[1])
+				m.InitialOut[fields[1]] = v
+			}
+		case "initial":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("bmspec: line %d: initial wants one state", lineNo)
+			}
+			m.Initial = fields[1]
+		default:
+			edge, err := parseEdge(line)
+			if err != nil {
+				return nil, fmt.Errorf("bmspec: line %d: %w", lineNo, err)
+			}
+			m.Edges = append(m.Edges, edge)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ParseString parses a machine from a string.
+func ParseString(s string) (*Machine, error) { return Parse(strings.NewReader(s)) }
+
+// MustParseString is ParseString that panics on error.
+func MustParseString(s string) *Machine {
+	m, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func parseEdge(line string) (Edge, error) {
+	arrow := strings.Index(line, "->")
+	colon := strings.Index(line, ":")
+	if arrow < 0 || colon < arrow {
+		return Edge{}, fmt.Errorf("bad edge syntax %q", line)
+	}
+	e := Edge{
+		From: strings.TrimSpace(line[:arrow]),
+		To:   strings.TrimSpace(line[arrow+2 : colon]),
+	}
+	rest := line[colon+1:]
+	inPart, outPart := rest, ""
+	if slash := strings.Index(rest, "/"); slash >= 0 {
+		inPart, outPart = rest[:slash], rest[slash+1:]
+	}
+	var err error
+	if e.In, err = parseBurst(inPart); err != nil {
+		return Edge{}, err
+	}
+	if e.Out, err = parseBurst(outPart); err != nil {
+		return Edge{}, err
+	}
+	return e, nil
+}
+
+func parseBurst(s string) (Burst, error) {
+	var b Burst
+	for _, tok := range strings.Fields(s) {
+		switch {
+		case strings.HasSuffix(tok, "+"):
+			b.Rise = append(b.Rise, strings.TrimSuffix(tok, "+"))
+		case strings.HasSuffix(tok, "-"):
+			b.Fall = append(b.Fall, strings.TrimSuffix(tok, "-"))
+		default:
+			return Burst{}, fmt.Errorf("bad burst token %q (want name+ or name-)", tok)
+		}
+	}
+	sort.Strings(b.Rise)
+	sort.Strings(b.Fall)
+	return b, nil
+}
+
+// String renders the machine in the textual format. Nameless machines
+// omit the name line (the format's fields are all optional headers).
+func (m *Machine) String() string {
+	var b strings.Builder
+	if m.Name != "" {
+		fmt.Fprintf(&b, "name %s\n", m.Name)
+	}
+	for _, i := range m.Inputs {
+		fmt.Fprintf(&b, "input %s %d\n", i, b2i(m.InitialIn[i]))
+	}
+	for _, o := range m.Outputs {
+		fmt.Fprintf(&b, "output %s %d\n", o, b2i(m.InitialOut[o]))
+	}
+	fmt.Fprintf(&b, "initial %s\n", m.Initial)
+	for _, e := range m.Edges {
+		fmt.Fprintf(&b, "%s -> %s : %s / %s\n", e.From, e.To, e.In, e.Out)
+	}
+	return b.String()
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,229 @@
+package bmspec
+
+import (
+	"fmt"
+	"sort"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/cube"
+	"gfmap/internal/hfmin"
+	"gfmap/internal/network"
+)
+
+// Synthesis is the result of compiling a burst-mode machine into
+// hazard-free combinational logic (the architecture of Figure 1): a
+// network whose inputs are the machine inputs plus the current-state
+// variables y<i>, and whose outputs are the machine outputs plus the
+// next-state variables Y<i>. State variables are fed back through latches
+// outside the combinational block.
+type Synthesis struct {
+	Machine  *Machine
+	Net      *network.Network
+	VarNames []string // variable order of the function space: inputs then y bits
+	Specs    map[string]hfmin.Spec
+	Covers   map[string]cube.Cover
+}
+
+// Synthesize validates the machine, assigns the state encoding, derives
+// each output and next-state function with its set of specified
+// multi-input-change transitions, and minimises every function with the
+// hazard-free minimiser. The resulting logic is hazard-free for every
+// transition the machine can exercise — the paper's starting condition for
+// technology mapping.
+func Synthesize(m *Machine) (*Synthesis, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ent, err := m.entries()
+	if err != nil {
+		return nil, err
+	}
+	nin := len(m.Inputs)
+	nbits := m.StateBits()
+	n := nin + nbits
+	if n > 20 {
+		return nil, fmt.Errorf("bmspec %s: %d input+state variables exceed the synthesis bound of 20", m.Name, n)
+	}
+
+	varNames := append([]string(nil), m.Inputs...)
+	for i := 0; i < nbits; i++ {
+		varNames = append(varNames, fmt.Sprintf("y%d", i))
+	}
+	point := func(in map[string]bool, code uint64) uint64 {
+		var p uint64
+		for i, name := range m.Inputs {
+			if in[name] {
+				p |= 1 << uint(i)
+			}
+		}
+		p |= code << uint(nin)
+		return p
+	}
+
+	// Function names: machine outputs then next-state bits.
+	var fnNames []string
+	fnNames = append(fnNames, m.Outputs...)
+	for i := 0; i < nbits; i++ {
+		fnNames = append(fnNames, fmt.Sprintf("Y%d", i))
+	}
+
+	vals := map[string]map[uint64]bool{}
+	for _, f := range fnNames {
+		vals[f] = map[uint64]bool{}
+	}
+	assign := func(f string, p uint64, v bool) error {
+		if old, ok := vals[f][p]; ok && old != v {
+			return fmt.Errorf("bmspec %s: function %s gets conflicting values at point %x (state encoding race?)", m.Name, f, p)
+		}
+		vals[f][p] = v
+		return nil
+	}
+	assignAll := func(p uint64, outs map[string]bool, next uint64) error {
+		for _, o := range m.Outputs {
+			if err := assign(o, p, outs[o]); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < nbits; i++ {
+			if err := assign(fmt.Sprintf("Y%d", i), p, next&(1<<uint(i)) != 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	trans := map[string][]hfmin.Transition{}
+	addTrans := func(from, to uint64) {
+		for _, f := range fnNames {
+			trans[f] = append(trans[f], hfmin.Transition{From: from, To: to})
+		}
+	}
+
+	for _, s := range m.States() {
+		es := ent[s]
+		code := m.EncodingOf(s)
+		a := point(es.in, code)
+		if err := assignAll(a, es.out, code); err != nil {
+			return nil, err
+		}
+		for _, e := range m.Edges {
+			if e.From != s {
+				continue
+			}
+			newIn, err := applyBurst(es.in, e.In, "input", e)
+			if err != nil {
+				return nil, err
+			}
+			newOut, err := applyBurst(es.out, e.Out, "output", e)
+			if err != nil {
+				return nil, err
+			}
+			nextCode := m.EncodingOf(e.To)
+			b := point(newIn, code)
+			if err := assignAll(b, newOut, nextCode); err != nil {
+				return nil, err
+			}
+			// Interior points of the input burst hold the pre-burst values:
+			// the machine reacts only to the complete burst.
+			sigs := burstSignalList(e.In)
+			for sub := 1; sub < 1<<uint(len(sigs)); sub++ {
+				if sub == 1<<uint(len(sigs))-1 {
+					continue // the complete burst is point b
+				}
+				part := copyVec(es.in)
+				for j, sig := range sigs {
+					if sub&(1<<uint(j)) != 0 {
+						part[sig] = !part[sig]
+					}
+				}
+				if err := assignAll(point(part, code), es.out, code); err != nil {
+					return nil, err
+				}
+			}
+			addTrans(a, b)
+			if nextCode != code {
+				c := point(newIn, nextCode)
+				if err := assignAll(c, newOut, nextCode); err != nil {
+					return nil, err
+				}
+				addTrans(b, c)
+			}
+		}
+	}
+
+	// Build per-function ON/OFF covers; everything unassigned is don't-care.
+	syn := &Synthesis{
+		Machine:  m,
+		VarNames: varNames,
+		Specs:    map[string]hfmin.Spec{},
+		Covers:   map[string]cube.Cover{},
+	}
+	net := network.New(m.Name)
+	for _, in := range varNames {
+		if err := net.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range fnNames {
+		on := cube.NewCover(n)
+		careSet := cube.NewCover(n)
+		pts := make([]uint64, 0, len(vals[f]))
+		for p := range vals[f] {
+			pts = append(pts, p)
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+		for _, p := range pts {
+			careSet.Add(cube.Minterm(n, p))
+			if vals[f][p] {
+				on.Add(cube.Minterm(n, p))
+			}
+		}
+		dc := careSet.Complement()
+		spec := hfmin.Spec{N: n, On: on, DC: dc, Transitions: dedupTransitions(trans[f])}
+		res, err := hfmin.Minimize(spec)
+		if err != nil {
+			return nil, fmt.Errorf("bmspec %s: function %s: %w", m.Name, f, err)
+		}
+		syn.Specs[f] = spec
+		syn.Covers[f] = res.Cover
+		fn := bexpr.FromCover(res.Cover, varNames)
+		if err := net.AddNode(f, fn.Root); err != nil {
+			return nil, err
+		}
+		if err := net.MarkOutput(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	syn.Net = net
+	return syn, nil
+}
+
+func burstSignalList(b Burst) []string {
+	out := append([]string(nil), b.Rise...)
+	out = append(out, b.Fall...)
+	sort.Strings(out)
+	return out
+}
+
+func copyVec(v map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+func dedupTransitions(ts []hfmin.Transition) []hfmin.Transition {
+	seen := map[hfmin.Transition]bool{}
+	var out []hfmin.Transition
+	for _, t := range ts {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+// Package core implements the paper's primary contribution: hazard-aware
+// technology mapping for generalized fundamental-mode asynchronous designs.
+//
+// The pipeline follows §3 of the paper:
+//
+//	procedure async_tmap(network, library) {
+//	    augment-library-with-hazard-info(library);   // library.Annotate
+//	    decomposed = async_tech_decomp(network);     // network.AsyncTechDecomp
+//	    cones = partition(decomposed);               // network.Partition
+//	    foreach output in cones { find-best-async-cover(output, library); }
+//	}
+//
+// Covering is dynamic programming over each cone's gate tree with
+// dual-phase costs; matching is Boolean (truth-table) matching. In
+// asynchronous mode, a hazardous library cell is accepted as a match only
+// if its hazard set, translated through the pin binding, is a subset of
+// the hazard set of the subnetwork being replaced (Theorem 3.2 /
+// asyncmatchingroutine); hazard-free cells pass unconditionally
+// (Corollary 3.1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gfmap/internal/library"
+	"gfmap/internal/network"
+)
+
+// Mode selects between the synchronous baseline mapper and the
+// hazard-aware asynchronous mapper.
+type Mode int
+
+// Mapping modes.
+const (
+	// Sync is the classical CERES-style flow: any functional match is
+	// acceptable. It may introduce logic hazards (Figure 3).
+	Sync Mode = iota
+	// Async is the paper's flow: hazardous cells pass the subset filter.
+	Async
+)
+
+func (m Mode) String() string {
+	if m == Async {
+		return "async"
+	}
+	return "sync"
+}
+
+// Objective selects what the covering DP minimises.
+type Objective int
+
+// Covering objectives.
+const (
+	// MinArea minimises total cell area (the paper's objective; delay is
+	// reported but not optimised).
+	MinArea Objective = iota
+	// MinDelay minimises the worst-case arrival time, breaking ties by
+	// area.
+	MinDelay
+)
+
+func (o Objective) String() string {
+	if o == MinDelay {
+		return "delay"
+	}
+	return "area"
+}
+
+// Options configures a mapping run.
+type Options struct {
+	// Mode selects the synchronous baseline or the asynchronous mapper.
+	Mode Mode
+	// Objective selects area-driven (default) or delay-driven covering.
+	Objective Objective
+	// MaxDepth bounds the gate depth of match clusters; the paper's tables
+	// all use depth 5. Zero means the default of 5.
+	MaxDepth int
+	// MaxLeaves bounds the number of distinct input signals of a match
+	// cluster (the widest cell pin count worth matching). Zero means the
+	// default of 6.
+	MaxLeaves int
+	// MaxBindings bounds how many alternative pin bindings are examined
+	// for a hazardous cell before giving up on it. Zero means 32.
+	MaxBindings int
+	// Workers sets the number of goroutines used to run the per-cone
+	// covering DP; emission stays serial and the result is bit-identical
+	// to a single-worker run. Zero or one means serial.
+	Workers int
+	// MaxBurst, when positive, enables hazard don't-cares (the paper's
+	// future-work §6): in generalized fundamental-mode operation the
+	// environment only issues input bursts up to a known width, so hazards
+	// on wider multi-input changes can never be exercised. The matching
+	// filter then ignores hazardous transitions of the library cell that
+	// flip more than MaxBurst of the subnetwork's inputs. Zero means no
+	// don't-cares: every transition counts.
+	MaxBurst int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 5
+	}
+	if o.MaxLeaves == 0 {
+		o.MaxLeaves = 6
+	}
+	if o.MaxBindings == 0 {
+		o.MaxBindings = 32
+	}
+	return o
+}
+
+// Stats counts the work done during a mapping run.
+type Stats struct {
+	Cones              int
+	ClustersEnumerated int
+	MatchesFound       int
+	HazardousMatches   int
+	HazardChecks       int
+	MatchesRejected    int
+}
+
+// Result is the outcome of a mapping run.
+type Result struct {
+	Netlist *Netlist
+	Area    float64
+	Delay   float64
+	Stats   Stats
+}
+
+// Map runs the technology mapper over a combinational network.
+func Map(net *network.Network, lib *library.Library, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Mode == Async && !lib.Annotated() {
+		// augment-library-with-hazard-info(library)
+		if err := lib.Annotate(); err != nil {
+			return nil, err
+		}
+	}
+	decomposed, err := network.AsyncTechDecomp(net)
+	if err != nil {
+		return nil, err
+	}
+	cones, err := network.Partition(decomposed)
+	if err != nil {
+		return nil, err
+	}
+	nl := NewNetlist(net.Name, net.Inputs, net.Outputs)
+	m := &mapper{lib: lib, opts: opts, netlist: nl}
+	if err := m.ensureCells(); err != nil {
+		return nil, err
+	}
+	prepared, err := m.prepareCones(cones)
+	if err != nil {
+		return nil, err
+	}
+	for i, pc := range prepared {
+		if err := m.emitCone(pc); err != nil {
+			return nil, fmt.Errorf("core: cone %s: %w", cones[i].Root, err)
+		}
+	}
+	m.stats.Cones = len(cones)
+	area := nl.Area()
+	delay, err := nl.Delay()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Netlist: nl, Area: area, Delay: delay, Stats: m.stats}, nil
+}
+
+// Tmap is the synchronous mapping procedure of §3.1.
+func Tmap(net *network.Network, lib *library.Library, opts Options) (*Result, error) {
+	opts.Mode = Sync
+	return Map(net, lib, opts)
+}
+
+// AsyncTmap is the asynchronous mapping procedure of §3.2.
+func AsyncTmap(net *network.Network, lib *library.Library, opts Options) (*Result, error) {
+	opts.Mode = Async
+	return Map(net, lib, opts)
+}
+
+const inf = math.MaxFloat64 / 4
+
+// negName derives the signal name carrying the complement of a signal.
+func negName(sig string) string {
+	return sig + "_bar"
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}

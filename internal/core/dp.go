@@ -1,0 +1,634 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/hazard"
+	"gfmap/internal/library"
+	"gfmap/internal/match"
+	"gfmap/internal/network"
+	"gfmap/internal/truthtab"
+)
+
+const (
+	phasePos = 0
+	phaseNeg = 1
+)
+
+// mapper carries the per-run state of a mapping.
+type mapper struct {
+	lib     *library.Library
+	opts    Options
+	netlist *Netlist
+	stats   Stats
+
+	inv        *library.Cell
+	bufCell    *library.Cell
+	invSignals map[string]string
+}
+
+// cost is a covering DP value: the quantity being minimised depends on
+// the objective, with the other quantity as tie-break.
+type cost struct {
+	area  float64
+	delay float64
+}
+
+func (c cost) better(o cost, obj Objective) bool {
+	if obj == MinDelay {
+		if c.delay != o.delay {
+			return c.delay < o.delay
+		}
+		return c.area < o.area
+	}
+	if c.area != o.area {
+		return c.area < o.area
+	}
+	return c.delay < o.delay
+}
+
+var infCost = cost{area: inf, delay: inf}
+
+// tnode is one node of a cone's gate tree.
+type tnode struct {
+	op     bexpr.Op
+	kids   []int
+	signal string // leaf nodes: the cone-leaf signal name
+
+	cost   [2]cost
+	choice [2]*choice
+}
+
+// choice records how a node's function (in one phase) is best realised.
+type choice struct {
+	// Inverter from the opposite phase.
+	fromOtherPhase bool
+	// Otherwise: a library-cell match over a cluster.
+	cell    *library.Cell
+	binding hazard.Binding
+	varNode []int // cluster variable index -> tree node providing it
+}
+
+// cutEntry is one enumerated cluster cut below a node.
+type cutEntry struct {
+	nodes []int // cut node ids, sorted
+	depth int
+}
+
+type coneMapper struct {
+	m     *mapper
+	cone  network.Cone
+	nodes []tnode
+	cuts  [][]cutEntry
+
+	hazCache map[string]*hazard.Set
+	emitted  map[[2]int]string
+	matCount int
+}
+
+func (m *mapper) ensureCells() error {
+	if m.inv == nil {
+		m.inv = m.lib.MinInverter()
+		if m.inv == nil {
+			return fmt.Errorf("library %s has no inverter cell", m.lib.Name)
+		}
+	}
+	if m.bufCell == nil {
+		buf, err := truthtab.FromExpr(bexpr.MustParse("a"))
+		if err != nil {
+			return err
+		}
+		for _, c := range m.lib.Cells {
+			if c.NumPins() == 1 && c.TT.Equal(buf) {
+				if m.bufCell == nil || c.Area < m.bufCell.Area {
+					m.bufCell = c
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// preparedCone is a cone with its covering DP solved, ready to emit.
+type preparedCone struct {
+	cm   *coneMapper
+	root int
+}
+
+// prepareCone builds the cone tree and solves the covering DP. It touches
+// no shared mapper state (statistics are accumulated locally and merged by
+// the caller), so cones can be prepared concurrently.
+func (m *mapper) prepareCone(cone network.Cone) (*preparedCone, error) {
+	cm := &coneMapper{
+		m:        m,
+		cone:     cone,
+		hazCache: make(map[string]*hazard.Set),
+		emitted:  make(map[[2]int]string),
+	}
+	root, err := cm.buildTree(cone.Expr.Root)
+	if err != nil {
+		return nil, err
+	}
+	cm.cuts = make([][]cutEntry, len(cm.nodes))
+	for i := range cm.nodes {
+		cm.nodes[i].cost = [2]cost{infCost, infCost}
+	}
+	if err := cm.dp(root); err != nil {
+		return nil, err
+	}
+	return &preparedCone{cm: cm, root: root}, nil
+}
+
+// prepareCones runs the covering DP over all cones, in parallel when
+// Options.Workers > 1. Results are returned in cone order, so emission —
+// and therefore the final netlist — is identical to a serial run.
+func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
+	workers := m.opts.Workers
+	if workers <= 1 || len(cones) < 2 {
+		out := make([]*preparedCone, len(cones))
+		for i, cone := range cones {
+			pc, err := m.prepareCone(cone)
+			if err != nil {
+				return nil, fmt.Errorf("core: cone %s: %w", cone.Root, err)
+			}
+			out[i] = pc
+		}
+		return out, nil
+	}
+	type job struct{ i int }
+	out := make([]*preparedCone, len(cones))
+	errs := make([]error, len(cones))
+	stats := make([]Stats, len(cones))
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				// Each worker accumulates statistics into its own mapper
+				// shim to avoid data races, merged below.
+				shadow := &mapper{lib: m.lib, opts: m.opts, netlist: m.netlist, inv: m.inv, bufCell: m.bufCell}
+				pc, err := shadow.prepareCone(cones[j.i])
+				if err != nil {
+					errs[j.i] = fmt.Errorf("core: cone %s: %w", cones[j.i].Root, err)
+					continue
+				}
+				pc.cm.m = m // emission uses the real mapper
+				out[j.i] = pc
+				stats[j.i] = shadow.stats
+			}
+		}()
+	}
+	for i := range cones {
+		jobs <- job{i}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, st := range stats {
+		m.stats.ClustersEnumerated += st.ClustersEnumerated
+		m.stats.MatchesFound += st.MatchesFound
+		m.stats.HazardousMatches += st.HazardousMatches
+		m.stats.HazardChecks += st.HazardChecks
+		m.stats.MatchesRejected += st.MatchesRejected
+	}
+	return out, nil
+}
+
+// emitCone realises a prepared cone into the shared netlist.
+func (m *mapper) emitCone(pc *preparedCone) error {
+	return pc.cm.emitRoot(pc.root)
+}
+
+// buildTree flattens the cone expression into an indexed tree, post-order
+// (children before parents).
+func (cm *coneMapper) buildTree(e *bexpr.Expr) (int, error) {
+	switch e.Op {
+	case bexpr.OpVar:
+		cm.nodes = append(cm.nodes, tnode{op: bexpr.OpVar, signal: e.Name})
+		return len(cm.nodes) - 1, nil
+	case bexpr.OpConst:
+		return -1, fmt.Errorf("constant nodes are not supported by the mapper")
+	case bexpr.OpNot, bexpr.OpAnd, bexpr.OpOr:
+		kids := make([]int, len(e.Kids))
+		for i, k := range e.Kids {
+			id, err := cm.buildTree(k)
+			if err != nil {
+				return -1, err
+			}
+			kids[i] = id
+		}
+		cm.nodes = append(cm.nodes, tnode{op: e.Op, kids: kids})
+		return len(cm.nodes) - 1, nil
+	}
+	return -1, fmt.Errorf("bad expression op %d", e.Op)
+}
+
+// signalOf returns a stable per-node signal identity used to count the
+// distinct inputs of a cluster: cone leaves share their signal name,
+// internal nodes are their own signal.
+func (cm *coneMapper) signalOf(id int) string {
+	n := &cm.nodes[id]
+	if n.op == bexpr.OpVar {
+		return n.signal
+	}
+	return fmt.Sprintf("\x00n%d", id)
+}
+
+// maxCutsPerNode caps cut enumeration to keep pathological cones bounded.
+const maxCutsPerNode = 1500
+
+// enumCuts returns the cluster cuts available below node id (memoised).
+func (cm *coneMapper) enumCuts(id int) []cutEntry {
+	if cm.cuts[id] != nil {
+		return cm.cuts[id]
+	}
+	n := &cm.nodes[id]
+	var out []cutEntry
+	if n.op == bexpr.OpVar {
+		cm.cuts[id] = []cutEntry{}
+		return cm.cuts[id]
+	}
+	// Each child contributes either itself as a cut point or one of its own
+	// cuts; combine across children.
+	depthAdd := 1
+	if n.op == bexpr.OpNot {
+		depthAdd = 0 // complements fold into gates; the paper's depth counts gate levels
+	}
+	combos := []cutEntry{{nodes: nil, depth: 0}}
+	for _, kid := range n.kids {
+		var kidOpts []cutEntry
+		kidOpts = append(kidOpts, cutEntry{nodes: []int{kid}, depth: 0})
+		for _, e := range cm.enumCuts(kid) {
+			kidOpts = append(kidOpts, e)
+		}
+		var next []cutEntry
+		for _, base := range combos {
+			for _, opt := range kidOpts {
+				merged := mergeCut(base.nodes, opt.nodes)
+				d := base.depth
+				if opt.depth > d {
+					d = opt.depth
+				}
+				next = append(next, cutEntry{nodes: merged, depth: d})
+				if len(next) > 4*maxCutsPerNode {
+					break
+				}
+			}
+		}
+		combos = next
+	}
+	for _, c := range combos {
+		depth := c.depth + depthAdd
+		if depth > cm.m.opts.MaxDepth {
+			continue
+		}
+		if cm.distinctSignals(c.nodes) > cm.m.opts.MaxLeaves {
+			continue
+		}
+		out = append(out, cutEntry{nodes: c.nodes, depth: depth})
+		if len(out) >= maxCutsPerNode {
+			break
+		}
+	}
+	cm.cuts[id] = out
+	return out
+}
+
+func mergeCut(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Ints(out)
+	dst := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func (cm *coneMapper) distinctSignals(nodes []int) int {
+	seen := map[string]bool{}
+	for _, id := range nodes {
+		seen[cm.signalOf(id)] = true
+	}
+	return len(seen)
+}
+
+// clusterFunction builds the cluster's BFF over its distinct input signals
+// and the mapping from variable index to providing tree node.
+func (cm *coneMapper) clusterFunction(root int, cut []int) (*bexpr.Function, []int, error) {
+	inCut := make(map[int]bool, len(cut))
+	for _, id := range cut {
+		inCut[id] = true
+	}
+	varName := make(map[string]string) // signal identity -> variable name
+	varNodes := []int{}
+	var names []string
+	var build func(id int) *bexpr.Expr
+	build = func(id int) *bexpr.Expr {
+		if inCut[id] {
+			sig := cm.signalOf(id)
+			name, ok := varName[sig]
+			if !ok {
+				name = fmt.Sprintf("v%d", len(names))
+				varName[sig] = name
+				names = append(names, name)
+				varNodes = append(varNodes, id)
+			}
+			return bexpr.Var(name)
+		}
+		n := &cm.nodes[id]
+		switch n.op {
+		case bexpr.OpVar:
+			// A cone leaf not in the cut cannot happen: leaves are always
+			// cut points.
+			panic("core: leaf outside cut")
+		case bexpr.OpNot:
+			return bexpr.Not(build(n.kids[0]))
+		case bexpr.OpAnd:
+			kids := make([]*bexpr.Expr, len(n.kids))
+			for i, k := range n.kids {
+				kids[i] = build(k)
+			}
+			return bexpr.And(kids...)
+		default:
+			kids := make([]*bexpr.Expr, len(n.kids))
+			for i, k := range n.kids {
+				kids[i] = build(k)
+			}
+			return bexpr.Or(kids...)
+		}
+	}
+	expr := build(root)
+	fn, err := bexpr.NewWithVars(expr, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fn, varNodes, nil
+}
+
+// dp computes the two-phase covering costs bottom-up.
+func (cm *coneMapper) dp(root int) error {
+	for id := range cm.nodes {
+		n := &cm.nodes[id]
+		if n.op == bexpr.OpVar {
+			// Cone leaves exist for free; their complements cost an
+			// inverter. Leaf arrival times are taken as zero: cones are
+			// mapped in topological order, so a uniform offset per leaf
+			// does not change the choice of cover.
+			n.cost[phasePos] = cost{}
+			n.cost[phaseNeg] = cost{area: cm.m.inv.Area, delay: cm.m.inv.Delay}
+			continue
+		}
+		if err := cm.dpNode(id); err != nil {
+			return err
+		}
+	}
+	_ = root
+	return nil
+}
+
+func (cm *coneMapper) dpNode(id int) error {
+	n := &cm.nodes[id]
+	for _, cut := range cm.enumCuts(id) {
+		cm.m.stats.ClustersEnumerated++
+		fn, varNodes, err := cm.clusterFunction(id, cut.nodes)
+		if err != nil {
+			return err
+		}
+		nvars := fn.NumVars()
+		if nvars > truthtab.MaxVars {
+			continue
+		}
+		ttPos, err := truthtab.FromExpr(fn)
+		if err != nil {
+			continue
+		}
+		for phase := 0; phase < 2; phase++ {
+			target := ttPos
+			if phase == phaseNeg {
+				target = ttPos.Not()
+			}
+			for _, cell := range cm.m.lib.CellsWithPins(nvars) {
+				cm.tryCell(id, phase, fn, target, cell, varNodes)
+			}
+		}
+	}
+	// Phase relaxation: realise one phase as the inverse of the other.
+	for phase := 0; phase < 2; phase++ {
+		other := 1 - phase
+		c := cost{area: n.cost[other].area + cm.m.inv.Area, delay: n.cost[other].delay + cm.m.inv.Delay}
+		if c.better(n.cost[phase], cm.m.opts.Objective) {
+			n.cost[phase] = c
+			n.choice[phase] = &choice{fromOtherPhase: true}
+		}
+	}
+	if n.cost[phasePos].area >= inf && n.cost[phaseNeg].area >= inf {
+		return fmt.Errorf("no match found for gate node %d (library %s may lack base gates)", id, cm.m.lib.Name)
+	}
+	return nil
+}
+
+// tryCell attempts to match one cell against a cluster target and updates
+// the DP cost for (id, phase).
+func (cm *coneMapper) tryCell(id, phase int, fn *bexpr.Function, target truthtab.TT, cell *library.Cell, varNodes []int) {
+	n := &cm.nodes[id]
+	tried := 0
+	// Output inversion is handled by the dual-phase DP (cost[x][neg] plus
+	// phase relaxation), so only direct-output bindings are usable here: a
+	// binding with InvOut realises the *complement* of the target.
+	match.Find(target, cell.TT, false, func(b hazard.Binding) bool {
+		tried++
+		cm.m.stats.MatchesFound++
+		if cm.m.opts.Mode == Async && cell.Hazardous() {
+			cm.m.stats.HazardousMatches++
+			if !cm.hazardSubsetOK(fn, phase, cell, b) {
+				cm.m.stats.MatchesRejected++
+				return tried < cm.m.opts.MaxBindings
+			}
+		}
+		// Cost: cell area plus the cost of each cluster input in the phase
+		// the binding demands; arrival = worst input arrival + cell delay.
+		c := cost{area: cell.Area, delay: 0}
+		demand := make([]int, len(varNodes))
+		for pin, v := range b.Perm {
+			if b.InvIn&(1<<uint(pin)) != 0 {
+				demand[v] = phaseNeg
+			}
+		}
+		for v, nodeID := range varNodes {
+			in := cm.nodes[nodeID].cost[demand[v]]
+			c.area += in.area
+			if in.delay > c.delay {
+				c.delay = in.delay
+			}
+		}
+		c.delay += cell.Delay
+		if c.better(n.cost[phase], cm.m.opts.Objective) {
+			n.cost[phase] = c
+			n.choice[phase] = &choice{
+				cell:    cell,
+				binding: b,
+				varNode: append([]int(nil), varNodes...),
+			}
+		}
+		// Keep exploring bindings only while hazard rejections might matter
+		// or a cheaper input-phase assignment could exist.
+		return tried < cm.m.opts.MaxBindings
+	})
+}
+
+// hazardSubsetOK implements the paper's asyncmatchingroutine acceptance
+// test: the hazards of the (hazardous) library element, translated through
+// the pin binding, must be a subset of the hazards of the subnetwork being
+// replaced. Conservative failures (analysis bounds exceeded) reject the
+// match — safety over optimality.
+func (cm *coneMapper) hazardSubsetOK(fn *bexpr.Function, phase int, cell *library.Cell, b hazard.Binding) bool {
+	cm.m.stats.HazardChecks++
+	cellSet := cell.Hazards
+	if cellSet == nil {
+		return false // cell too wide for exact analysis: conservatively reject
+	}
+	key := fmt.Sprintf("%d|%s", phase, fn.Root.String())
+	clusterSet, ok := cm.hazCache[key]
+	if !ok {
+		expr := fn.Root
+		if phase == phaseNeg {
+			expr = bexpr.Not(fn.Root.Clone())
+		}
+		cfn, err := bexpr.NewWithVars(expr, fn.Vars)
+		if err != nil {
+			cm.hazCache[key] = nil
+			return false
+		}
+		set, err := hazard.Analyze(cfn)
+		if err != nil {
+			set = nil
+		}
+		cm.hazCache[key] = set
+		clusterSet = set
+	}
+	if clusterSet == nil {
+		return false
+	}
+	translated := cellSet.Translate(b, fn.NumVars())
+	// Hazard don't-cares: bursts wider than MaxBurst never occur, so the
+	// cell's hazards on those transitions are harmless.
+	translated = translated.FilterMaxBurst(cm.m.opts.MaxBurst)
+	return translated.SubsetOf(clusterSet)
+}
+
+// emitRoot realises the cone root in positive phase under its final name.
+func (cm *coneMapper) emitRoot(root int) error {
+	n := &cm.nodes[root]
+	if n.op == bexpr.OpVar {
+		// Alias cone (buffer): drive the root name from the leaf signal.
+		if cm.m.bufCell == nil {
+			return fmt.Errorf("library %s has no buffer cell for alias cone %s", cm.m.lib.Name, cm.cone.Root)
+		}
+		_, err := cm.m.netlist.AddGate(cm.m.bufCell, []string{n.signal}, cm.cone.Root)
+		return err
+	}
+	sig, err := cm.emit(root, phasePos, cm.cone.Root)
+	if err != nil {
+		return err
+	}
+	if sig != cm.cone.Root {
+		return fmt.Errorf("internal: root emitted as %q, want %q", sig, cm.cone.Root)
+	}
+	return nil
+}
+
+// emit realises node id in the given phase and returns the carrying signal
+// name. When outName is non-empty the final gate is forced to drive that
+// signal.
+func (cm *coneMapper) emit(id, phase int, outName string) (string, error) {
+	if outName == "" {
+		if sig, ok := cm.emitted[[2]int{id, phase}]; ok {
+			return sig, nil
+		}
+	}
+	n := &cm.nodes[id]
+	if n.op == bexpr.OpVar {
+		if phase == phasePos {
+			return n.signal, nil
+		}
+		return cm.m.invertSignal(n.signal)
+	}
+	ch := n.choice[phase]
+	if ch == nil {
+		return "", fmt.Errorf("internal: no choice for node %d phase %d", id, phase)
+	}
+	var sig string
+	if ch.fromOtherPhase {
+		inner, err := cm.emit(id, 1-phase, "")
+		if err != nil {
+			return "", err
+		}
+		if outName == "" {
+			return cm.m.invertSignal(inner)
+		}
+		if _, err := cm.m.netlist.AddGate(cm.m.inv, []string{inner}, outName); err != nil {
+			return "", err
+		}
+		sig = outName
+	} else {
+		// Realise each cluster input in the demanded phase, then the cell.
+		pins := make([]string, len(ch.binding.Perm))
+		for pin, v := range ch.binding.Perm {
+			ph := phasePos
+			if ch.binding.InvIn&(1<<uint(pin)) != 0 {
+				ph = phaseNeg
+			}
+			s, err := cm.emit(ch.varNode[v], ph, "")
+			if err != nil {
+				return "", err
+			}
+			pins[pin] = s
+		}
+		sig = outName
+		if sig == "" {
+			cm.matCount++
+			sig = fmt.Sprintf("%s_m%d", sanitize(cm.cone.Root), cm.matCount)
+		}
+		if _, err := cm.m.netlist.AddGate(ch.cell, pins, sig); err != nil {
+			return "", err
+		}
+	}
+	if outName == "" {
+		cm.emitted[[2]int{id, phase}] = sig
+	}
+	return sig, nil
+}
+
+// invertSignal returns (creating on demand) the inverter-driven complement
+// of a signal. Inverters are shared across cones; generated names avoid
+// collisions with pre-existing signals.
+func (m *mapper) invertSignal(sig string) (string, error) {
+	if m.invSignals == nil {
+		m.invSignals = make(map[string]string)
+	}
+	if name, ok := m.invSignals[sig]; ok {
+		return name, nil
+	}
+	name := negName(sig)
+	for i := 2; m.netlist.Driven(name); i++ {
+		name = fmt.Sprintf("%s%d", negName(sig), i)
+	}
+	if _, err := m.netlist.AddGate(m.inv, []string{sig}, name); err != nil {
+		return "", err
+	}
+	m.invSignals[sig] = name
+	return name, nil
+}

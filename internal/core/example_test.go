@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"fmt"
+
+	"gfmap/internal/core"
+	"gfmap/internal/eqn"
+	"gfmap/internal/library"
+)
+
+// ExampleAsyncTmap maps the paper's Figure 3 function with the
+// asynchronous mapper and verifies that no hazard was introduced.
+func ExampleAsyncTmap() {
+	net, _ := eqn.ParseString(`
+INPUT(a, b, c)
+OUTPUT(f)
+f = a*b + a'*c + b*c;
+`, "fig3")
+	lib, _ := library.Get("LSI9K")
+	res, _ := core.AsyncTmap(net, lib, core.Options{})
+	rep, _ := core.VerifyHazardSafety(net, res.Netlist)
+	fmt.Printf("gates=%d rejected=%d clean=%v\n",
+		res.Netlist.GateCount(), res.Stats.MatchesRejected, rep.Clean())
+	// Output: gates=3 rejected=36 clean=true
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/library"
+	"gfmap/internal/network"
+)
+
+// Gate is one library-cell instance in a mapped netlist.
+type Gate struct {
+	Cell *library.Cell
+	// Pins lists the signal driving each cell input, in the order of the
+	// cell's pin list (Cell.Fn.Vars).
+	Pins []string
+	// Out is the signal the gate drives.
+	Out string
+}
+
+// Netlist is a technology-mapped circuit: library-cell instances wired by
+// named signals.
+type Netlist struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	Gates   []*Gate
+
+	produced map[string]*Gate
+	inputSet map[string]bool
+}
+
+// NewNetlist creates an empty netlist with the given interface.
+func NewNetlist(name string, inputs, outputs []string) *Netlist {
+	nl := &Netlist{
+		Name:     name,
+		Inputs:   append([]string(nil), inputs...),
+		Outputs:  append([]string(nil), outputs...),
+		produced: make(map[string]*Gate),
+		inputSet: make(map[string]bool),
+	}
+	for _, in := range inputs {
+		nl.inputSet[in] = true
+	}
+	return nl
+}
+
+// Driven reports whether the signal is a primary input or gate output.
+func (nl *Netlist) Driven(sig string) bool {
+	return nl.inputSet[sig] || nl.produced[sig] != nil
+}
+
+// Driver returns the gate producing a signal, or nil.
+func (nl *Netlist) Driver(sig string) *Gate { return nl.produced[sig] }
+
+// AddGate instantiates a cell. The output signal must be fresh.
+func (nl *Netlist) AddGate(cell *library.Cell, pins []string, out string) (*Gate, error) {
+	if len(pins) != cell.NumPins() {
+		return nil, fmt.Errorf("netlist: cell %s wants %d pins, got %d", cell.Name, cell.NumPins(), len(pins))
+	}
+	if nl.Driven(out) {
+		return nil, fmt.Errorf("netlist: signal %q already driven", out)
+	}
+	g := &Gate{Cell: cell, Pins: append([]string(nil), pins...), Out: out}
+	nl.Gates = append(nl.Gates, g)
+	nl.produced[out] = g
+	return g, nil
+}
+
+// Area sums the cell areas.
+func (nl *Netlist) Area() float64 {
+	var a float64
+	for _, g := range nl.Gates {
+		a += g.Cell.Area
+	}
+	return a
+}
+
+// GateCount returns the number of cell instances.
+func (nl *Netlist) GateCount() int { return len(nl.Gates) }
+
+// CellHistogram counts instances per cell name, sorted by name.
+func (nl *Netlist) CellHistogram() []struct {
+	Cell  string
+	Count int
+} {
+	m := map[string]int{}
+	for _, g := range nl.Gates {
+		m[g.Cell.Name]++
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]struct {
+		Cell  string
+		Count int
+	}, len(names))
+	for i, n := range names {
+		out[i] = struct {
+			Cell  string
+			Count int
+		}{n, m[n]}
+	}
+	return out
+}
+
+// Validate checks that every pin is driven and every output produced.
+func (nl *Netlist) Validate() error {
+	for _, g := range nl.Gates {
+		for _, p := range g.Pins {
+			if !nl.Driven(p) {
+				return fmt.Errorf("netlist: gate %s output %s reads undriven signal %q", g.Cell.Name, g.Out, p)
+			}
+		}
+	}
+	for _, o := range nl.Outputs {
+		if !nl.Driven(o) {
+			return fmt.Errorf("netlist: output %q undriven", o)
+		}
+	}
+	return nil
+}
+
+// topoGates returns the gates in topological order.
+func (nl *Netlist) topoGates() ([]*Gate, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make(map[*Gate]int, len(nl.Gates))
+	out := make([]*Gate, 0, len(nl.Gates))
+	var visit func(g *Gate) error
+	visit = func(g *Gate) error {
+		switch state[g] {
+		case gray:
+			return fmt.Errorf("netlist: combinational cycle at %s", g.Out)
+		case black:
+			return nil
+		}
+		state[g] = gray
+		for _, p := range g.Pins {
+			if d := nl.produced[p]; d != nil {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[g] = black
+		out = append(out, g)
+		return nil
+	}
+	for _, g := range nl.Gates {
+		if err := visit(g); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Delay returns the worst-case input-to-output propagation delay under the
+// per-cell delay model (sum of cell delays along the longest path).
+func (nl *Netlist) Delay() (float64, error) {
+	order, err := nl.topoGates()
+	if err != nil {
+		return 0, err
+	}
+	arrival := make(map[string]float64, len(order))
+	for _, g := range order {
+		worst := 0.0
+		for _, p := range g.Pins {
+			if t := arrival[p]; t > worst {
+				worst = t
+			}
+		}
+		arrival[g.Out] = worst + g.Cell.Delay
+	}
+	var d float64
+	for _, o := range nl.Outputs {
+		if arrival[o] > d {
+			d = arrival[o]
+		}
+	}
+	return d, nil
+}
+
+// ToNetwork expands the netlist back into a logic network (each gate
+// becomes a node computing its cell's BFF over the connected signals), for
+// equivalence and hazard verification.
+func (nl *Netlist) ToNetwork() (*network.Network, error) {
+	net := network.New(nl.Name + "_mapped")
+	for _, in := range nl.Inputs {
+		if err := net.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+	order, err := nl.topoGates()
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range order {
+		sub := make(map[string]string, len(g.Pins))
+		for i, pinVar := range g.Cell.Fn.Vars {
+			sub[pinVar] = g.Pins[i]
+		}
+		expr := substituteVars(g.Cell.Fn.Root, sub)
+		if err := net.AddNode(g.Out, expr); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range nl.Outputs {
+		if err := net.MarkOutput(o); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+func substituteVars(e *bexpr.Expr, sub map[string]string) *bexpr.Expr {
+	switch e.Op {
+	case bexpr.OpConst:
+		return bexpr.Const(e.Val)
+	case bexpr.OpVar:
+		return bexpr.Var(sub[e.Name])
+	case bexpr.OpNot:
+		return bexpr.Not(substituteVars(e.Kids[0], sub))
+	default:
+		kids := make([]*bexpr.Expr, len(e.Kids))
+		for i, k := range e.Kids {
+			kids[i] = substituteVars(k, sub)
+		}
+		if e.Op == bexpr.OpAnd {
+			return bexpr.And(kids...)
+		}
+		return bexpr.Or(kids...)
+	}
+}
+
+// String renders the netlist as a readable instance list.
+func (nl *Netlist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# netlist %s: %d gates, area %g\n", nl.Name, len(nl.Gates), nl.Area())
+	fmt.Fprintf(&b, "INPUT(%s)\nOUTPUT(%s)\n", strings.Join(nl.Inputs, ","), strings.Join(nl.Outputs, ","))
+	for _, g := range nl.Gates {
+		fmt.Fprintf(&b, "%s = %s(%s)\n", g.Out, g.Cell.Name, strings.Join(g.Pins, ","))
+	}
+	return b.String()
+}

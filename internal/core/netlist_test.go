@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gfmap/internal/library"
+)
+
+func tinyLib(t *testing.T) *library.Library {
+	t.Helper()
+	l := library.New("tiny")
+	l.MustAdd("INV", "a'", 0.5)
+	l.MustAdd("AND2", "a*b", 1.0)
+	l.MustAdd("OR2", "a + b", 1.0)
+	if err := l.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNetlistBasics(t *testing.T) {
+	lib := tinyLib(t)
+	nl := NewNetlist("t", []string{"a", "b", "c"}, []string{"f"})
+	if _, err := nl.AddGate(lib.Cell("AND2"), []string{"a", "b"}, "u"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddGate(lib.Cell("OR2"), []string{"u", "c"}, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := nl.Area(); got != 6 { // AND2 = 3, OR2 = 3 (core + output stage)
+		t.Errorf("area = %g, want 6", got)
+	}
+	if got, _ := nl.Delay(); got != 2 {
+		t.Errorf("delay = %g, want 2", got)
+	}
+	if nl.GateCount() != 2 {
+		t.Errorf("gate count = %d", nl.GateCount())
+	}
+	hist := nl.CellHistogram()
+	if len(hist) != 2 || hist[0].Cell != "AND2" || hist[0].Count != 1 {
+		t.Errorf("histogram = %v", hist)
+	}
+	if !strings.Contains(nl.String(), "f = OR2(u,c)") {
+		t.Errorf("rendering: %s", nl)
+	}
+}
+
+func TestNetlistErrors(t *testing.T) {
+	lib := tinyLib(t)
+	nl := NewNetlist("t", []string{"a"}, []string{"f"})
+	if _, err := nl.AddGate(lib.Cell("AND2"), []string{"a"}, "f"); err == nil {
+		t.Error("pin count mismatch should fail")
+	}
+	if _, err := nl.AddGate(lib.Cell("INV"), []string{"a"}, "a"); err == nil {
+		t.Error("driving a primary input should fail")
+	}
+	if _, err := nl.AddGate(lib.Cell("INV"), []string{"a"}, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddGate(lib.Cell("INV"), []string{"a"}, "f"); err == nil {
+		t.Error("double-driving a signal should fail")
+	}
+	// Undriven pin caught by Validate.
+	nl2 := NewNetlist("t2", []string{"a"}, []string{"g"})
+	if _, err := nl2.AddGate(lib.Cell("AND2"), []string{"a", "ghost"}, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl2.Validate(); err == nil {
+		t.Error("undriven pin should fail validation")
+	}
+	// Undriven output.
+	nl3 := NewNetlist("t3", []string{"a"}, []string{"missing"})
+	if err := nl3.Validate(); err == nil {
+		t.Error("undriven output should fail validation")
+	}
+}
+
+func TestNetlistToNetworkRoundTrip(t *testing.T) {
+	lib := tinyLib(t)
+	nl := NewNetlist("t", []string{"a", "b"}, []string{"f"})
+	if _, err := nl.AddGate(lib.Cell("INV"), []string{"a"}, "na"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddGate(lib.Cell("AND2"), []string{"na", "b"}, "f"); err != nil {
+		t.Fatal(err)
+	}
+	net, err := nl.ToNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := net.Eval(map[string]bool{"a": false, "b": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals["f"] {
+		t.Error("f should be a'·b = 1 at a=0,b=1")
+	}
+}
+
+func TestNetlistCycleDetected(t *testing.T) {
+	lib := tinyLib(t)
+	nl := NewNetlist("t", []string{"a"}, []string{"x"})
+	// Build a feedback pair by hand (bypassing the mapper, which cannot
+	// create cycles).
+	if _, err := nl.AddGate(lib.Cell("AND2"), []string{"a", "y"}, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddGate(lib.Cell("INV"), []string{"x"}, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Delay(); err == nil {
+		t.Error("combinational cycle should be reported")
+	}
+}

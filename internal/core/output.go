@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteVerilog renders the netlist as structural Verilog: one module with
+// a gate-level instance per cell. Cell pins are named a, b, c, … in the
+// library's pin order plus the output pin y, so the companion cell models
+// can be generated with WriteVerilogLibrary.
+func (nl *Netlist) WriteVerilog(w io.Writer) error {
+	ports := append([]string{}, nl.Inputs...)
+	ports = append(ports, nl.Outputs...)
+	if _, err := fmt.Fprintf(w, "module %s(%s);\n", vlogID(nl.Name), strings.Join(mapStrings(ports, vlogID), ", ")); err != nil {
+		return err
+	}
+	for _, in := range nl.Inputs {
+		if _, err := fmt.Fprintf(w, "  input %s;\n", vlogID(in)); err != nil {
+			return err
+		}
+	}
+	for _, out := range nl.Outputs {
+		if _, err := fmt.Fprintf(w, "  output %s;\n", vlogID(out)); err != nil {
+			return err
+		}
+	}
+	outSet := make(map[string]bool, len(nl.Outputs))
+	for _, o := range nl.Outputs {
+		outSet[o] = true
+	}
+	inSet := make(map[string]bool, len(nl.Inputs))
+	for _, i := range nl.Inputs {
+		inSet[i] = true
+	}
+	var wires []string
+	for _, g := range nl.Gates {
+		if !outSet[g.Out] && !inSet[g.Out] {
+			wires = append(wires, vlogID(g.Out))
+		}
+	}
+	sort.Strings(wires)
+	if len(wires) > 0 {
+		if _, err := fmt.Fprintf(w, "  wire %s;\n", strings.Join(wires, ", ")); err != nil {
+			return err
+		}
+	}
+	for i, g := range nl.Gates {
+		var conns []string
+		for pin, sig := range g.Pins {
+			conns = append(conns, fmt.Sprintf(".%s(%s)", pinName(pin), vlogID(sig)))
+		}
+		conns = append(conns, fmt.Sprintf(".y(%s)", vlogID(g.Out)))
+		if _, err := fmt.Fprintf(w, "  %s u%d (%s);\n", vlogID(g.Cell.Name), i, strings.Join(conns, ", ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "endmodule")
+	return err
+}
+
+// VerilogString renders the netlist as structural Verilog.
+func (nl *Netlist) VerilogString() (string, error) {
+	var b strings.Builder
+	if err := nl.WriteVerilog(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func pinName(i int) string {
+	return string(rune('a' + i%26))
+}
+
+func mapStrings(xs []string, f func(string) string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}
+
+// vlogID renders a signal name as a safe Verilog identifier.
+func vlogID(s string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+	if safe == "" || (safe[0] >= '0' && safe[0] <= '9') {
+		safe = "s_" + safe
+	}
+	return safe
+}
+
+// PathElement is one gate on a timing path.
+type PathElement struct {
+	Gate    *Gate
+	Arrival float64
+}
+
+// CriticalPath returns the gates along the slowest input-to-output path,
+// leaf-most first, together with their arrival times.
+func (nl *Netlist) CriticalPath() ([]PathElement, error) {
+	order, err := nl.topoGates()
+	if err != nil {
+		return nil, err
+	}
+	arrival := make(map[string]float64, len(order))
+	through := make(map[string]*Gate, len(order))
+	for _, g := range order {
+		worst := 0.0
+		for _, p := range g.Pins {
+			if t := arrival[p]; t > worst {
+				worst = t
+			}
+		}
+		arrival[g.Out] = worst + g.Cell.Delay
+		through[g.Out] = g
+	}
+	// Find the slowest output, then walk backwards along worst fanins.
+	var endSig string
+	for _, o := range nl.Outputs {
+		if endSig == "" || arrival[o] > arrival[endSig] {
+			endSig = o
+		}
+	}
+	var rev []PathElement
+	for sig := endSig; through[sig] != nil; {
+		g := through[sig]
+		rev = append(rev, PathElement{Gate: g, Arrival: arrival[sig]})
+		next := ""
+		for _, p := range g.Pins {
+			if next == "" || arrival[p] > arrival[next] {
+				next = p
+			}
+		}
+		if arrival[next] == 0 && through[next] == nil {
+			break
+		}
+		sig = next
+	}
+	// Reverse to leaf-most-first order.
+	out := make([]PathElement, len(rev))
+	for i, e := range rev {
+		out[len(rev)-1-i] = e
+	}
+	return out, nil
+}
+
+// FormatCriticalPath renders the critical path as a readable report.
+func (nl *Netlist) FormatCriticalPath() (string, error) {
+	path, err := nl.CriticalPath()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("critical path:\n")
+	for _, e := range path {
+		fmt.Fprintf(&b, "  %8.2fns  %-10s -> %s\n", e.Arrival, e.Gate.Cell.Name, e.Gate.Out)
+	}
+	return b.String(), nil
+}

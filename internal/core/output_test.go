@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gfmap/internal/library"
+)
+
+func TestWriteVerilog(t *testing.T) {
+	src := `
+INPUT(a, b, c)
+OUTPUT(f)
+f = a*b + a'*c + b*c;
+`
+	res := mapNet(t, parseNet(t, src, "vl"), "LSI9K", Async)
+	text, err := res.Netlist.VerilogString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"module vl(", "input a;", "output f;", "endmodule", ".y(f)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("verilog missing %q:\n%s", want, text)
+		}
+	}
+	// Every gate instance appears.
+	if got := strings.Count(text, " u"); got < res.Netlist.GateCount() {
+		t.Errorf("expected %d instances, found markers for %d:\n%s", res.Netlist.GateCount(), got, text)
+	}
+}
+
+func TestVlogIDSanitisation(t *testing.T) {
+	tests := map[string]string{
+		"a":     "a",
+		"a-b":   "a_b",
+		"3x":    "s_3x",
+		"":      "s_",
+		"f$bar": "f_bar",
+	}
+	for in, want := range tests {
+		if got := vlogID(in); got != want {
+			t.Errorf("vlogID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	src := `
+INPUT(a, b, c, d, e, f, g, h)
+OUTPUT(y)
+y = ((((((a*b)' + c)*d)' + e)*f + g)*h)';
+`
+	res := mapNet(t, parseNet(t, src, "cp"), "GDT", Async)
+	path, err := res.Netlist.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) == 0 {
+		t.Fatal("empty critical path")
+	}
+	// The path's final arrival equals the reported delay, and arrivals are
+	// non-decreasing.
+	last := path[len(path)-1]
+	if last.Arrival != res.Delay {
+		t.Errorf("path end arrival %.3f != netlist delay %.3f", last.Arrival, res.Delay)
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].Arrival < path[i-1].Arrival {
+			t.Errorf("arrivals not monotone: %v", path)
+		}
+	}
+	report, err := res.Netlist.FormatCriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "critical path") {
+		t.Errorf("report: %s", report)
+	}
+	_ = library.BuiltinNames
+}

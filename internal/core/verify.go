@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"gfmap/internal/bdd"
+	"gfmap/internal/bexpr"
+	"gfmap/internal/hazard"
+	"gfmap/internal/network"
+)
+
+// VerifyEquivalence checks that the mapped netlist computes the same
+// outputs as the original network. Small networks (≤ 16 inputs) are
+// compared exhaustively; larger ones by canonical BDD identity, as the
+// original BDD-based CERES did — so verification scales to the full
+// benchmark suite.
+func VerifyEquivalence(orig *network.Network, nl *Netlist) error {
+	mapped, err := nl.ToNetwork()
+	if err != nil {
+		return err
+	}
+	var eq bool
+	if len(orig.Inputs) <= 16 {
+		eq, err = network.Equivalent(orig, mapped)
+	} else {
+		eq, err = bdd.NetworksEquivalent(orig, mapped)
+	}
+	if err != nil {
+		return err
+	}
+	if !eq {
+		return fmt.Errorf("core: mapped netlist is not functionally equivalent to %s", orig.Name)
+	}
+	return nil
+}
+
+// SafetyReport summarises the hazard-safety verification of a mapping.
+type SafetyReport struct {
+	ConesChecked int
+	ConesSkipped int // cones too wide for exact analysis
+	NewHazards   int // hazardous transitions introduced by mapping
+	Details      []string
+}
+
+// VerifyHazardSafety checks the paper's central claim (Theorem 3.2)
+// empirically on a finished mapping: for every cone of the decomposed
+// original network, the hazard set of the mapped implementation of that
+// cone — flattened over the same cone boundary — must be a subset of the
+// hazard set of the original cone structure. Cones whose support exceeds
+// the exact-analysis bound are skipped and counted.
+func VerifyHazardSafety(orig *network.Network, nl *Netlist) (*SafetyReport, error) {
+	decomposed, err := network.AsyncTechDecomp(orig)
+	if err != nil {
+		return nil, err
+	}
+	cones, err := network.Partition(decomposed)
+	if err != nil {
+		return nil, err
+	}
+	mapped, err := nl.ToNetwork()
+	if err != nil {
+		return nil, err
+	}
+	rep := &SafetyReport{}
+	for _, cone := range cones {
+		boundary := make(map[string]bool, len(cone.Leaves))
+		for _, l := range cone.Leaves {
+			boundary[l] = true
+		}
+		if len(cone.Leaves) > hazard.MaxExhaustiveVars {
+			rep.ConesSkipped++
+			continue
+		}
+		origSet, err := hazard.Analyze(cone.Expr)
+		if err != nil {
+			rep.ConesSkipped++
+			continue
+		}
+		mexpr, err := network.ExpandToExpr(mapped, cone.Root, boundary)
+		if err != nil {
+			return nil, fmt.Errorf("core: expanding mapped cone %s: %w", cone.Root, err)
+		}
+		mfn, err := bexpr.NewWithVars(mexpr, cone.Leaves)
+		if err != nil {
+			return nil, fmt.Errorf("core: mapped cone %s: %w", cone.Root, err)
+		}
+		mappedSet, err := hazard.Analyze(mfn)
+		if err != nil {
+			rep.ConesSkipped++
+			continue
+		}
+		rep.ConesChecked++
+		if !mappedSet.SubsetOf(origSet) {
+			rep.NewHazards++
+			rep.Details = append(rep.Details,
+				fmt.Sprintf("cone %s: mapped hazards %v not a subset of original %v",
+					cone.Root, mappedSet, origSet))
+		}
+	}
+	return rep, nil
+}
+
+// Clean reports whether the safety verification found no new hazards.
+func (r *SafetyReport) Clean() bool { return r.NewHazards == 0 }
+
+// String renders a one-line summary.
+func (r *SafetyReport) String() string {
+	return fmt.Sprintf("cones checked %d, skipped %d, new hazards %d",
+		r.ConesChecked, r.ConesSkipped, r.NewHazards)
+}
+
+// VerifyTernarySafety is an independent whole-network oracle based on
+// Eichelberger ternary simulation: for every static transition of every
+// output (over all input pairs; requires ≤ 12 primary inputs), if the
+// mapped netlist may glitch (ternary X) then the original network must
+// also have been able to glitch. It complements VerifyHazardSafety, which
+// works per cone with the exact transition analysis.
+func VerifyTernarySafety(orig *network.Network, nl *Netlist) error {
+	if len(orig.Inputs) > 12 {
+		return fmt.Errorf("core: ternary safety check limited to 12 inputs, got %d", len(orig.Inputs))
+	}
+	mapped, err := nl.ToNetwork()
+	if err != nil {
+		return err
+	}
+	flatten := func(net *network.Network, out string) (*bexpr.Function, error) {
+		expr, err := network.ExpandToExpr(net, out, nil)
+		if err != nil {
+			return nil, err
+		}
+		return bexpr.NewWithVars(expr, orig.Inputs)
+	}
+	for _, out := range orig.Outputs {
+		oFn, err := flatten(orig, out)
+		if err != nil {
+			return err
+		}
+		mFn, err := flatten(mapped, out)
+		if err != nil {
+			return err
+		}
+		n := uint(len(orig.Inputs))
+		for a := uint64(0); a < 1<<n; a++ {
+			for b := a + 1; b < 1<<n; b++ {
+				if oFn.Eval(a) != oFn.Eval(b) {
+					continue // dynamic transition: ternary gives no verdict
+				}
+				if hazard.StaticHazardTernary(mFn, a, b) && !hazard.StaticHazardTernary(oFn, a, b) {
+					return fmt.Errorf("core: output %s: mapped netlist may glitch on static transition %b<->%b where the original cannot", out, a, b)
+				}
+			}
+		}
+	}
+	return nil
+}

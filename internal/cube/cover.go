@@ -1,0 +1,415 @@
+package cube
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Cover is a sum-of-products expression: a set of cubes over N variables.
+// The zero value is the constant-0 function over zero variables.
+type Cover struct {
+	N     int
+	Cubes []Cube
+}
+
+// NewCover returns an empty (constant-0) cover over n variables.
+func NewCover(n int) Cover {
+	if n < 0 || n > MaxVars {
+		panic(fmt.Sprintf("cube: cover over %d variables out of range", n))
+	}
+	return Cover{N: n}
+}
+
+// ParseCover parses a sum of products such as "ab' + cd + e" using the
+// given variable names. "0" denotes the empty cover and "1" the universal
+// one.
+func ParseCover(s string, names []string) (Cover, error) {
+	f := NewCover(len(names))
+	s = strings.TrimSpace(s)
+	if s == "0" || s == "" {
+		return f, nil
+	}
+	for _, term := range strings.Split(s, "+") {
+		c, err := ParseCube(term, names)
+		if err != nil {
+			return Cover{}, err
+		}
+		f.Cubes = append(f.Cubes, c)
+	}
+	return f, nil
+}
+
+// MustParseCover is ParseCover that panics on error.
+func MustParseCover(s string, names []string) Cover {
+	f, err := ParseCover(s, names)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Clone returns a deep copy of the cover.
+func (f Cover) Clone() Cover {
+	out := Cover{N: f.N, Cubes: make([]Cube, len(f.Cubes))}
+	copy(out.Cubes, f.Cubes)
+	return out
+}
+
+// Add appends a cube to the cover.
+func (f *Cover) Add(c Cube) { f.Cubes = append(f.Cubes, c) }
+
+// IsEmpty reports whether the cover has no cubes (the constant-0 function).
+func (f Cover) IsEmpty() bool { return len(f.Cubes) == 0 }
+
+// Eval evaluates the cover at the minterm given by point.
+func (f Cover) Eval(point uint64) bool {
+	for _, c := range f.Cubes {
+		if c.ContainsPoint(point) {
+			return true
+		}
+	}
+	return false
+}
+
+// SingleCubeContains reports whether some single cube of the cover contains
+// cube c. This is the containment test relevant to static hazard analysis:
+// a transition cube must be held by one gate.
+func (f Cover) SingleCubeContains(c Cube) bool {
+	for _, d := range f.Cubes {
+		if d.Contains(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// CofactorLiteral returns the cover cofactored by the literal (v, phase).
+func (f Cover) CofactorLiteral(v int, phase bool) Cover {
+	out := Cover{N: f.N, Cubes: make([]Cube, 0, len(f.Cubes))}
+	for _, c := range f.Cubes {
+		if cc, ok := c.CofactorLiteral(v, phase); ok {
+			out.Cubes = append(out.Cubes, cc)
+		}
+	}
+	return out
+}
+
+// CofactorCube returns the cover cofactored by cube d.
+func (f Cover) CofactorCube(d Cube) Cover {
+	out := Cover{N: f.N, Cubes: make([]Cube, 0, len(f.Cubes))}
+	for _, c := range f.Cubes {
+		if cc, ok := c.CofactorCube(d); ok {
+			out.Cubes = append(out.Cubes, cc)
+		}
+	}
+	return out
+}
+
+// mostBinateVar picks the variable appearing in the most cubes, preferring
+// variables that occur in both phases (binate). It returns -1 when no cube
+// uses any variable.
+func (f Cover) mostBinateVar() int {
+	var pos, neg [MaxVars]int
+	for _, c := range f.Cubes {
+		u := c.Used
+		for u != 0 {
+			v := bits.TrailingZeros64(u)
+			u &^= 1 << uint(v)
+			if c.PhaseOf(v) {
+				pos[v]++
+			} else {
+				neg[v]++
+			}
+		}
+	}
+	best, bestScore, bestBinate := -1, -1, false
+	for v := 0; v < f.N; v++ {
+		if pos[v]+neg[v] == 0 {
+			continue
+		}
+		binate := pos[v] > 0 && neg[v] > 0
+		score := pos[v] + neg[v]
+		switch {
+		case best == -1,
+			binate && !bestBinate,
+			binate == bestBinate && score > bestScore:
+			best, bestScore, bestBinate = v, score, binate
+		}
+	}
+	return best
+}
+
+// isUnate reports whether no variable appears in both phases.
+func (f Cover) isUnate() bool {
+	var pos, neg uint64
+	for _, c := range f.Cubes {
+		pos |= c.Used & c.Phase
+		neg |= c.Used &^ c.Phase
+	}
+	return pos&neg == 0
+}
+
+// Tautology reports whether the cover evaluates to 1 at every point of the
+// n-variable space, using the standard unate-reduction/Shannon recursion.
+func (f Cover) Tautology() bool {
+	for _, c := range f.Cubes {
+		if c.IsUniversal() {
+			return true
+		}
+	}
+	if len(f.Cubes) == 0 {
+		return false
+	}
+	if f.isUnate() {
+		// A unate cover is a tautology iff it contains the universal cube.
+		return false
+	}
+	v := f.mostBinateVar()
+	return f.CofactorLiteral(v, false).Tautology() && f.CofactorLiteral(v, true).Tautology()
+}
+
+// ContainsCube reports whether the function of the cover is 1 everywhere on
+// cube c (functional containment, not single-gate containment).
+func (f Cover) ContainsCube(c Cube) bool {
+	return f.CofactorCube(c).Tautology()
+}
+
+// ContainsCover reports whether f ⊇ g as functions.
+func (f Cover) ContainsCover(g Cover) bool {
+	for _, c := range g.Cubes {
+		if !f.ContainsCube(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentTo reports functional equivalence of two covers over the same
+// variable count.
+func (f Cover) EquivalentTo(g Cover) bool {
+	return f.N == g.N && f.ContainsCover(g) && g.ContainsCover(f)
+}
+
+// Complement returns a cover for the complement of f over its N variables,
+// via Shannon expansion.
+func (f Cover) Complement() Cover {
+	return f.complementRec(Universal)
+}
+
+func (f Cover) complementRec(path Cube) Cover {
+	if len(f.Cubes) == 0 {
+		out := NewCover(f.N)
+		out.Add(path)
+		return out
+	}
+	for _, c := range f.Cubes {
+		if c.IsUniversal() {
+			return NewCover(f.N)
+		}
+	}
+	// Single-cube base case: complement by DeMorgan.
+	if len(f.Cubes) == 1 {
+		out := NewCover(f.N)
+		c := f.Cubes[0]
+		for _, v := range c.Vars() {
+			lit := FromLiteral(v, !c.PhaseOf(v))
+			if p, ok := path.Intersect(lit); ok {
+				out.Add(p)
+			}
+		}
+		return out
+	}
+	v := f.mostBinateVar()
+	out := NewCover(f.N)
+	for _, phase := range []bool{false, true} {
+		p, ok := path.Intersect(FromLiteral(v, phase))
+		if !ok {
+			continue
+		}
+		sub := f.CofactorLiteral(v, phase).complementRec(p)
+		out.Cubes = append(out.Cubes, sub.Cubes...)
+	}
+	return out
+}
+
+// IsPrime reports whether cube c is a prime implicant of f: c ⊆ f and no
+// literal of c can be removed while preserving containment.
+func (f Cover) IsPrime(c Cube) bool {
+	if !f.ContainsCube(c) {
+		return false
+	}
+	for _, v := range c.Vars() {
+		if f.ContainsCube(c.WithoutVar(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpandToPrime greedily removes literals from c (in ascending variable
+// order) while the expanded cube remains contained in f, yielding a prime
+// implicant containing c.
+func (f Cover) ExpandToPrime(c Cube) Cube {
+	for _, v := range c.Vars() {
+		if ex := c.WithoutVar(v); f.ContainsCube(ex) {
+			c = ex
+		}
+	}
+	return c
+}
+
+// Irredundant returns a copy of f with cubes removed that are single-cube
+// contained in another cube of f (purely structural redundancy removal; it
+// never removes consensus-style redundancy needed for hazard freedom).
+func (f Cover) Irredundant() Cover {
+	out := Cover{N: f.N}
+	for i, c := range f.Cubes {
+		contained := false
+		for j, d := range f.Cubes {
+			if i == j {
+				continue
+			}
+			if d.Contains(c) && (!c.Contains(d) || j < i) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// Minterms appends all ON-set minterms of f over its N variables to dst.
+// Intended for small N (testing oracles, truth-table construction).
+func (f Cover) Minterms(dst []uint64) []uint64 {
+	if f.N > 24 {
+		panic("cube: Minterms requires N <= 24")
+	}
+	for p := uint64(0); p < uint64(1)<<uint(f.N); p++ {
+		if f.Eval(p) {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// OnSetSize counts ON-set minterms; intended for small N.
+func (f Cover) OnSetSize() uint64 {
+	var n uint64
+	for p := uint64(0); p < uint64(1)<<uint(f.N); p++ {
+		if f.Eval(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// AllPrimes returns every prime implicant of f, computed by iterated
+// consensus plus absorption. Intended for the modest function sizes seen in
+// library cells and mapped clusters.
+func (f Cover) AllPrimes() []Cube {
+	// Start from the cubes of f expanded to primes, then close under
+	// consensus with absorption.
+	var primes []Cube
+	add := func(c Cube) bool {
+		for _, p := range primes {
+			if p.Contains(c) {
+				return false
+			}
+		}
+		// Remove primes absorbed by c.
+		out := primes[:0]
+		for _, p := range primes {
+			if !c.Contains(p) {
+				out = append(out, p)
+			}
+		}
+		primes = append(out, c)
+		return true
+	}
+	for _, c := range f.Cubes {
+		add(f.ExpandToPrime(c))
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(primes); i++ {
+			for j := i + 1; j < len(primes); j++ {
+				cons, ok := Consensus(primes[i], primes[j])
+				if !ok {
+					continue
+				}
+				cons = f.ExpandToPrime(cons)
+				if add(cons) {
+					changed = true
+				}
+			}
+		}
+	}
+	primes = append([]Cube(nil), primes...)
+	SortCubes(primes)
+	return primes
+}
+
+// String renders the cover as a sum of products with x<i> variable names;
+// the empty cover prints as "0".
+func (f Cover) String() string { return f.StringVars(nil) }
+
+// StringVars renders the cover using the given variable names.
+func (f Cover) StringVars(names []string) string {
+	if len(f.Cubes) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(f.Cubes))
+	for i, c := range f.Cubes {
+		parts[i] = c.StringVars(names)
+	}
+	return strings.Join(parts, " + ")
+}
+
+// And returns the product of two covers over the same variable count:
+// the pairwise intersections of their cubes, deduplicated.
+func And(a, b Cover) Cover {
+	if a.N != b.N {
+		panic("cube: And over mismatched variable counts")
+	}
+	out := NewCover(a.N)
+	for _, c := range a.Cubes {
+		for _, d := range b.Cubes {
+			if ic, ok := c.Intersect(d); ok {
+				out.Add(ic)
+			}
+		}
+	}
+	out.Cubes = DedupCubes(out.Cubes)
+	return out
+}
+
+// Or returns the sum of two covers over the same variable count.
+func Or(a, b Cover) Cover {
+	if a.N != b.N {
+		panic("cube: Or over mismatched variable counts")
+	}
+	out := NewCover(a.N)
+	out.Cubes = append(out.Cubes, a.Cubes...)
+	out.Cubes = append(out.Cubes, b.Cubes...)
+	out.Cubes = DedupCubes(append([]Cube(nil), out.Cubes...))
+	return out
+}
+
+// SupercubeOfCover returns the smallest single cube containing every cube
+// of the cover (the componentwise supercube). The empty cover yields the
+// empty... there is no empty cube, so ok is false for an empty cover.
+func SupercubeOfCover(f Cover) (Cube, bool) {
+	if len(f.Cubes) == 0 {
+		return Cube{}, false
+	}
+	out := f.Cubes[0]
+	for _, c := range f.Cubes[1:] {
+		out = Supercube(out, c)
+	}
+	return out, true
+}

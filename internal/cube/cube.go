@@ -1,0 +1,358 @@
+// Package cube implements the two-bit-vector cube representation used by the
+// hazard-analysis algorithms of Siegel/De Micheli/Dill (DAC'93, §4.1.1).
+//
+// A cube (product term, implicant) over at most 64 Boolean variables is a
+// pair of bit vectors:
+//
+//   - USED: bit i is set iff variable i appears in the cube;
+//   - PHASE: for a used variable i, bit i is set iff the variable appears
+//     uncomplemented.
+//
+// The package also provides covers (sum-of-products expressions) together
+// with the Boolean operations the mapper and the hazard analyser need:
+// containment, intersection, consensus/adjacency generation via the
+// CONFLICTS vector, supercubes (transition spaces), cofactors, tautology,
+// complementation, prime expansion and irredundancy.
+package cube
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxVars is the largest number of variables a cube or cover may range over.
+// The limit comes from packing USED and PHASE into single machine words,
+// exactly as the paper's implementation does.
+const MaxVars = 64
+
+// Cube is a product of literals represented by USED/PHASE bit vectors.
+// The zero value is the universal cube (the constant-1 product of no
+// literals).
+//
+// Invariant: Phase&^Used == 0. All constructors and operations in this
+// package maintain it; Normalize restores it for hand-built values.
+type Cube struct {
+	Used  uint64
+	Phase uint64
+}
+
+// Universal is the empty product, which evaluates to 1 everywhere.
+var Universal = Cube{}
+
+// Normalize clears phase bits of unused variables, restoring the package
+// invariant for hand-constructed cubes.
+func (c Cube) Normalize() Cube {
+	c.Phase &= c.Used
+	return c
+}
+
+// FromLiteral returns the single-literal cube for variable v, uncomplemented
+// if phase is true.
+func FromLiteral(v int, phase bool) Cube {
+	if v < 0 || v >= MaxVars {
+		panic(fmt.Sprintf("cube: variable index %d out of range", v))
+	}
+	c := Cube{Used: 1 << uint(v)}
+	if phase {
+		c.Phase = c.Used
+	}
+	return c
+}
+
+// Minterm builds the full minterm cube over n variables whose variable
+// values are given by the low n bits of point.
+func Minterm(n int, point uint64) Cube {
+	mask := VarMask(n)
+	return Cube{Used: mask, Phase: point & mask}
+}
+
+// VarMask returns a mask with the low n bits set.
+func VarMask(n int) uint64 {
+	if n < 0 || n > MaxVars {
+		panic(fmt.Sprintf("cube: variable count %d out of range", n))
+	}
+	if n == MaxVars {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// NumLiterals reports how many literals the cube contains.
+func (c Cube) NumLiterals() int { return bits.OnesCount64(c.Used) }
+
+// IsUniversal reports whether the cube is the constant-1 product.
+func (c Cube) IsUniversal() bool { return c.Used == 0 }
+
+// HasVar reports whether variable v appears in the cube.
+func (c Cube) HasVar(v int) bool { return c.Used&(1<<uint(v)) != 0 }
+
+// PhaseOf reports the phase of variable v in the cube; it must be used.
+func (c Cube) PhaseOf(v int) bool { return c.Phase&(1<<uint(v)) != 0 }
+
+// WithLiteral returns c with the literal (v, phase) added. Adding a literal
+// conflicting with an existing one yields an empty product; ok is false in
+// that case.
+func (c Cube) WithLiteral(v int, phase bool) (Cube, bool) {
+	l := FromLiteral(v, phase)
+	return c.Intersect(l)
+}
+
+// WithoutVar returns c with variable v removed (the cube is expanded in
+// that dimension).
+func (c Cube) WithoutVar(v int) Cube {
+	m := ^(uint64(1) << uint(v))
+	return Cube{Used: c.Used & m, Phase: c.Phase & m}
+}
+
+// Contains reports whether d is contained in c (every point of d is a point
+// of c). The universal cube contains everything.
+func (c Cube) Contains(d Cube) bool {
+	return c.Used&d.Used == c.Used && (c.Phase^d.Phase)&c.Used == 0
+}
+
+// ContainsPoint reports whether the minterm given by point (one bit per
+// variable) lies inside the cube.
+func (c Cube) ContainsPoint(point uint64) bool {
+	return (point^c.Phase)&c.Used == 0
+}
+
+// Intersect returns the intersection of two cubes. ok is false when the
+// cubes conflict in some variable's phase, i.e. the intersection is empty.
+func (c Cube) Intersect(d Cube) (Cube, bool) {
+	if (c.Phase^d.Phase)&(c.Used&d.Used) != 0 {
+		return Cube{}, false
+	}
+	return Cube{Used: c.Used | d.Used, Phase: c.Phase | d.Phase}, true
+}
+
+// Intersects reports whether the two cubes share at least one point.
+func (c Cube) Intersects(d Cube) bool {
+	_, ok := c.Intersect(d)
+	return ok
+}
+
+// Conflicts computes the CONFLICTS bit vector of the paper (§4.1.1,
+// Figure 5): variables that appear in both cubes with opposite phases.
+//
+//	CONFLICTS = (CUBE1.USED & CUBE2.USED) & (CUBE1.PHASE ^ CUBE2.PHASE)
+func Conflicts(c, d Cube) uint64 {
+	return (c.Used & d.Used) & (c.Phase ^ d.Phase)
+}
+
+// DistanceOne reports whether the two cubes are adjacent, i.e. exactly one
+// variable appears in both with opposite phases.
+func DistanceOne(c, d Cube) bool {
+	k := Conflicts(c, d)
+	return k != 0 && k&(k-1) == 0
+}
+
+// Consensus returns the adjacency cube of two distance-one cubes: the OR of
+// the two cubes with the conflicting literal masked out (the paper's
+// generateAdjCubes). ok is false if the cubes are not distance-one.
+//
+// Every point of the consensus lies in the ON-set covered by c ∪ d, and the
+// consensus spans the transition across the conflicting variable; a static
+// logic 1-hazard exists iff no single cube of the cover contains it.
+func Consensus(c, d Cube) (Cube, bool) {
+	k := Conflicts(c, d)
+	if k == 0 || k&(k-1) != 0 {
+		return Cube{}, false
+	}
+	used := (c.Used | d.Used) &^ k
+	phase := (c.Phase | d.Phase) &^ k
+	return Cube{Used: used, Phase: phase & used}, true
+}
+
+// Supercube returns the smallest cube containing both c and d. For two
+// minterms α, β this is the transition space T[α,β] of Definition 4.2.
+func Supercube(c, d Cube) Cube {
+	used := c.Used & d.Used &^ (c.Phase ^ d.Phase)
+	return Cube{Used: used, Phase: c.Phase & used}
+}
+
+// CofactorLiteral returns the cofactor of c with respect to the literal
+// (v, phase). ok is false when the cube is annihilated (c requires the
+// opposite phase of v).
+func (c Cube) CofactorLiteral(v int, phase bool) (Cube, bool) {
+	bit := uint64(1) << uint(v)
+	if c.Used&bit != 0 {
+		if (c.Phase&bit != 0) != phase {
+			return Cube{}, false
+		}
+	}
+	return Cube{Used: c.Used &^ bit, Phase: c.Phase &^ bit}, true
+}
+
+// CofactorCube returns the cofactor of c with respect to cube d: the
+// remainder of c once every literal of d is asserted. ok is false when c
+// conflicts with d.
+func (c Cube) CofactorCube(d Cube) (Cube, bool) {
+	if (c.Phase^d.Phase)&(c.Used&d.Used) != 0 {
+		return Cube{}, false
+	}
+	return Cube{Used: c.Used &^ d.Used, Phase: c.Phase &^ d.Used}, true
+}
+
+// AdjacentCubes returns the cubes obtained from c by complementing one used
+// (care) variable at a time — the set J_c of procedure findMicDynHaz2level.
+func (c Cube) AdjacentCubes() []Cube {
+	out := make([]Cube, 0, c.NumLiterals())
+	u := c.Used
+	for u != 0 {
+		bit := u & -u
+		u &^= bit
+		out = append(out, Cube{Used: c.Used, Phase: c.Phase ^ bit})
+	}
+	return out
+}
+
+// Minterms appends to dst every minterm point of the cube over n variables
+// and returns the extended slice. The free (unused) variables enumerate all
+// combinations, so the result has 2^(n-literals) entries.
+func (c Cube) Minterms(n int, dst []uint64) []uint64 {
+	mask := VarMask(n)
+	free := mask &^ c.Used
+	// Enumerate subsets of the free-variable mask.
+	sub := uint64(0)
+	for {
+		dst = append(dst, (c.Phase&mask)|sub)
+		if sub == free {
+			break
+		}
+		sub = (sub - free) & free
+	}
+	return dst
+}
+
+// CountMinterms returns the number of minterms of c over n variables.
+func (c Cube) CountMinterms(n int) uint64 {
+	freeBits := n - bits.OnesCount64(c.Used&VarMask(n))
+	return uint64(1) << uint(freeBits)
+}
+
+// Vars returns the indices of variables used by the cube, ascending.
+func (c Cube) Vars() []int {
+	var out []int
+	u := c.Used
+	for u != 0 {
+		v := bits.TrailingZeros64(u)
+		out = append(out, v)
+		u &^= 1 << uint(v)
+	}
+	return out
+}
+
+// Equal reports structural equality.
+func (c Cube) Equal(d Cube) bool { return c.Used == d.Used && c.Phase == d.Phase }
+
+// Less orders cubes lexicographically by (Used, Phase); used to produce
+// deterministic output.
+func (c Cube) Less(d Cube) bool {
+	if c.Used != d.Used {
+		return c.Used < d.Used
+	}
+	return c.Phase < d.Phase
+}
+
+// String renders the cube with variables named x0, x1, … Complemented
+// literals carry a trailing apostrophe; the universal cube prints as "1".
+func (c Cube) String() string {
+	return c.StringVars(nil)
+}
+
+// StringVars renders the cube using the given variable names; names may be
+// nil, in which case x<i> is used.
+func (c Cube) StringVars(names []string) string {
+	if c.IsUniversal() {
+		return "1"
+	}
+	var b strings.Builder
+	for _, v := range c.Vars() {
+		name := fmt.Sprintf("x%d", v)
+		if v < len(names) {
+			name = names[v]
+		}
+		b.WriteString(name)
+		if !c.PhaseOf(v) {
+			b.WriteByte('\'')
+		}
+	}
+	return b.String()
+}
+
+// ParseCube parses a product of literals written as juxtaposed variable
+// names with an optional trailing apostrophe for complementation, e.g.
+// "ab'c". The names slice fixes the variable order; single-character names
+// may be juxtaposed without separators, longer names must be separated by
+// '*' or spaces. "1" denotes the universal cube.
+func ParseCube(s string, names []string) (Cube, error) {
+	s = strings.TrimSpace(s)
+	if s == "1" {
+		return Universal, nil
+	}
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	c := Universal
+	i := 0
+	for i < len(s) {
+		r := s[i]
+		if r == ' ' || r == '*' || r == '\t' {
+			i++
+			continue
+		}
+		// Longest-match a variable name.
+		best := -1
+		bestLen := 0
+		for name, v := range index {
+			if strings.HasPrefix(s[i:], name) && len(name) > bestLen {
+				best, bestLen = v, len(name)
+			}
+		}
+		if best < 0 {
+			return Cube{}, fmt.Errorf("cube: unknown variable at %q", s[i:])
+		}
+		i += bestLen
+		phase := true
+		if i < len(s) && s[i] == '\'' {
+			phase = false
+			i++
+		}
+		var ok bool
+		c, ok = c.WithLiteral(best, phase)
+		if !ok {
+			return Cube{}, fmt.Errorf("cube: contradictory literal for %s in %q", names[best], s)
+		}
+	}
+	return c, nil
+}
+
+// MustParseCube is ParseCube that panics on error; intended for tests and
+// embedded library data.
+func MustParseCube(s string, names []string) Cube {
+	c, err := ParseCube(s, names)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SortCubes sorts a slice of cubes into the deterministic Less order.
+func SortCubes(cs []Cube) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Less(cs[j]) })
+}
+
+// DedupCubes sorts and removes structural duplicates in place.
+func DedupCubes(cs []Cube) []Cube {
+	SortCubes(cs)
+	out := cs[:0]
+	for i, c := range cs {
+		if i == 0 || !c.Equal(cs[i-1]) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,452 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var wxyz = []string{"w", "x", "y", "z"}
+
+func TestParseCube(t *testing.T) {
+	tests := []struct {
+		in        string
+		used      uint64
+		phase     uint64
+		wantError bool
+	}{
+		{"1", 0, 0, false},
+		{"w", 0b0001, 0b0001, false},
+		{"w'", 0b0001, 0b0000, false},
+		{"wx'y", 0b0111, 0b0101, false},
+		{"w x' y", 0b0111, 0b0101, false},
+		{"w*z", 0b1001, 0b1001, false},
+		{"ww", 0b0001, 0b0001, false},
+		{"ww'", 0, 0, true},
+		{"q", 0, 0, true},
+	}
+	for _, tt := range tests {
+		c, err := ParseCube(tt.in, wxyz)
+		if tt.wantError {
+			if err == nil {
+				t.Errorf("ParseCube(%q): want error, got %v", tt.in, c)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCube(%q): %v", tt.in, err)
+			continue
+		}
+		if c.Used != tt.used || c.Phase != tt.phase {
+			t.Errorf("ParseCube(%q) = used %04b phase %04b, want %04b %04b",
+				tt.in, c.Used, c.Phase, tt.used, tt.phase)
+		}
+	}
+}
+
+func TestCubeString(t *testing.T) {
+	c := MustParseCube("wx'z", wxyz)
+	if got := c.StringVars(wxyz); got != "wx'z" {
+		t.Errorf("String = %q, want wx'z", got)
+	}
+	if got := Universal.String(); got != "1" {
+		t.Errorf("universal String = %q, want 1", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	big := MustParseCube("w", wxyz)
+	small := MustParseCube("wx'", wxyz)
+	if !big.Contains(small) {
+		t.Error("w should contain wx'")
+	}
+	if small.Contains(big) {
+		t.Error("wx' should not contain w")
+	}
+	if !Universal.Contains(big) || !Universal.Contains(small) {
+		t.Error("universal cube must contain everything")
+	}
+	if !big.Contains(big) {
+		t.Error("containment must be reflexive")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := MustParseCube("wx", wxyz)
+	b := MustParseCube("xy'", wxyz)
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("wx and xy' must intersect")
+	}
+	if want := MustParseCube("wxy'", wxyz); !got.Equal(want) {
+		t.Errorf("intersection = %v, want %v", got, want)
+	}
+	if _, ok := a.Intersect(MustParseCube("w'", wxyz)); ok {
+		t.Error("wx and w' must not intersect")
+	}
+}
+
+// TestFigure5Conflicts reproduces the CONFLICTS-vector adjacency detection
+// mechanism of §4.1.1 / Figure 5.
+func TestFigure5Conflicts(t *testing.T) {
+	// Adjacent pair: differ in exactly one shared variable's phase.
+	c1 := MustParseCube("wx'y", wxyz)
+	c2 := MustParseCube("wxy", wxyz)
+	k := Conflicts(c1, c2)
+	if k != 0b0010 {
+		t.Errorf("CONFLICTS = %04b, want 0010", k)
+	}
+	if !DistanceOne(c1, c2) {
+		t.Error("cubes should be distance-one")
+	}
+	adj, ok := Consensus(c1, c2)
+	if !ok {
+		t.Fatal("consensus must exist for distance-one cubes")
+	}
+	if want := MustParseCube("wy", wxyz); !adj.Equal(want) {
+		t.Errorf("adjacency cube = %v, want %v", adj, want)
+	}
+
+	// Two conflicting variables: not adjacent, no consensus.
+	c3 := MustParseCube("w'x'y", wxyz)
+	if DistanceOne(c2, c3) {
+		t.Error("cubes with two conflicts are not distance-one")
+	}
+	if _, ok := Consensus(c2, c3); ok {
+		t.Error("consensus must not exist with two conflicts")
+	}
+
+	// Disjoint supports: no conflicts, not adjacent.
+	c4 := MustParseCube("z", wxyz)
+	if Conflicts(c1, c4) != 0 || DistanceOne(c1, c4) {
+		t.Error("cubes sharing no variable are not adjacent")
+	}
+}
+
+func TestConsensusIsCoveredByUnion(t *testing.T) {
+	// Every minterm of the consensus must lie in c1 or c2.
+	f := func(u1, p1, u2, p2 uint8) bool {
+		c1 := Cube{Used: uint64(u1), Phase: uint64(p1)}.Normalize()
+		c2 := Cube{Used: uint64(u2), Phase: uint64(p2)}.Normalize()
+		adj, ok := Consensus(c1, c2)
+		if !ok {
+			return true
+		}
+		for _, m := range adj.Minterms(8, nil) {
+			if !c1.ContainsPoint(m) && !c2.ContainsPoint(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupercube(t *testing.T) {
+	a := Minterm(4, 0b0111) // w=1 x=1 y=1 z=0 reading bit i as var i
+	b := Minterm(4, 0b0100)
+	sc := Supercube(a, b)
+	if !sc.Contains(a) || !sc.Contains(b) {
+		t.Fatal("supercube must contain both endpoints")
+	}
+	// Smallest: only variable 2 (value 1 in both) and 3 (0 in both) stay.
+	if sc.Used != 0b1100 || sc.Phase != 0b0100 {
+		t.Errorf("supercube = used %04b phase %04b, want 1100 0100", sc.Used, sc.Phase)
+	}
+}
+
+func TestSupercubeProperties(t *testing.T) {
+	f := func(u1, p1, u2, p2 uint8) bool {
+		c1 := Cube{Used: uint64(u1), Phase: uint64(p1)}.Normalize()
+		c2 := Cube{Used: uint64(u2), Phase: uint64(p2)}.Normalize()
+		sc := Supercube(c1, c2)
+		if !sc.Contains(c1) || !sc.Contains(c2) {
+			return false
+		}
+		// Minimality: dropping any variable of sc keeps containment, so sc
+		// must not be shrinkable: adding back any removed literal must
+		// exclude one of the operands.
+		for _, v := range sc.Vars() {
+			_ = v
+		}
+		// Commutativity.
+		sc2 := Supercube(c2, c1)
+		return sc.Equal(sc2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjacentCubes(t *testing.T) {
+	c := MustParseCube("w'xz", wxyz)
+	adj := c.AdjacentCubes()
+	if len(adj) != 3 {
+		t.Fatalf("got %d adjacent cubes, want 3", len(adj))
+	}
+	want := map[string]bool{"wxz": true, "w'x'z": true, "w'xz'": true}
+	for _, a := range adj {
+		if !want[a.StringVars(wxyz)] {
+			t.Errorf("unexpected adjacent cube %v", a.StringVars(wxyz))
+		}
+	}
+}
+
+func TestMinterms(t *testing.T) {
+	c := MustParseCube("wx'", wxyz)
+	ms := c.Minterms(4, nil)
+	if len(ms) != 4 {
+		t.Fatalf("got %d minterms, want 4", len(ms))
+	}
+	for _, m := range ms {
+		if !c.ContainsPoint(m) {
+			t.Errorf("minterm %04b not in cube", m)
+		}
+	}
+	if got := c.CountMinterms(4); got != 4 {
+		t.Errorf("CountMinterms = %d, want 4", got)
+	}
+}
+
+func TestCofactor(t *testing.T) {
+	c := MustParseCube("wx'y", wxyz)
+	got, ok := c.CofactorLiteral(0, true) // w = 1
+	if !ok || !got.Equal(MustParseCube("x'y", wxyz)) {
+		t.Errorf("cofactor w: got %v ok=%v", got.StringVars(wxyz), ok)
+	}
+	if _, ok := c.CofactorLiteral(0, false); ok {
+		t.Error("cofactor by w' should annihilate wx'y")
+	}
+	d := MustParseCube("wy", wxyz)
+	got, ok = c.CofactorCube(d)
+	if !ok || !got.Equal(MustParseCube("x'", wxyz)) {
+		t.Errorf("cofactor by wy: got %v ok=%v", got.StringVars(wxyz), ok)
+	}
+}
+
+func TestTautology(t *testing.T) {
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		{"1", true},
+		{"0", false},
+		{"w + w'", true},
+		{"w + x", false},
+		{"w + w'x + w'x'", true},
+		{"wx + wx' + w'x + w'x'", true},
+		{"wx + wx' + w'x", false},
+		{"w + x + w'x'", true},
+	}
+	for _, tt := range tests {
+		f := MustParseCover(tt.expr, wxyz)
+		if got := f.Tautology(); got != tt.want {
+			t.Errorf("Tautology(%q) = %v, want %v", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestContainsCube(t *testing.T) {
+	f := MustParseCover("wx + w'y", wxyz)
+	if !f.ContainsCube(MustParseCube("wxy", wxyz)) {
+		t.Error("f must contain wxy")
+	}
+	if !f.ContainsCube(MustParseCube("xy", wxyz)) {
+		t.Error("f must functionally contain xy (split across two cubes)")
+	}
+	if f.SingleCubeContains(MustParseCube("xy", wxyz)) {
+		t.Error("no single cube of f contains xy")
+	}
+	if f.ContainsCube(MustParseCube("x", wxyz)) {
+		t.Error("f must not contain x")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	exprs := []string{"0", "1", "w", "wx + w'y", "wx + xy + w'z'", "w + x + y + z"}
+	for _, e := range exprs {
+		f := MustParseCover(e, wxyz)
+		g := f.Complement()
+		for p := uint64(0); p < 16; p++ {
+			if f.Eval(p) == g.Eval(p) {
+				t.Errorf("complement of %q wrong at point %04b", e, p)
+			}
+		}
+	}
+}
+
+func TestComplementProperty(t *testing.T) {
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 200}
+	f := func(raw [6]uint16) bool {
+		cov := NewCover(5)
+		for _, r := range raw {
+			c := Cube{Used: uint64(r & 0x1f), Phase: uint64(r>>8) & 0x1f}.Normalize()
+			cov.Add(c)
+		}
+		comp := cov.Complement()
+		for p := uint64(0); p < 32; p++ {
+			if cov.Eval(p) == comp.Eval(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrimeExpansion(t *testing.T) {
+	// f = wx + wx' : w is the single prime.
+	f := MustParseCover("wx + wx'", wxyz)
+	c := MustParseCube("wx", wxyz)
+	if f.IsPrime(c) {
+		t.Error("wx is not prime in wx + wx'")
+	}
+	p := f.ExpandToPrime(c)
+	if !p.Equal(MustParseCube("w", wxyz)) {
+		t.Errorf("expanded prime = %v, want w", p.StringVars(wxyz))
+	}
+	if !f.IsPrime(p) {
+		t.Error("w must be prime")
+	}
+}
+
+func TestAllPrimes(t *testing.T) {
+	// Classic example: f = w'x + wy has consensus xy.
+	f := MustParseCover("w'x + wy", wxyz)
+	primes := f.AllPrimes()
+	want := map[string]bool{"w'x": true, "wy": true, "xy": true}
+	if len(primes) != len(want) {
+		t.Fatalf("got %d primes (%v), want %d", len(primes), primes, len(want))
+	}
+	for _, p := range primes {
+		if !want[p.StringVars(wxyz)] {
+			t.Errorf("unexpected prime %v", p.StringVars(wxyz))
+		}
+	}
+}
+
+func TestAllPrimesAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		n := 4
+		f := NewCover(n)
+		for i := 0; i < 3+rng.Intn(3); i++ {
+			c := Cube{Used: rng.Uint64() & 0xf, Phase: rng.Uint64() & 0xf}.Normalize()
+			f.Add(c)
+		}
+		primes := f.AllPrimes()
+		// Brute force: a cube is prime iff contained in f and not expandable.
+		var brute []Cube
+		for used := uint64(0); used < 16; used++ {
+			for phase := uint64(0); phase < 16; phase++ {
+				if phase&^used != 0 {
+					continue
+				}
+				c := Cube{Used: used, Phase: phase}
+				if f.IsPrime(c) {
+					brute = append(brute, c)
+				}
+			}
+		}
+		brute = DedupCubes(brute)
+		if len(primes) != len(brute) {
+			t.Fatalf("cover %v: AllPrimes=%d brute=%d", f, len(primes), len(brute))
+		}
+		for i := range primes {
+			if !primes[i].Equal(brute[i]) {
+				t.Fatalf("cover %v: primes differ: %v vs %v", f, primes, brute)
+			}
+		}
+	}
+}
+
+func TestIrredundant(t *testing.T) {
+	f := MustParseCover("w + wx + y", wxyz)
+	g := f.Irredundant()
+	if len(g.Cubes) != 2 {
+		t.Fatalf("Irredundant kept %d cubes, want 2 (%v)", len(g.Cubes), g)
+	}
+	if !f.EquivalentTo(g) {
+		t.Error("Irredundant changed the function")
+	}
+}
+
+func TestEquivalentTo(t *testing.T) {
+	a := MustParseCover("wx + w'y", wxyz)
+	b := MustParseCover("w'y + wx + wxy", wxyz)
+	if !a.EquivalentTo(b) {
+		t.Error("covers should be equivalent")
+	}
+	c := MustParseCover("wx + y", wxyz)
+	if a.EquivalentTo(c) {
+		t.Error("covers should differ")
+	}
+}
+
+func TestVarMask(t *testing.T) {
+	if VarMask(0) != 0 || VarMask(3) != 7 || VarMask(64) != ^uint64(0) {
+		t.Error("VarMask wrong")
+	}
+}
+
+func BenchmarkConflicts(b *testing.B) {
+	c1 := MustParseCube("wx'y", wxyz)
+	c2 := MustParseCube("wxy", wxyz)
+	for i := 0; i < b.N; i++ {
+		if !DistanceOne(c1, c2) {
+			b.Fatal("expected adjacency")
+		}
+	}
+}
+
+func BenchmarkTautology(b *testing.B) {
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	f := MustParseCover("ab + a'c + bd + c'd' + ef + e'g + fh + g'h'", names)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Tautology()
+	}
+}
+
+func TestAndOrCovers(t *testing.T) {
+	a := MustParseCover("wx + y", wxyz)
+	b := MustParseCover("x + z", wxyz)
+	and := And(a, b)
+	or := Or(a, b)
+	for p := uint64(0); p < 16; p++ {
+		if and.Eval(p) != (a.Eval(p) && b.Eval(p)) {
+			t.Errorf("And wrong at %04b", p)
+		}
+		if or.Eval(p) != (a.Eval(p) || b.Eval(p)) {
+			t.Errorf("Or wrong at %04b", p)
+		}
+	}
+}
+
+func TestSupercubeOfCover(t *testing.T) {
+	f := MustParseCover("wxy + wxz'", wxyz)
+	sc, ok := SupercubeOfCover(f)
+	if !ok {
+		t.Fatal("non-empty cover must have a supercube")
+	}
+	if want := MustParseCube("wx", wxyz); !sc.Equal(want) {
+		t.Errorf("supercube = %v, want wx", sc.StringVars(wxyz))
+	}
+	if _, ok := SupercubeOfCover(NewCover(4)); ok {
+		t.Error("empty cover has no supercube")
+	}
+}
+
+func TestCoverStringForms(t *testing.T) {
+	f := MustParseCover("wx' + z", wxyz)
+	if got := f.StringVars(wxyz); got != "wx' + z" {
+		t.Errorf("StringVars = %q", got)
+	}
+	if got := NewCover(2).String(); got != "0" {
+		t.Errorf("empty cover = %q, want 0", got)
+	}
+}

@@ -1,0 +1,397 @@
+// Package dsim is an event-driven delay simulator for combinational logic
+// networks under the asynchronous hazard model: every gate has a
+// propagation delay and every input *path* into a gate (each leaf
+// occurrence of a signal in the gate's Boolean factored form) has its own
+// wire delay. Pulses propagate unattenuated (transport delay), matching
+// the conservative arbitrary-delay assumption under which the paper's
+// hazard analysis is exact.
+//
+// The simulator turns hazard predictions into observable waveforms: a
+// static logic hazard exists iff some assignment of delays makes the
+// output glitch during the transition, and the tests use dsim to exhibit
+// such assignments for predicted hazards and to confirm their absence on
+// hazard-free structures.
+package dsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/network"
+)
+
+// Circuit is a simulatable elaboration of a combinational network: each
+// internal node is a gate evaluating its expression; each leaf occurrence
+// of a fanin is an independently delayed path.
+type Circuit struct {
+	net   *network.Network
+	order []string
+	gates map[string]*gate
+	// readers maps a signal to the gate input paths it drives.
+	readers map[string][]pathRef
+}
+
+type gate struct {
+	name    string
+	expr    *bexpr.Expr
+	leafSig []string // signal of each leaf, DFS order
+}
+
+// pendingOut tracks each gate's single in-flight output event under the
+// inertial model.
+type pendingOut struct {
+	epoch int
+	time  float64
+	value bool
+}
+
+type pathRef struct {
+	gate string
+	leaf int
+}
+
+// Delays assigns a delay to every gate and every input path. Zero values
+// are valid (zero delay).
+type Delays struct {
+	Gate map[string]float64
+	// Path is keyed by gate name; the slice is indexed by leaf position.
+	Path map[string][]float64
+	// Inertial switches the gate model from transport delay (every pulse
+	// propagates — the conservative model under which the hazard analysis
+	// is exact) to inertial delay (a gate swallows pulses shorter than its
+	// own delay, as real gates with output capacitance do). Inertial
+	// filtering can HIDE hazards, which is precisely why the paper's
+	// analysis must not rely on it.
+	Inertial bool
+}
+
+// New elaborates a network for simulation.
+func New(net *network.Network) (*Circuit, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := net.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	c := &Circuit{
+		net:     net,
+		order:   order,
+		gates:   make(map[string]*gate, len(order)),
+		readers: make(map[string][]pathRef),
+	}
+	for _, name := range order {
+		node := net.Node(name)
+		g := &gate{name: name, expr: node.Expr}
+		var walk func(e *bexpr.Expr)
+		walk = func(e *bexpr.Expr) {
+			if e.Op == bexpr.OpVar {
+				leaf := len(g.leafSig)
+				g.leafSig = append(g.leafSig, e.Name)
+				c.readers[e.Name] = append(c.readers[e.Name], pathRef{gate: name, leaf: leaf})
+				return
+			}
+			for _, k := range e.Kids {
+				walk(k)
+			}
+		}
+		walk(node.Expr)
+		c.gates[name] = g
+	}
+	return c, nil
+}
+
+// UnitDelays assigns delay 1 to every gate and 0 to every path.
+func (c *Circuit) UnitDelays() Delays {
+	d := Delays{Gate: map[string]float64{}, Path: map[string][]float64{}}
+	for name, g := range c.gates {
+		d.Gate[name] = 1
+		d.Path[name] = make([]float64, len(g.leafSig))
+	}
+	return d
+}
+
+// RandomDelays draws gate delays from (0.5, 1.5) and path delays from
+// (0, 1), reproducibly from the given source.
+func (c *Circuit) RandomDelays(rng *rand.Rand) Delays {
+	d := Delays{Gate: map[string]float64{}, Path: map[string][]float64{}}
+	for _, name := range c.order {
+		g := c.gates[name]
+		d.Gate[name] = 0.5 + rng.Float64()
+		p := make([]float64, len(g.leafSig))
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		d.Path[name] = p
+	}
+	return d
+}
+
+// InputChange schedules one primary-input edge.
+type InputChange struct {
+	Signal string
+	Time   float64
+	Value  bool
+}
+
+// Waveform is the time-ordered sequence of value changes of one signal,
+// including its initial value at time 0.
+type Waveform []struct {
+	Time  float64
+	Value bool
+}
+
+// Transitions counts the value changes after time 0.
+func (w Waveform) Transitions() int {
+	n := 0
+	for i := 1; i < len(w); i++ {
+		if w[i].Value != w[i-1].Value {
+			n++
+		}
+	}
+	return n
+}
+
+// Final returns the last value.
+func (w Waveform) Final() bool {
+	if len(w) == 0 {
+		return false
+	}
+	return w[len(w)-1].Value
+}
+
+// Trace is the result of a simulation run.
+type Trace struct {
+	Waves map[string]Waveform
+}
+
+// Glitched reports whether the signal changed more often than a clean
+// transition between its initial and final value allows.
+func (t *Trace) Glitched(signal string) bool {
+	w := t.Waves[signal]
+	if len(w) == 0 {
+		return false
+	}
+	expected := 0
+	if w[0].Value != w.Final() {
+		expected = 1
+	}
+	return w.Transitions() > expected
+}
+
+// event is a scheduled simulation event.
+type event struct {
+	time float64
+	seq  int
+	// kind: 0 = signal value change, 1 = path arrival at a gate leaf.
+	kind   int
+	signal string
+	value  bool
+	path   pathRef
+	// inertial output events carry the scheduling epoch so cancelled ones
+	// can be recognised and dropped.
+	inertial bool
+	epoch    int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Run simulates the circuit: the network is settled at the initial input
+// assignment, the given input changes are applied, and events are
+// processed until quiescence (bounded by maxEvents to guard against
+// runaway oscillation, which cannot occur in a combinational circuit).
+func (c *Circuit) Run(initial map[string]bool, changes []InputChange, d Delays) (*Trace, error) {
+	// Settle: compute stable initial values.
+	vals, err := c.net.Eval(initial)
+	if err != nil {
+		return nil, err
+	}
+	// Per-gate leaf views start at the stable values.
+	views := make(map[string][]bool, len(c.gates))
+	outVal := make(map[string]bool, len(c.gates))
+	for _, name := range c.order {
+		g := c.gates[name]
+		v := make([]bool, len(g.leafSig))
+		for i, sig := range g.leafSig {
+			v[i] = vals[sig]
+		}
+		views[name] = v
+		outVal[name] = evalLeaves(g.expr, v)
+	}
+	trace := &Trace{Waves: map[string]Waveform{}}
+	record := func(sig string, t float64, v bool) {
+		w := trace.Waves[sig]
+		if len(w) > 0 && w[len(w)-1].Value == v {
+			return
+		}
+		trace.Waves[sig] = append(w, struct {
+			Time  float64
+			Value bool
+		}{t, v})
+	}
+	for sig, v := range vals {
+		record(sig, 0, v)
+	}
+
+	var q eventQueue
+	seq := 0
+	push := func(e *event) {
+		e.seq = seq
+		seq++
+		heap.Push(&q, e)
+	}
+	pending := make(map[string]*pendingOut) // inertial mode bookkeeping
+	for _, ch := range changes {
+		if !c.net.IsInput(ch.Signal) {
+			return nil, fmt.Errorf("dsim: %q is not a primary input", ch.Signal)
+		}
+		push(&event{time: ch.Time, kind: 0, signal: ch.Signal, value: ch.Value})
+	}
+
+	const maxEvents = 1 << 20
+	processed := 0
+	cur := make(map[string]bool, len(vals))
+	for k, v := range vals {
+		cur[k] = v
+	}
+	for q.Len() > 0 {
+		processed++
+		if processed > maxEvents {
+			return nil, fmt.Errorf("dsim: event budget exhausted (oscillation?)")
+		}
+		e := heap.Pop(&q).(*event)
+		switch e.kind {
+		case 0: // signal change
+			if e.inertial {
+				p := pending[e.signal]
+				if p == nil || p.epoch != e.epoch {
+					continue // cancelled by a newer inertial evaluation
+				}
+			}
+			if cur[e.signal] == e.value {
+				continue
+			}
+			cur[e.signal] = e.value
+			record(e.signal, e.time, e.value)
+			for _, pr := range c.readers[e.signal] {
+				wire := 0.0
+				if p := d.Path[pr.gate]; pr.leaf < len(p) {
+					wire = p[pr.leaf]
+				}
+				push(&event{time: e.time + wire, kind: 1, path: pr, value: e.value})
+			}
+		case 1: // path arrival: update the gate's view, schedule its output
+			g := c.gates[e.path.gate]
+			view := views[g.name]
+			if view[e.path.leaf] == e.value {
+				continue
+			}
+			view[e.path.leaf] = e.value
+			out := evalLeaves(g.expr, view)
+			gd := d.Gate[g.name]
+			if !d.Inertial {
+				// Transport delay: schedule the computed value
+				// unconditionally; the signal-change handler drops no-ops
+				// in arrival order.
+				push(&event{time: e.time + gd, kind: 0, signal: g.name, value: out})
+				continue
+			}
+			// Inertial delay: a gate holds at most one in-flight output
+			// event; recomputing before it fires replaces it, so pulses
+			// shorter than the gate delay are swallowed.
+			p := pending[g.name]
+			if p != nil && p.time > e.time {
+				// Cancel the unfired event by bumping the epoch.
+				p.epoch++
+				p.time = e.time + gd
+				p.value = out
+				push(&event{time: p.time, kind: 0, signal: g.name, value: out, epoch: p.epoch, inertial: true})
+				continue
+			}
+			np := &pendingOut{time: e.time + gd, value: out}
+			if p != nil {
+				np.epoch = p.epoch + 1
+			}
+			pending[g.name] = np
+			push(&event{time: np.time, kind: 0, signal: g.name, value: out, epoch: np.epoch, inertial: true})
+		}
+	}
+	return trace, nil
+}
+
+func evalLeaves(root *bexpr.Expr, leaves []bool) bool {
+	idx := 0
+	var rec func(e *bexpr.Expr) bool
+	rec = func(e *bexpr.Expr) bool {
+		switch e.Op {
+		case bexpr.OpConst:
+			return e.Val
+		case bexpr.OpVar:
+			v := leaves[idx]
+			idx++
+			return v
+		case bexpr.OpNot:
+			return !rec(e.Kids[0])
+		case bexpr.OpAnd:
+			out := true
+			for _, k := range e.Kids {
+				if !rec(k) {
+					out = false
+				}
+			}
+			return out
+		case bexpr.OpOr:
+			out := false
+			for _, k := range e.Kids {
+				if rec(k) {
+					out = true
+				}
+			}
+			return out
+		}
+		panic("dsim: bad op")
+	}
+	return rec(root)
+}
+
+// HuntGlitch searches for a delay assignment under which the given output
+// glitches during the simultaneous multi-input change from the initial
+// assignment to the new input values. It tries the canonical orderings
+// first (path delays realising each sampled permutation of the changing
+// paths) and then random assignments, returning the first glitching trace.
+func (c *Circuit) HuntGlitch(initial map[string]bool, final map[string]bool, output string, rng *rand.Rand, tries int) (*Trace, Delays, bool, error) {
+	var changes []InputChange
+	var changing []string
+	for sig, v := range final {
+		if initial[sig] != v {
+			changing = append(changing, sig)
+			changes = append(changes, InputChange{Signal: sig, Time: 1, Value: v})
+		}
+	}
+	sort.Strings(changing)
+	for i := 0; i < tries; i++ {
+		d := c.RandomDelays(rng)
+		trace, err := c.Run(initial, changes, d)
+		if err != nil {
+			return nil, Delays{}, false, err
+		}
+		if trace.Glitched(output) {
+			return trace, d, true, nil
+		}
+	}
+	return nil, Delays{}, false, nil
+}

@@ -1,0 +1,349 @@
+package dsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/hazard"
+	"gfmap/internal/network"
+)
+
+func singleNodeNet(t testing.TB, expr string, vars []string) *network.Network {
+	t.Helper()
+	n := network.New("t")
+	for _, v := range vars {
+		if err := n.AddInput(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := bexpr.ParseExpr(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode("f", e); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("f"); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestMuxGlitchExhibited: the classic mux static-1 hazard (select change
+// with both data inputs 1) is observable as a real waveform glitch under a
+// concrete delay assignment.
+func TestMuxGlitchExhibited(t *testing.T) {
+	net := singleNodeNet(t, "s'*a + s*b", []string{"s", "a", "b"})
+	c, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the s' path fast and the s path slow: the s'*a term dies before
+	// the s*b term takes over.
+	d := c.UnitDelays()
+	g := c.gates["f"] // leaves: s, a, s, b
+	d.Path["f"] = []float64{0.1, 0, 2.0, 0}
+	_ = g
+	trace, err := c.Run(
+		map[string]bool{"s": false, "a": true, "b": true},
+		[]InputChange{{Signal: "s", Time: 1, Value: true}},
+		d,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.Glitched("f") {
+		t.Errorf("expected a static-1 glitch on f; waveform: %v", trace.Waves["f"])
+	}
+	if !trace.Waves["f"].Final() {
+		t.Error("output must settle at 1")
+	}
+	// The consensus-completed mux never glitches on this transition, for
+	// any of many random delay assignments.
+	netFixed := singleNodeNet(t, "s'*a + s*b + a*b", []string{"s", "a", "b"})
+	cf, err := New(netFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		trace, err := cf.Run(
+			map[string]bool{"s": false, "a": true, "b": true},
+			[]InputChange{{Signal: "s", Time: 1, Value: true}},
+			cf.RandomDelays(rng),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trace.Glitched("f") {
+			t.Fatalf("hazard-free mux glitched under delays (iter %d): %v", i, trace.Waves["f"])
+		}
+	}
+}
+
+// TestHuntGlitchMatchesAnalysis is the operational-correspondence test:
+// for random 3-variable structures and random transitions, the exact
+// hazard analysis predicts a glitch iff the delay simulator can exhibit
+// one (sampling 400 random delay assignments; at 3 variables the changing
+// path count is small, so sampling covers all arrival orders with
+// overwhelming probability).
+func TestHuntGlitchMatchesAnalysis(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vars := []string{"a", "b", "c"}
+	structures := []string{
+		"a*b + a'*c",
+		"a*b + a'*c + b*c",
+		"(a + b)*(a' + c)",
+		"a*c + b*c",
+		"(a + b)*c",
+		"a*b' + a'*b",
+	}
+	for _, expr := range structures {
+		fn, err := bexpr.NewWithVars(bexpr.MustParseExpr(expr), vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := singleNodeNet(t, expr, vars)
+		c, err := New(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for from := uint64(0); from < 8; from++ {
+			for to := uint64(0); to < 8; to++ {
+				if from == to {
+					continue
+				}
+				// Only check logic-hazard predictions (function-hazardous
+				// transitions glitch in any implementation; skip them).
+				kind, predicted, classifiable := classify(t, fn, from, to)
+				if !classifiable {
+					continue
+				}
+				initial := pointToMap(vars, from)
+				final := pointToMap(vars, to)
+				_, _, found, err := c.HuntGlitch(initial, final, "f", rng, 400)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if found != predicted {
+					t.Errorf("%s: transition %03b->%03b (%v): analysis=%v simulator=%v",
+						expr, from, to, kind, predicted, found)
+				}
+			}
+		}
+	}
+}
+
+func classify(t *testing.T, fn *bexpr.Function, a, b uint64) (hazard.Kind, bool, bool) {
+	t.Helper()
+	sim, err := hazard.NewSimulator(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, hazardous, err := sim.Classify(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinguish "not hazardous because clean" from "not classifiable
+	// because function-hazardous": recompute the function-hazard condition.
+	fa, fb := fn.Eval(a), fn.Eval(b)
+	fmc := functionChanges(fn, a, b)
+	if fa == fb && fmc > 0 {
+		return kind, false, false
+	}
+	if fa != fb && fmc > 1 {
+		return kind, false, false
+	}
+	return kind, hazardous, true
+}
+
+// functionChanges: max output changes along monotone variable orders,
+// brute-forced for 3 variables.
+func functionChanges(fn *bexpr.Function, a, b uint64) int {
+	changing := a ^ b
+	var vars []uint64
+	for i := 0; i < fn.NumVars(); i++ {
+		if changing&(1<<uint(i)) != 0 {
+			vars = append(vars, 1<<uint(i))
+		}
+	}
+	best := 0
+	var rec func(cur uint64, remaining []uint64, last bool, changes int)
+	rec = func(cur uint64, remaining []uint64, last bool, changes int) {
+		if len(remaining) == 0 {
+			if changes > best {
+				best = changes
+			}
+			return
+		}
+		for i, v := range remaining {
+			next := (cur &^ v) | (b & v)
+			nv := fn.Eval(next)
+			rest := append(append([]uint64{}, remaining[:i]...), remaining[i+1:]...)
+			d := changes
+			if nv != last {
+				d++
+			}
+			rec(next, rest, nv, d)
+		}
+	}
+	rec(a, vars, fn.Eval(a), 0)
+	return best
+}
+
+func pointToMap(vars []string, p uint64) map[string]bool {
+	m := map[string]bool{}
+	for i, v := range vars {
+		m[v] = p&(1<<uint(i)) != 0
+	}
+	return m
+}
+
+// TestMultiGateNetwork simulates a two-gate network and checks waveforms
+// propagate through internal signals with accumulated delay.
+func TestMultiGateNetwork(t *testing.T) {
+	n := network.New("chain")
+	for _, v := range []string{"a", "b"} {
+		if err := n.AddInput(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddNode("u", bexpr.MustParseExpr("a*b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode("f", bexpr.MustParseExpr("u'")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("f"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.UnitDelays()
+	trace, err := c.Run(
+		map[string]bool{"a": true, "b": false},
+		[]InputChange{{Signal: "b", Time: 1, Value: true}},
+		d,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := trace.Waves["f"]
+	if fw.Final() {
+		t.Error("f must settle at 0 (NAND of 1,1)")
+	}
+	// f should change exactly once, two gate delays after the input edge.
+	if fw.Transitions() != 1 {
+		t.Errorf("f waveform: %v", fw)
+	}
+	last := fw[len(fw)-1]
+	if last.Time != 3 { // t=1 edge + 1 (u) + 1 (f)
+		t.Errorf("f settles at t=%g, want 3", last.Time)
+	}
+}
+
+// TestRejectsNonInputChange guards the API.
+func TestRejectsNonInputChange(t *testing.T) {
+	net := singleNodeNet(t, "a'", []string{"a"})
+	c, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(map[string]bool{"a": false},
+		[]InputChange{{Signal: "f", Time: 1, Value: true}}, c.UnitDelays()); err == nil {
+		t.Error("changing a non-input must be rejected")
+	}
+}
+
+// TestInertialFilteringHidesGlitch: under the inertial gate model a pulse
+// shorter than the gate delay is swallowed — the same delay assignment
+// that exhibits the mux glitch under transport delay produces a clean
+// waveform. This is exactly why the hazard analysis (and the default
+// simulation mode) must use the conservative transport model: real timing
+// cannot be relied upon to mask a logic hazard.
+func TestInertialFilteringHidesGlitch(t *testing.T) {
+	net := singleNodeNet(t, "s'*a + s*b", []string{"s", "a", "b"})
+	c, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(inertial bool) Delays {
+		d := c.UnitDelays()
+		d.Gate["f"] = 5.0 // gate delay far wider than the 1.9 pulse below
+		d.Path["f"] = []float64{0.1, 0, 2.0, 0}
+		d.Inertial = inertial
+		return d
+	}
+	initial := map[string]bool{"s": false, "a": true, "b": true}
+	changes := []InputChange{{Signal: "s", Time: 1, Value: true}}
+
+	transport, err := c.Run(initial, changes, mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !transport.Glitched("f") {
+		t.Fatalf("transport model must show the glitch: %v", transport.Waves["f"])
+	}
+	inertial, err := c.Run(initial, changes, mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inertial.Glitched("f") {
+		t.Errorf("inertial model should swallow the short pulse: %v", inertial.Waves["f"])
+	}
+	if !inertial.Waves["f"].Final() {
+		t.Error("output must still settle at 1")
+	}
+}
+
+// TestWriteVCD: traces dump to parseable VCD with all signals declared and
+// time monotonically increasing.
+func TestWriteVCD(t *testing.T) {
+	net := singleNodeNet(t, "s'*a + s*b", []string{"s", "a", "b"})
+	c, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.UnitDelays()
+	d.Path["f"] = []float64{0.1, 0, 2.0, 0}
+	trace, err := c.Run(
+		map[string]bool{"s": false, "a": true, "b": true},
+		[]InputChange{{Signal: "s", Time: 1, Value: true}},
+		d,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := trace.WriteVCD(&b, "mux"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"$timescale", "$var wire 1", " f $end", " s $end", "$enddefinitions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Timestamps monotone.
+	lastT := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			var ts int64
+			if _, err := fmt.Sscanf(line, "#%d", &ts); err != nil {
+				t.Fatalf("bad timestamp line %q", line)
+			}
+			if ts < lastT {
+				t.Fatalf("timestamps not monotone at %q", line)
+			}
+			lastT = ts
+		}
+	}
+	if lastT <= 0 {
+		t.Error("no events dumped")
+	}
+}

@@ -1,0 +1,71 @@
+package dsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteVCD dumps a simulation trace in Value Change Dump format, viewable
+// in any waveform viewer (GTKWave etc.). Times are scaled by 1000 (1 unit
+// = 1 ps at timescale 1ps) so fractional delays stay visible.
+func (t *Trace) WriteVCD(w io.Writer, module string) error {
+	signals := make([]string, 0, len(t.Waves))
+	for s := range t.Waves {
+		signals = append(signals, s)
+	}
+	sort.Strings(signals)
+	if _, err := fmt.Fprintf(w, "$timescale 1ps $end\n$scope module %s $end\n", module); err != nil {
+		return err
+	}
+	ids := make(map[string]string, len(signals))
+	for i, s := range signals {
+		id := vcdID(i)
+		ids[s] = id
+		if _, err := fmt.Fprintf(w, "$var wire 1 %s %s $end\n", id, s); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		return err
+	}
+	// Merge all events into a single time-ordered stream.
+	type ev struct {
+		time  float64
+		id    string
+		value bool
+	}
+	var evs []ev
+	for s, wave := range t.Waves {
+		for _, e := range wave {
+			evs = append(evs, ev{time: e.Time, id: ids[s], value: e.Value})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].time < evs[j].time })
+	last := -1.0
+	for _, e := range evs {
+		if e.time != last {
+			if _, err := fmt.Fprintf(w, "#%d\n", int64(e.time*1000)); err != nil {
+				return err
+			}
+			last = e.time
+		}
+		v := 0
+		if e.value {
+			v = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d%s\n", v, e.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// vcdID assigns compact printable VCD identifiers.
+func vcdID(i int) string {
+	const chars = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if i < len(chars) {
+		return string(chars[i])
+	}
+	return string(chars[i%len(chars)]) + vcdID(i/len(chars)-1)
+}

@@ -1,0 +1,157 @@
+// Package eqn reads and writes logic networks in a simple equation format,
+// the interchange format between the burst-mode synthesis front end and
+// the technology mapper:
+//
+//	# comment
+//	INPUT(a, b, c)
+//	OUTPUT(f, g)
+//	u = a*b + c;
+//	f = u + a'*c;
+//	g = u*c;
+//
+// Expressions use the bexpr grammar; every statement ends with a
+// semicolon. INPUT/OUTPUT lines may appear multiple times and need no
+// semicolon.
+package eqn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/network"
+)
+
+// Parse reads a network from the equation format.
+func Parse(r io.Reader, name string) (*network.Network, error) {
+	net := network.New(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var pending strings.Builder
+	var outputs []string
+	lineNo := 0
+	flushEq := func() error {
+		stmt := strings.TrimSpace(pending.String())
+		pending.Reset()
+		if stmt == "" {
+			return nil
+		}
+		eqIdx := strings.IndexByte(stmt, '=')
+		if eqIdx < 0 {
+			return fmt.Errorf("eqn: line %d: statement %q has no '='", lineNo, stmt)
+		}
+		lhs := strings.TrimSpace(stmt[:eqIdx])
+		rhs := strings.TrimSpace(stmt[eqIdx+1:])
+		expr, err := bexpr.ParseExpr(rhs)
+		if err != nil {
+			return fmt.Errorf("eqn: line %d: %w", lineNo, err)
+		}
+		if err := net.AddNode(lhs, expr); err != nil {
+			return fmt.Errorf("eqn: line %d: %w", lineNo, err)
+		}
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		trimmed := strings.TrimSpace(line)
+		upper := strings.ToUpper(trimmed)
+		switch {
+		case pending.Len() == 0 && strings.HasPrefix(upper, "INPUT(") && strings.HasSuffix(trimmed, ")"):
+			for _, in := range splitList(trimmed[6 : len(trimmed)-1]) {
+				if err := net.AddInput(in); err != nil {
+					return nil, fmt.Errorf("eqn: line %d: %w", lineNo, err)
+				}
+			}
+			continue
+		case pending.Len() == 0 && strings.HasPrefix(upper, "OUTPUT(") && strings.HasSuffix(trimmed, ")"):
+			outputs = append(outputs, splitList(trimmed[7:len(trimmed)-1])...)
+			continue
+		}
+		for {
+			semi := strings.IndexByte(line, ';')
+			if semi < 0 {
+				break
+			}
+			pending.WriteString(line[:semi])
+			if err := flushEq(); err != nil {
+				return nil, err
+			}
+			line = line[semi+1:]
+		}
+		if strings.TrimSpace(line) != "" {
+			pending.WriteString(line)
+			pending.WriteByte(' ')
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(pending.String()) != "" {
+		return nil, fmt.Errorf("eqn: unterminated equation at end of input")
+	}
+	for _, o := range outputs {
+		if err := net.MarkOutput(o); err != nil {
+			return nil, err
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// ParseString parses a network from a string.
+func ParseString(s, name string) (*network.Network, error) {
+	return Parse(strings.NewReader(s), name)
+}
+
+// MustParseString is ParseString that panics on error; for embedded
+// benchmark circuits.
+func MustParseString(s, name string) *network.Network {
+	n, err := ParseString(s, name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Write renders a network in the equation format.
+func Write(w io.Writer, net *network.Network) error {
+	if _, err := fmt.Fprintf(w, "# %s\nINPUT(%s)\nOUTPUT(%s)\n",
+		net.Name, strings.Join(net.Inputs, ", "), strings.Join(net.Outputs, ", ")); err != nil {
+		return err
+	}
+	order, err := net.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		if _, err := fmt.Fprintf(w, "%s = %s;\n", name, net.Node(name).Expr.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteString renders a network in the equation format.
+func WriteString(net *network.Network) string {
+	var b strings.Builder
+	_ = Write(&b, net)
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package eqn
+
+import (
+	"strings"
+	"testing"
+
+	"gfmap/internal/network"
+)
+
+const sample = `
+# a sample network
+INPUT(a, b, c)
+INPUT(d)
+OUTPUT(f, g)
+u = a*b + c;
+f = u*d';
+g = u + a'*d;
+`
+
+func TestParse(t *testing.T) {
+	net, err := ParseString(sample, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Inputs) != 4 {
+		t.Errorf("inputs = %v", net.Inputs)
+	}
+	if len(net.Outputs) != 2 {
+		t.Errorf("outputs = %v", net.Outputs)
+	}
+	if net.NumNodes() != 3 {
+		t.Errorf("nodes = %d", net.NumNodes())
+	}
+	vals, err := net.Eval(map[string]bool{"a": true, "b": true, "c": false, "d": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals["f"] || !vals["g"] {
+		t.Errorf("evaluation wrong: %v", vals)
+	}
+}
+
+func TestMultiLineEquation(t *testing.T) {
+	src := `
+INPUT(a, b)
+OUTPUT(f)
+f = a*b +
+    a'*b' ;
+`
+	net, err := ParseString(src, "ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := net.Eval(map[string]bool{"a": false, "b": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v["f"] {
+		t.Error("XNOR should be 1 at 00")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	net, err := ParseString(sample, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := WriteString(net)
+	net2, err := ParseString(text, "sample")
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	eq, err := network.Equivalent(net, net2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("round trip changed the network:\n%s", text)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"INPUT(a)\nOUTPUT(f)\nf = a",           // missing semicolon
+		"INPUT(a)\nOUTPUT(f)\nf  a;",           // no '='
+		"INPUT(a)\nOUTPUT(f)\nf = q;",          // undefined signal
+		"INPUT(a)\nOUTPUT(g)\nf = a;",          // undefined output
+		"INPUT(a)\nOUTPUT(f)\nf = a;\nf = a';", // duplicate definition
+		"INPUT(a)\nOUTPUT(f)\nf = (a;",         // bad expression
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c, "bad"); err == nil {
+			t.Errorf("ParseString(%q): want error", c)
+		}
+	}
+}
+
+func TestCommentsAndBlank(t *testing.T) {
+	src := "\n# only a comment\nINPUT(a)  # trailing\nOUTPUT(f)\n\nf = a';  # done\n"
+	net, err := ParseString(src, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 1 {
+		t.Errorf("nodes = %d", net.NumNodes())
+	}
+}
+
+func TestWriteIsTopological(t *testing.T) {
+	net, _ := ParseString(sample, "s")
+	text := WriteString(net)
+	uPos := strings.Index(text, "u =")
+	fPos := strings.Index(text, "f =")
+	if uPos < 0 || fPos < 0 || uPos > fPos {
+		t.Errorf("writer must emit fanins first:\n%s", text)
+	}
+}

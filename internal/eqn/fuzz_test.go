@@ -1,0 +1,27 @@
+package eqn
+
+import "testing"
+
+// FuzzParse: the network parser must never panic; accepted networks must
+// validate and survive a write/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("INPUT(a, b)\nOUTPUT(f)\nf = a*b;\n")
+	f.Add("INPUT(a)\nOUTPUT(g)\nu = a';\ng = u + a;\n")
+	f.Add("# comment\nINPUT(x)\nOUTPUT(y)\ny = x;\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		net, err := ParseString(src, "fuzz")
+		if err != nil {
+			return
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("accepted network fails validation: %v", err)
+		}
+		back, err := ParseString(WriteString(net), "fuzz2")
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if back.NumNodes() != net.NumNodes() {
+			t.Fatalf("round trip changed node count")
+		}
+	})
+}

@@ -1,0 +1,161 @@
+// Package espresso implements heuristic two-level logic minimisation in
+// the style of Espresso's EXPAND / IRREDUNDANT / REDUCE loop. It is the
+// logic-optimisation substrate the paper's flow assumes upstream of the
+// mapper (MIS for synchronous designs, reference [11]): the technology
+// mapper receives already-optimised equations and must not re-optimise
+// them — indeed, §3.1.1 shows that exactly this kind of redundancy
+// removal, applied during asynchronous mapping, introduces static
+// 1-hazards. The package therefore serves the synchronous baseline
+// (network.SyncTechDecomp) and general two-level cleanup, never the
+// asynchronous path.
+package espresso
+
+import (
+	"gfmap/internal/cube"
+)
+
+// Result carries the minimised cover and loop statistics.
+type Result struct {
+	Cover      cube.Cover
+	Iterations int
+}
+
+// Minimize returns a prime and irredundant cover of the incompletely
+// specified function (on, dc). The function is preserved exactly on the
+// care set: every ON point stays covered, no OFF point becomes covered.
+func Minimize(on, dc cube.Cover) (*Result, error) {
+	if dc.N == 0 && len(dc.Cubes) == 0 {
+		dc = cube.NewCover(on.N)
+	}
+	off := cube.Or(on, dc).Complement()
+	cur := on.Clone()
+	cur.Cubes = cube.DedupCubes(cur.Cubes)
+	best := cur.Clone()
+	bestCost := coverCost(best)
+
+	iters := 0
+	for ; iters < 12; iters++ {
+		cur = expand(cur, off)
+		cur = irredundant(cur, dc)
+		cost := coverCost(cur)
+		if cost < bestCost {
+			best = cur.Clone()
+			bestCost = cost
+		} else if iters > 0 {
+			break
+		}
+		cur = reduce(cur, dc)
+	}
+	return &Result{Cover: best, Iterations: iters}, nil
+}
+
+// coverCost orders covers by cube count, then literal count.
+func coverCost(f cube.Cover) int {
+	lits := 0
+	for _, c := range f.Cubes {
+		lits += c.NumLiterals()
+	}
+	return len(f.Cubes)*1024 + lits
+}
+
+// expand grows each cube to a prime against the OFF-set: a literal may be
+// dropped when the expanded cube still avoids every OFF cube. Cubes that
+// become single-cube contained in an earlier expansion are dropped
+// immediately.
+func expand(f, off cube.Cover) cube.Cover {
+	out := cube.Cover{N: f.N}
+	for _, c := range f.Cubes {
+		e := expandCube(c, off)
+		if !out.SingleCubeContains(e) {
+			out.Add(e)
+		}
+	}
+	// A later expansion may absorb an earlier one.
+	return absorb(out)
+}
+
+func expandCube(c cube.Cube, off cube.Cover) cube.Cube {
+	for _, v := range c.Vars() {
+		e := c.WithoutVar(v)
+		if !intersectsCover(e, off) {
+			c = e
+		}
+	}
+	return c
+}
+
+func intersectsCover(c cube.Cube, f cube.Cover) bool {
+	for _, d := range f.Cubes {
+		if c.Intersects(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// absorb removes cubes single-cube contained in another cube.
+func absorb(f cube.Cover) cube.Cover {
+	out := cube.Cover{N: f.N}
+	for i, c := range f.Cubes {
+		dominated := false
+		for j, d := range f.Cubes {
+			if i == j {
+				continue
+			}
+			if d.Contains(c) && (!c.Contains(d) || j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// irredundant removes cubes whose care points are covered by the rest of
+// the cover.
+func irredundant(f, dc cube.Cover) cube.Cover {
+	out := f.Clone()
+	for i := 0; i < len(out.Cubes); i++ {
+		rest := cube.Cover{N: out.N}
+		rest.Cubes = append(rest.Cubes, out.Cubes[:i]...)
+		rest.Cubes = append(rest.Cubes, out.Cubes[i+1:]...)
+		// The cube is redundant when rest ∪ DC covers it.
+		restDC := cube.Or(rest, dc)
+		if restDC.ContainsCube(out.Cubes[i]) {
+			out = rest
+			i--
+		}
+	}
+	return out
+}
+
+// reduce shrinks each cube to the smallest cube containing the care points
+// it alone covers, opening room for a different expansion next round.
+func reduce(f, dc cube.Cover) cube.Cover {
+	out := f.Clone()
+	for i, c := range out.Cubes {
+		rest := cube.Cover{N: out.N}
+		rest.Cubes = append(rest.Cubes, out.Cubes[:i]...)
+		rest.Cubes = append(rest.Cubes, out.Cubes[i+1:]...)
+		restDC := cube.Or(rest, dc)
+		// Residue: the part of c not covered elsewhere = c ∩ ¬restDC.
+		notRest := restDC.Complement()
+		residue := cube.Cover{N: out.N}
+		for _, d := range notRest.Cubes {
+			if ic, ok := c.Intersect(d); ok {
+				residue.Add(ic)
+			}
+		}
+		if sc, ok := cube.SupercubeOfCover(residue); ok {
+			if isc, ok2 := c.Intersect(sc); ok2 {
+				out.Cubes[i] = isc
+			}
+		}
+		// If the residue is empty the cube is fully redundant; leave it for
+		// irredundant to remove next round.
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package espresso
+
+import (
+	"math/rand"
+	"testing"
+
+	"gfmap/internal/cube"
+)
+
+var abcd = []string{"a", "b", "c", "d"}
+
+func TestMinimizeClassic(t *testing.T) {
+	// The redundant consensus cover minimises to two cubes.
+	on := cube.MustParseCover("ab + a'c + bc", abcd[:3])
+	res, err := Minimize(on, cube.Cover{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cover.Cubes) != 2 {
+		t.Errorf("got %d cubes (%v), want 2", len(res.Cover.Cubes), res.Cover.StringVars(abcd))
+	}
+	if !res.Cover.EquivalentTo(on) {
+		t.Error("function changed")
+	}
+}
+
+func TestMinimizeMergesAdjacent(t *testing.T) {
+	// Four minterms forming a single cube.
+	on := cube.MustParseCover("ab'c'd' + abc'd' + ab'cd' + abcd'", abcd)
+	res, err := Minimize(on, cube.Cover{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cover.Cubes) != 1 {
+		t.Errorf("got %v, want the single cube ad'", res.Cover.StringVars(abcd))
+	}
+}
+
+func TestMinimizeWithDontCares(t *testing.T) {
+	// f = minterm a'b'; dc = a'b allows the whole cube a'.
+	names := []string{"a", "b"}
+	on := cube.MustParseCover("a'b'", names)
+	dc := cube.MustParseCover("a'b", names)
+	res, err := Minimize(on, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cover.StringVars(names); got != "a'" {
+		t.Errorf("got %q, want a'", got)
+	}
+}
+
+// TestMinimizeRandomPreservesFunction: on random covers the result is
+// functionally identical on the care set and never larger.
+func TestMinimizeRandomPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		n := 5
+		on := cube.NewCover(n)
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			used := rng.Uint64() & cube.VarMask(n)
+			on.Add(cube.Cube{Used: used, Phase: rng.Uint64() & used})
+		}
+		res, err := Minimize(on, cube.Cover{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cover.EquivalentTo(on) {
+			t.Fatalf("iter %d: function changed: %v -> %v", iter, on, res.Cover)
+		}
+		if coverCost(res.Cover) > coverCost(on) {
+			t.Fatalf("iter %d: minimisation increased cost", iter)
+		}
+		// Every result cube is prime and the cover is irredundant.
+		for _, c := range res.Cover.Cubes {
+			if !res.Cover.IsPrime(c) {
+				t.Fatalf("iter %d: non-prime cube %v in result %v", iter, c, res.Cover)
+			}
+		}
+	}
+}
+
+// TestMinimizeRandomWithDC: don't-cares may be absorbed but OFF points
+// must stay uncovered.
+func TestMinimizeRandomWithDC(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for iter := 0; iter < 120; iter++ {
+		n := 4
+		mk := func(k int) cube.Cover {
+			f := cube.NewCover(n)
+			for i := 0; i < k; i++ {
+				used := rng.Uint64() & cube.VarMask(n)
+				f.Add(cube.Cube{Used: used, Phase: rng.Uint64() & used})
+			}
+			return f
+		}
+		on := mk(1 + rng.Intn(3))
+		dc := mk(rng.Intn(2))
+		res, err := Minimize(on, dc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			switch {
+			case dc.Eval(p):
+				// Don't-care (overlapping ON∩DC counts as DC): anything goes.
+			case on.Eval(p):
+				if !res.Cover.Eval(p) {
+					t.Fatalf("iter %d: ON point %x uncovered", iter, p)
+				}
+			default:
+				if res.Cover.Eval(p) {
+					t.Fatalf("iter %d: OFF point %x covered", iter, p)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMinimize(b *testing.B) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	on := cube.MustParseCover("ab + a'c + bc + de + d'f + ef + ad + b'e'", names)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Minimize(on, cube.Cover{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

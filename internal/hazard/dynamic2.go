@@ -1,0 +1,172 @@
+package hazard
+
+import (
+	"gfmap/internal/bexpr"
+	"gfmap/internal/cube"
+)
+
+// Dyn2Record is the output of one iteration of findMicDynHaz2level
+// (§4.2.1): an irredundant cube intersection c together with the sets of
+// adjacent cubes on which the function is constant 0 (Alpha) and constant 1
+// (Beta). The dynamic logic hazards it denotes are the transition spaces
+// T[i,j] for every pair of points i ∈ Alpha, j ∈ Beta.
+type Dyn2Record struct {
+	Intersection cube.Cube
+	Alpha        []cube.Cube // adjacent cubes with f ≡ 0
+	Beta         []cube.Cube // adjacent cubes with f ≡ 1
+}
+
+// MicDynHaz2Level is the paper's procedure findMicDynHaz2level: it finds
+// every multi-input-change dynamic logic hazard of a two-level SOP that is
+// not already characterised by a static 1-hazard, by forming the minimal
+// function-hazard-free transition spaces around each irredundant cube
+// intersection (Theorem 4.2).
+func MicDynHaz2Level(f cube.Cover) []Dyn2Record {
+	intersections := irredundantIntersections(f)
+	var out []Dyn2Record
+	for _, c := range intersections {
+		rec := Dyn2Record{Intersection: c}
+		for _, d := range c.AdjacentCubes() {
+			switch constantOn(f, d) {
+			case 0:
+				rec.Alpha = append(rec.Alpha, d)
+			case 1:
+				rec.Beta = append(rec.Beta, d)
+			default:
+				// The function is mixed over d (only possible when the
+				// intersection is not a minterm). Classify at minterm
+				// granularity, as the paper's minterm-based Example 4.2.4
+				// does implicitly.
+				if f.N <= MaxExhaustiveVars {
+					for _, m := range d.Minterms(f.N, nil) {
+						mc := cube.Minterm(f.N, m)
+						if f.Eval(m) {
+							rec.Beta = append(rec.Beta, mc)
+						} else {
+							rec.Alpha = append(rec.Alpha, mc)
+						}
+					}
+				}
+			}
+		}
+		if len(rec.Alpha) > 0 && len(rec.Beta) > 0 {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// irredundantIntersections returns the deduplicated non-empty pairwise cube
+// intersections of the cover, excluding degenerate cases where one cube
+// contains the other (those contribute no genuine overlap region distinct
+// from a cube of the expression).
+func irredundantIntersections(f cube.Cover) []cube.Cube {
+	var out []cube.Cube
+	for i := 0; i < len(f.Cubes); i++ {
+		for j := i + 1; j < len(f.Cubes); j++ {
+			ci, cj := f.Cubes[i], f.Cubes[j]
+			c, ok := ci.Intersect(cj)
+			if !ok {
+				continue
+			}
+			if c.Equal(ci) || c.Equal(cj) {
+				continue
+			}
+			out = append(out, c)
+		}
+	}
+	return cube.DedupCubes(out)
+}
+
+// constantOn classifies the function over cube d: 0 when f ≡ 0 on d, 1 when
+// f ≡ 1 on d, and -1 otherwise.
+func constantOn(f cube.Cover, d cube.Cube) int {
+	intersects := false
+	for _, c := range f.Cubes {
+		if c.Intersects(d) {
+			intersects = true
+			break
+		}
+	}
+	if !intersects {
+		return 0
+	}
+	if f.ContainsCube(d) {
+		return 1
+	}
+	return -1
+}
+
+// ExpandDyn2 converts compact records into transition-level dynamic
+// hazards, keeping only function-hazard-free minterm pairs (condition 1 of
+// Theorem 4.1). It requires f.N ≤ MaxExhaustiveVars.
+func ExpandDyn2(f cube.Cover, recs []Dyn2Record) []Transition {
+	eval := func(p uint64) bool { return f.Eval(p) }
+	seen := make(map[Transition]struct{})
+	var out []Transition
+	for _, rec := range recs {
+		var zeros, ones []uint64
+		for _, a := range rec.Alpha {
+			zeros = a.Minterms(f.N, zeros)
+		}
+		for _, b := range rec.Beta {
+			ones = b.Minterms(f.N, ones)
+		}
+		for _, z := range zeros {
+			for _, o := range ones {
+				tr := Transition{From: z, To: o}
+				if _, dup := seen[tr]; dup {
+					continue
+				}
+				if !FunctionHazardFree(eval, f.N, z, o) {
+					continue
+				}
+				// Condition 2 of Theorem 4.1: some cube must intersect the
+				// transition space without containing the 1-endpoint.
+				tc := cube.Supercube(cube.Minterm(f.N, z), cube.Minterm(f.N, o))
+				cond2 := false
+				for _, c := range f.Cubes {
+					if c.Intersects(tc) && !c.ContainsPoint(o) {
+						cond2 = true
+						break
+					}
+				}
+				if !cond2 {
+					continue
+				}
+				seen[tr] = struct{}{}
+				out = append(out, tr)
+			}
+		}
+	}
+	return out
+}
+
+// MicDynHazMultiLevel is the paper's procedure findMicDynHazMultiLevel
+// (§4.2.2): flatten the multi-level expression to two-level SOP with
+// hazard-preserving transformations, run findMicDynHaz2level as a filter,
+// then examine the original multi-level structure on exactly the candidate
+// transitions and discard false hazards.
+func MicDynHazMultiLevel(f *bexpr.Function) ([]Transition, error) {
+	cov, err := f.Cover()
+	if err != nil {
+		return nil, err
+	}
+	recs := MicDynHaz2Level(cov)
+	candidates := ExpandDyn2(cov, recs)
+	sim, err := NewSimulator(f)
+	if err != nil {
+		return nil, err
+	}
+	var out []Transition
+	for _, tr := range candidates {
+		hazardous, err := sim.DynamicTransitionHazardous(tr.From, tr.To)
+		if err != nil {
+			return nil, err
+		}
+		if hazardous {
+			out = append(out, tr)
+		}
+	}
+	return out, nil
+}

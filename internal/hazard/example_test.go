@@ -1,0 +1,40 @@
+package hazard_test
+
+import (
+	"fmt"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/cube"
+	"gfmap/internal/hazard"
+)
+
+// ExampleAnalyze characterises the classic 2:1 multiplexer, whose
+// sum-of-products structure glitches when the select changes with both
+// data inputs high.
+func ExampleAnalyze() {
+	mux := bexpr.MustParse("s'*a + s*b")
+	set, _ := hazard.Analyze(mux)
+	fmt.Println(set)
+	// Output: static-1:1 static-0:0 dynamic:2
+}
+
+// ExampleRepairStatic1 inserts the consensus cube that removes the mux's
+// static-1 hazard.
+func ExampleRepairStatic1() {
+	names := []string{"s", "a", "b"}
+	mux := cube.MustParseCover("s'a + sb", names)
+	fixed, _ := hazard.RepairStatic1(mux)
+	fmt.Println(fixed.StringVars(names))
+	// Output: s'a + sb + ab
+}
+
+// ExampleStatic1Hazards runs the paper's static_1_analysis procedure on a
+// cover with an uncovered cube adjacency.
+func ExampleStatic1Hazards() {
+	names := []string{"w", "x", "y", "z"}
+	f := cube.MustParseCover("w'yz + wxy", names)
+	for _, rec := range hazard.Static1Hazards(f) {
+		fmt.Println("uncovered transition region:", rec.T.StringVars(names))
+	}
+	// Output: uncovered transition region: xyz
+}

@@ -1,0 +1,82 @@
+package hazard
+
+import (
+	"fmt"
+
+	"gfmap/internal/cube"
+)
+
+// The paper notes (§4) that the hazard-analysis algorithms "can also be
+// extended to hazard-removal algorithms". This file implements that
+// extension for static logic 1-hazards of two-level covers: the analysis
+// pinpoints the uncovered transition regions, and repair inserts exactly
+// the redundant cubes (expanded to primes) that hold the output through
+// them — the generalisation of adding the consensus cube to a multiplexer.
+
+// RepairStatic1 returns a cover with additional (functionally redundant)
+// prime cubes such that no multi-input-change static logic 1-hazard
+// remains. The function is unchanged; only its structure grows. The
+// procedure iterates analysis and insertion until the analysis is clean,
+// which terminates because each round adds a prime implicant not yet in
+// the cover and the prime count is finite.
+func RepairStatic1(f cube.Cover) (cube.Cover, error) {
+	out := f.Clone()
+	for round := 0; ; round++ {
+		if round > 1<<16 {
+			return cube.Cover{}, fmt.Errorf("hazard: static-1 repair did not converge")
+		}
+		recs := Static1Hazards(out)
+		if len(recs) == 0 {
+			return out, nil
+		}
+		added := false
+		for _, rec := range recs {
+			p := out.ExpandToPrime(rec.T)
+			dup := false
+			for _, c := range out.Cubes {
+				if c.Equal(p) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out.Add(p)
+				added = true
+			}
+		}
+		if !added {
+			// Every hazard region's prime is already present yet the
+			// analysis still complains: the remaining records come from
+			// non-prime cubes; replace them by their primes.
+			for i, c := range out.Cubes {
+				out.Cubes[i] = out.ExpandToPrime(c)
+			}
+			out.Cubes = cube.DedupCubes(out.Cubes)
+			if len(Static1Hazards(out)) != 0 {
+				return cube.Cover{}, fmt.Errorf("hazard: static-1 repair stalled")
+			}
+			return out, nil
+		}
+	}
+}
+
+// RepairStatic1SIC removes only the single-input-change static 1-hazards,
+// inserting the consensus cube of every uncovered adjacency. This is the
+// lighter repair appropriate for single-input-change fundamental-mode
+// designs.
+func RepairStatic1SIC(f cube.Cover) (cube.Cover, error) {
+	out := f.Clone()
+	for round := 0; ; round++ {
+		if round > 1<<16 {
+			return cube.Cover{}, fmt.Errorf("hazard: s.i.c. static-1 repair did not converge")
+		}
+		recs := Static1HazardsSIC(out)
+		if len(recs) == 0 {
+			return out, nil
+		}
+		for _, rec := range recs {
+			out.Add(rec.T)
+		}
+		out.Cubes = cube.DedupCubes(out.Cubes)
+	}
+}

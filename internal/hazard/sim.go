@@ -1,0 +1,329 @@
+package hazard
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gfmap/internal/bexpr"
+)
+
+// MaxSkewPaths bounds the number of simultaneously changing signal paths
+// the interleaving simulation will enumerate exactly (2^k states). Library
+// cells and match clusters stay far below this; wider cases return an
+// error rather than a silently approximate answer.
+const MaxSkewPaths = 20
+
+// Simulator classifies input transitions of a multi-level expression under
+// the standard asynchronous delay model: every path from an input leaf to
+// the output has its own arbitrary delay, so during a multi-input change
+// the leaf values flip one at a time in an arbitrary order. The output
+// glitches for some delay assignment iff it changes value more than
+// permitted along some interleaving — a condition the simulator decides
+// exactly with a subset dynamic program over the changing paths.
+//
+// On two-level SOP structures the model coincides with the cube conditions
+// of Theorem 4.1 (a cube intersecting the transition space without
+// containing the 1-endpoint can pulse); on multi-level structures it
+// additionally accounts for shared paths, which is what makes, for
+// example, (w+x)*y cleaner than w*y + x*y (Figure 4).
+type Simulator struct {
+	f        *bexpr.Function
+	n        int
+	leafVar  []int    // variable index of each leaf, in DFS order
+	varPaths []uint64 // for each variable, bitmask of its leaf indices
+	val      []bool   // cached static truth table
+	// shared marks variables whose leaf occurrences ride one physical
+	// wire and therefore switch atomically — the pass-transistor (Actel
+	// Act2) select model of the paper's §6: in a transmission-gate mux
+	// tree the reconvergent select literals are not independent paths.
+	shared uint64
+}
+
+// NewSimulator prepares a simulator for the expression. It requires at
+// most MaxExhaustiveVars variables and MaxSkewPaths leaves per variable
+// group involved in any transition (checked per call).
+func NewSimulator(f *bexpr.Function) (*Simulator, error) {
+	return NewSimulatorShared(f, 0)
+}
+
+// NewSimulatorShared prepares a simulator in which the variables of the
+// given bitmask have shared (atomically switching) paths.
+func NewSimulatorShared(f *bexpr.Function, shared uint64) (*Simulator, error) {
+	n := f.NumVars()
+	if n > MaxExhaustiveVars {
+		return nil, fmt.Errorf("hazard: %d variables exceed the exact-analysis bound %d", n, MaxExhaustiveVars)
+	}
+	s := &Simulator{f: f, n: n, varPaths: make([]uint64, n), shared: shared}
+	var walk func(e *bexpr.Expr) error
+	walk = func(e *bexpr.Expr) error {
+		if e.Op == bexpr.OpVar {
+			idx := len(s.leafVar)
+			if idx >= 64 {
+				return fmt.Errorf("hazard: expression has more than 64 leaves")
+			}
+			v := f.VarIndex(e.Name)
+			s.leafVar = append(s.leafVar, v)
+			s.varPaths[v] |= 1 << uint(idx)
+			return nil
+		}
+		for _, k := range e.Kids {
+			if err := walk(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(f.Root); err != nil {
+		return nil, err
+	}
+	size := uint64(1) << uint(n)
+	s.val = make([]bool, size)
+	for p := uint64(0); p < size; p++ {
+		s.val[p] = f.Eval(p)
+	}
+	return s, nil
+}
+
+// Eval returns the cached static value of the function at a point.
+func (s *Simulator) Eval(p uint64) bool { return s.val[p] }
+
+// evalLeaves evaluates the expression with an explicit value per leaf,
+// given as a bitmask over DFS leaf indices.
+func (s *Simulator) evalLeaves(leafBits uint64) bool {
+	idx := 0
+	var rec func(e *bexpr.Expr) bool
+	rec = func(e *bexpr.Expr) bool {
+		switch e.Op {
+		case bexpr.OpConst:
+			return e.Val
+		case bexpr.OpVar:
+			v := leafBits&(1<<uint(idx)) != 0
+			idx++
+			return v
+		case bexpr.OpNot:
+			return !rec(e.Kids[0])
+		case bexpr.OpAnd:
+			out := true
+			for _, k := range e.Kids {
+				if !rec(k) {
+					out = false
+				}
+			}
+			return out
+		case bexpr.OpOr:
+			out := false
+			for _, k := range e.Kids {
+				if rec(k) {
+					out = true
+				}
+			}
+			return out
+		}
+		panic("hazard: bad op")
+	}
+	return rec(s.f.Root)
+}
+
+// leafBitsAt returns the leaf-value bitmask corresponding to a static
+// input point.
+func (s *Simulator) leafBitsAt(p uint64) uint64 {
+	var out uint64
+	for i, v := range s.leafVar {
+		if p&(1<<uint(v)) != 0 {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// MaxOutputChanges returns the largest number of output value changes over
+// all interleavings of the changing paths for the transition a→b. Leaves
+// of shared variables switch together as one event.
+func (s *Simulator) MaxOutputChanges(a, b uint64) (int, error) {
+	changing := a ^ b
+	// Collect independently switching groups of leaf indices: one group
+	// per leaf for ordinary variables, one group per variable for shared
+	// ones.
+	var groups []uint64
+	for v := 0; v < s.n; v++ {
+		if changing&(1<<uint(v)) == 0 {
+			continue
+		}
+		if s.shared&(1<<uint(v)) != 0 {
+			if s.varPaths[v] != 0 {
+				groups = append(groups, s.varPaths[v])
+			}
+			continue
+		}
+		paths := s.varPaths[v]
+		for paths != 0 {
+			bit := paths & -paths
+			paths &^= bit
+			groups = append(groups, bit)
+		}
+	}
+	k := len(groups)
+	if k > MaxSkewPaths {
+		return 0, fmt.Errorf("hazard: transition flips %d paths, exceeding the %d-path bound", k, MaxSkewPaths)
+	}
+	base := s.leafBitsAt(a)
+	target := s.leafBitsAt(b)
+	// val[sub] = output with the groups of sub switched to their b values.
+	vals := make([]bool, 1<<uint(k))
+	for sub := 0; sub < 1<<uint(k); sub++ {
+		bitsMask := base
+		for j := 0; j < k; j++ {
+			if sub&(1<<uint(j)) != 0 {
+				leaves := groups[j]
+				bitsMask = (bitsMask &^ leaves) | (target & leaves)
+			}
+		}
+		vals[sub] = s.evalLeaves(bitsMask)
+	}
+	// DP over the subset lattice: mc[sub] = max changes along any monotone
+	// chain from the empty set to sub.
+	mc := make([]int8, 1<<uint(k))
+	for sub := 1; sub < 1<<uint(k); sub++ {
+		best := int8(-1)
+		rest := sub
+		for rest != 0 {
+			j := bits.TrailingZeros64(uint64(rest))
+			rest &^= 1 << uint(j)
+			prev := sub &^ (1 << uint(j))
+			c := mc[prev]
+			if vals[sub] != vals[prev] {
+				c++
+			}
+			if c > best {
+				best = c
+			}
+		}
+		mc[sub] = best
+	}
+	return int(mc[len(mc)-1]), nil
+}
+
+// Classify determines whether the transition between points a and b is
+// logic-hazardous in this implementation, returning the hazard kind and
+// whether a logic hazard is present. Function-hazardous transitions are
+// never logic hazards (ok=false, hazard=false).
+func (s *Simulator) Classify(a, b uint64) (kind Kind, hazardous bool, err error) {
+	fa, fb := s.val[a], s.val[b]
+	fmc := s.functionMaxChanges(a, b)
+	if fa == fb {
+		if fmc > 0 {
+			return 0, false, nil // static function hazard
+		}
+		mc, err := s.MaxOutputChanges(a, b)
+		if err != nil {
+			return 0, false, err
+		}
+		if fa {
+			return KindStatic1, mc > 0, nil
+		}
+		return KindStatic0, mc > 0, nil
+	}
+	if fmc > 1 {
+		return 0, false, nil // dynamic function hazard
+	}
+	mc, err := s.MaxOutputChanges(a, b)
+	if err != nil {
+		return 0, false, err
+	}
+	return KindDynamic, mc > 1, nil
+}
+
+// functionMaxChanges returns the largest number of value changes of the
+// *function* along any monotone path of input points from a to b — the
+// function-hazard counterpart of MaxOutputChanges. A static transition has
+// a function hazard iff the result is positive; a dynamic one iff it
+// exceeds one. The DP runs over subsets of the changing variables, reading
+// the cached truth table, so it is fast even for wide supports.
+func (s *Simulator) functionMaxChanges(a, b uint64) int {
+	changing := a ^ b
+	var cv []uint64
+	for v := 0; v < s.n; v++ {
+		if changing&(1<<uint(v)) != 0 {
+			cv = append(cv, 1<<uint(v))
+		}
+	}
+	k := len(cv)
+	if k == 0 {
+		return 0
+	}
+	size := 1 << uint(k)
+	mc := make([]int8, size)
+	vals := make([]bool, size)
+	for sub := 0; sub < size; sub++ {
+		p := a
+		for j := 0; j < k; j++ {
+			if sub&(1<<uint(j)) != 0 {
+				p = (p &^ cv[j]) | (b & cv[j])
+			}
+		}
+		vals[sub] = s.val[p]
+	}
+	for sub := 1; sub < size; sub++ {
+		best := int8(-1)
+		rest := sub
+		for rest != 0 {
+			j := bits.TrailingZeros64(uint64(rest))
+			rest &^= 1 << uint(j)
+			prev := sub &^ (1 << uint(j))
+			c := mc[prev]
+			if vals[sub] != vals[prev] {
+				c++
+			}
+			if c > best {
+				best = c
+			}
+		}
+		mc[sub] = best
+	}
+	return int(mc[size-1])
+}
+
+// AnalyzeShared computes the exact hazard set of an expression in which
+// the masked variables have shared paths (the pass-transistor model).
+func AnalyzeShared(f *bexpr.Function, shared uint64) (*Set, error) {
+	sim, err := NewSimulatorShared(f, shared)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Analyze()
+}
+
+// Analyze enumerates every unordered pair of input points and builds the
+// exact hazard set of the implementation.
+func (s *Simulator) Analyze() (*Set, error) {
+	set := NewSet(s.n)
+	size := uint64(1) << uint(s.n)
+	for a := uint64(0); a < size; a++ {
+		for b := a + 1; b < size; b++ {
+			kind, hazardous, err := s.Classify(a, b)
+			if err != nil {
+				return nil, err
+			}
+			if !hazardous {
+				continue
+			}
+			tr := Transition{From: a, To: b}
+			if kind == KindDynamic && s.val[a] {
+				tr = Transition{From: b, To: a} // From is the 0-endpoint
+			}
+			set.add(kind, tr)
+		}
+	}
+	return set, nil
+}
+
+// DynamicTransitionHazardous reports whether the specific
+// function-hazard-free transition from the 0-point zero to the 1-point one
+// exhibits a dynamic logic hazard in this implementation.
+func (s *Simulator) DynamicTransitionHazardous(zero, one uint64) (bool, error) {
+	mc, err := s.MaxOutputChanges(zero, one)
+	if err != nil {
+		return false, err
+	}
+	return mc > 1, nil
+}

@@ -1,0 +1,150 @@
+package hazard
+
+import (
+	"gfmap/internal/bexpr"
+	"gfmap/internal/cube"
+)
+
+// Static0Record describes a static logic 0-hazard of a multi-level
+// expression (§4.1.2): a vacuous product term of the path-labelled SOP —
+// variable Var reconverges in both phases — whose side literals can be
+// sensitised while the output should stay 0 across a change of Var.
+type Static0Record struct {
+	Var  int       // the reconverging variable
+	Side cube.Cube // the values of the other variables in the vacuous term
+}
+
+// SicDynRecord describes a single-input-change dynamic logic hazard
+// (§4.2.3): with the vacuous term's side literals held, a change of Var
+// drives the output through a proper transition while the vacuous term can
+// add an extra pulse.
+type SicDynRecord struct {
+	Var  int
+	Side cube.Cube
+	// FromValue is the value of Var at the hazardous transition's starting
+	// point (the output-0 endpoint).
+	FromValue bool
+}
+
+// labelAnalysis is the shared path-labelling pass: it transforms the
+// expression to its labelled SOP and extracts, for every vacuous product
+// term with exactly one doubly-phased variable, that variable and the side
+// cube formed by the remaining literals. Terms whose side literals
+// themselves conflict (two or more reconverging variables) require
+// multi-input changes and are handled by the transition-level analysis
+// instead.
+func labelAnalysis(f *bexpr.Function) (*bexpr.LabeledCover, []Static0Record, error) {
+	lc, err := f.Labeled()
+	if err != nil {
+		return nil, nil, err
+	}
+	var cands []Static0Record
+	for t := range lc.Terms {
+		v := lc.VacuousVar(t)
+		if v < 0 {
+			continue
+		}
+		side := cube.Universal
+		multi := false
+		for _, p := range lc.Terms[t] {
+			pa := pathOf(lc, p)
+			if pa.Var == v {
+				continue
+			}
+			var both bool
+			side, both = addSideLiteral(side, pa)
+			if both {
+				multi = true
+				break
+			}
+		}
+		if multi {
+			continue
+		}
+		cands = append(cands, Static0Record{Var: v, Side: side})
+	}
+	return lc, cands, nil
+}
+
+func pathOf(lc *bexpr.LabeledCover, p int) bexpr.Path { return lc.Paths[p] }
+
+// addSideLiteral intersects the side cube with the literal implied by a
+// path (signal must be 1, so the variable takes value !Neg). both reports a
+// phase conflict, i.e. a second reconverging variable.
+func addSideLiteral(side cube.Cube, pa bexpr.Path) (cube.Cube, bool) {
+	out, ok := side.WithLiteral(pa.Var, !pa.Neg)
+	if !ok {
+		return side, true
+	}
+	return out, false
+}
+
+// Static0Hazards finds the single-input-change static 0-hazards of a
+// multi-level expression: for each vacuous term, the hazard is real iff
+// some assignment consistent with the side cube keeps the output 0 for both
+// values of the reconverging variable (the glitch would then be visible).
+// The sensitisation check uses cover algebra (OFF-set cofactors), so it
+// scales beyond the exhaustive-analysis bound.
+func Static0Hazards(f *bexpr.Function) ([]Static0Record, error) {
+	_, cands, err := labelAnalysis(f)
+	if err != nil {
+		return nil, err
+	}
+	on, err := f.Cover()
+	if err != nil {
+		return nil, err
+	}
+	off := on.Complement()
+	var out []Static0Record
+	seen := make(map[Static0Record]struct{})
+	for _, cand := range cands {
+		// Need: ∃ x ⊇ Side with f(x, v=0) = 0 and f(x, v=1) = 0.
+		g := cube.And(off.CofactorLiteral(cand.Var, false), off.CofactorLiteral(cand.Var, true))
+		sideCover := cube.NewCover(on.N)
+		sideCover.Add(cand.Side.WithoutVar(cand.Var))
+		if !cube.And(g, sideCover).IsEmpty() {
+			key := Static0Record{Var: cand.Var, Side: cand.Side.WithoutVar(cand.Var)}
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				out = append(out, key)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SicDynHazards finds the single-input-change dynamic logic hazards of a
+// multi-level expression per §4.2.3: a vacuous term whose side literals can
+// be sensitised while the change of its reconverging variable properly
+// toggles the output from 0 to 1.
+func SicDynHazards(f *bexpr.Function) ([]SicDynRecord, error) {
+	_, cands, err := labelAnalysis(f)
+	if err != nil {
+		return nil, err
+	}
+	on, err := f.Cover()
+	if err != nil {
+		return nil, err
+	}
+	off := on.Complement()
+	var out []SicDynRecord
+	seen := make(map[SicDynRecord]struct{})
+	for _, cand := range cands {
+		side := cand.Side.WithoutVar(cand.Var)
+		sideCover := cube.NewCover(on.N)
+		sideCover.Add(side)
+		for _, fromVal := range []bool{false, true} {
+			// Need: ∃ x ⊇ Side with f(x, v=fromVal) = 0 and f(x, v=!fromVal) = 1.
+			g := cube.And(off.CofactorLiteral(cand.Var, fromVal), on.CofactorLiteral(cand.Var, !fromVal))
+			if cube.And(g, sideCover).IsEmpty() {
+				continue
+			}
+			key := SicDynRecord{Var: cand.Var, Side: side, FromValue: fromVal}
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				out = append(out, key)
+			}
+		}
+	}
+	return out, nil
+}

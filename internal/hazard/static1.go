@@ -1,0 +1,122 @@
+package hazard
+
+import (
+	"gfmap/internal/cube"
+)
+
+// Static1Record describes one static logic 1-hazard found by the compact
+// analysis: a region T of the ON-set over which some multi-input-change
+// transition is not held by any single cube of the expression.
+type Static1Record struct {
+	// T is the hazardous transition region (an adjacency/consensus cube, or
+	// the prime expansion of a non-prime cube).
+	T cube.Cube
+	// FromNonPrime is true when the record came from the non-prime-cube
+	// branch of the algorithm rather than from an uncovered cube adjacency.
+	FromNonPrime bool
+}
+
+// Static1Hazards is the paper's static_1_analysis procedure (§4.1.1) on a
+// two-level SOP expression:
+//
+//  1. Every non-prime cube is expanded to a prime; if that prime is not in
+//     the expression, the transitions it spans are hazardous, and the prime
+//     replaces the cube for the adjacency pass.
+//  2. All cube adjacencies are generated in O(n²) cube pairs using the
+//     CONFLICTS bit-vector; an adjacency cube not contained in any single
+//     cube of the expression is a static 1-hazard.
+func Static1Hazards(f cube.Cover) []Static1Record {
+	var hazards []Static1Record
+	work := f.Clone()
+
+	// Pass 1: non-prime cubes.
+	for i, c := range work.Cubes {
+		if c.IsUniversal() || work.IsPrime(c) {
+			continue
+		}
+		prime := work.ExpandToPrime(c)
+		present := false
+		for _, d := range work.Cubes {
+			if d.Equal(prime) {
+				present = true
+				break
+			}
+		}
+		if !present {
+			hazards = append(hazards, Static1Record{T: prime, FromNonPrime: true})
+		}
+		work.Cubes[i] = prime
+	}
+	work.Cubes = cube.DedupCubes(work.Cubes)
+
+	// Pass 2: generate all cube adjacencies.
+	var adjacencies []cube.Cube
+	for i := 0; i < len(work.Cubes); i++ {
+		for j := i + 1; j < len(work.Cubes); j++ {
+			if adj, ok := cube.Consensus(work.Cubes[i], work.Cubes[j]); ok {
+				adjacencies = append(adjacencies, adj)
+			}
+		}
+	}
+	adjacencies = cube.DedupCubes(adjacencies)
+
+	// Pass 3: any adjacency not covered by a single cube is a hazard.
+	for _, adj := range adjacencies {
+		if !work.SingleCubeContains(adj) {
+			hazards = append(hazards, Static1Record{T: adj})
+		}
+	}
+	return hazards
+}
+
+// Static1HazardsSIC is the simpler single-input-change-only test of §4.1.1:
+// every cube adjacency must be covered by some single cube of the
+// expression. It skips the prime-expansion pass, since a non-prime cube by
+// itself only spans multi-input changes.
+func Static1HazardsSIC(f cube.Cover) []Static1Record {
+	var hazards []Static1Record
+	var adjacencies []cube.Cube
+	for i := 0; i < len(f.Cubes); i++ {
+		for j := i + 1; j < len(f.Cubes); j++ {
+			if adj, ok := cube.Consensus(f.Cubes[i], f.Cubes[j]); ok {
+				adjacencies = append(adjacencies, adj)
+			}
+		}
+	}
+	adjacencies = cube.DedupCubes(adjacencies)
+	for _, adj := range adjacencies {
+		if !f.SingleCubeContains(adj) {
+			hazards = append(hazards, Static1Record{T: adj})
+		}
+	}
+	return hazards
+}
+
+// Static1HazardFree reports whether the SOP expression has no static logic
+// 1-hazards at all for any multi-input-change transition. By the classical
+// theorem cited in the paper ([9]; Eichelberger), this holds iff every
+// prime implicant of the function appears in the cover.
+func Static1HazardFree(f cube.Cover) bool {
+	for _, p := range f.AllPrimes() {
+		found := false
+		for _, c := range f.Cubes {
+			if c.Equal(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Static1TransitionHazardous reports whether the specific static transition
+// between ON-set points a and b (with the function 1 throughout T[a,b]) is
+// hazardous in the given SOP: no single cube holds the whole transition
+// space.
+func Static1TransitionHazardous(f cube.Cover, a, b uint64) bool {
+	t := cube.Supercube(cube.Minterm(f.N, a), cube.Minterm(f.N, b))
+	return !f.SingleCubeContains(t)
+}

@@ -1,0 +1,199 @@
+package hfmin
+
+import (
+	"sort"
+
+	"gfmap/internal/cube"
+)
+
+// exactCoverLimit bounds the problem size for the exact branch-and-bound
+// covering solver; larger instances fall back to the greedy heuristic.
+const exactCoverLimit = 24
+
+// MinimizeExact solves the hazard-free covering problem like Minimize but
+// uses exact branch-and-bound covering (minimum number of implicants, ties
+// broken by total literal count) when the instance is small enough. The
+// returned flag reports whether the solution is provably minimal.
+func MinimizeExact(spec Spec) (*Result, bool, error) {
+	if spec.DC.N == 0 && len(spec.DC.Cubes) == 0 {
+		spec.DC = cube.NewCover(spec.N)
+	}
+	res, err := Minimize(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	rows, candidates, err := coverMatrix(spec, res)
+	if err != nil || len(rows) > exactCoverLimit || len(candidates) > exactCoverLimit {
+		return res, false, nil
+	}
+	best := exactCover(rows, candidates)
+	if best == nil {
+		return res, false, nil
+	}
+	var cubes []cube.Cube
+	for _, c := range best {
+		cubes = append(cubes, candidates[c])
+	}
+	cubes = cube.DedupCubes(cubes)
+	exact := &Result{
+		Cover:      cube.Cover{N: spec.N, Cubes: cubes},
+		Required:   res.Required,
+		Privileged: res.Privileged,
+		Candidates: res.Candidates,
+	}
+	if err := Check(spec, exact.Cover); err != nil {
+		// Defensive: if the exact solution somehow fails verification, keep
+		// the greedy result.
+		return res, false, nil
+	}
+	if betterCover(exact.Cover, res.Cover) {
+		return exact, true, nil
+	}
+	return res, true, nil
+}
+
+func betterCover(a, b cube.Cover) bool {
+	if len(a.Cubes) != len(b.Cubes) {
+		return len(a.Cubes) < len(b.Cubes)
+	}
+	return totalLiterals(a) < totalLiterals(b)
+}
+
+func totalLiterals(c cube.Cover) int {
+	n := 0
+	for _, cb := range c.Cubes {
+		n += cb.NumLiterals()
+	}
+	return n
+}
+
+// coverMatrix reconstructs the covering constraints of a solved instance:
+// rows are required cubes plus ON minterms, columns the candidates that
+// legally satisfy each row.
+func coverMatrix(spec Spec, res *Result) ([][]int, []cube.Cube, error) {
+	// Re-derive the candidate implicants the same way Minimize does, by
+	// re-running the generation on the spec. To keep the exact solver
+	// self-contained we use the chosen cover's cubes plus all required
+	// cubes expanded as candidates; this is a subset of the full candidate
+	// set but always includes a feasible solution (the greedy one).
+	onDC := cube.Or(spec.On, spec.DC)
+	legal := func(c cube.Cube) bool {
+		if !onDC.ContainsCube(c) {
+			return false
+		}
+		for _, p := range res.Privileged {
+			if c.Intersects(p.T) && !c.ContainsPoint(p.One) {
+				return false
+			}
+		}
+		return true
+	}
+	candSet := map[cube.Cube]bool{}
+	var candidates []cube.Cube
+	add := func(c cube.Cube) {
+		if legal(c) && !candSet[c] {
+			candSet[c] = true
+			candidates = append(candidates, c)
+		}
+	}
+	for _, c := range res.Cover.Cubes {
+		add(c)
+	}
+	for _, r := range res.Required {
+		add(r)
+		// All legal single-literal expansions of r widen the choice space.
+		for _, v := range r.Vars() {
+			add(r.WithoutVar(v))
+		}
+	}
+	var rows [][]int
+	addRow := func(contains func(cube.Cube) bool) {
+		var cols []int
+		for i, c := range candidates {
+			if contains(c) {
+				cols = append(cols, i)
+			}
+		}
+		rows = append(rows, cols)
+	}
+	for _, r := range res.Required {
+		r := r
+		addRow(func(c cube.Cube) bool { return c.Contains(r) })
+	}
+	for p := uint64(0); p < 1<<uint(spec.N); p++ {
+		if spec.value(p) != 1 {
+			continue
+		}
+		p := p
+		addRow(func(c cube.Cube) bool { return c.ContainsPoint(p) })
+	}
+	for _, cols := range rows {
+		if len(cols) == 0 {
+			return nil, nil, errNoColumn
+		}
+	}
+	return rows, candidates, nil
+}
+
+var errNoColumn = errNoColumnType{}
+
+type errNoColumnType struct{}
+
+func (errNoColumnType) Error() string { return "hfmin: exact matrix has an uncoverable row" }
+
+// exactCover finds a minimum-cardinality column set covering every row by
+// branch and bound over the hardest uncovered row.
+func exactCover(rows [][]int, candidates []cube.Cube) []int {
+	var best []int
+	var cur []int
+	covered := make([]int, len(rows)) // cover count per row
+
+	var rec func()
+	rec = func() {
+		if best != nil && len(cur) >= len(best) {
+			return
+		}
+		// Pick the uncovered row with the fewest choices.
+		pick := -1
+		for ri := range rows {
+			if covered[ri] > 0 {
+				continue
+			}
+			if pick < 0 || len(rows[ri]) < len(rows[pick]) {
+				pick = ri
+			}
+		}
+		if pick < 0 {
+			sel := append([]int(nil), cur...)
+			sort.Ints(sel)
+			best = sel
+			return
+		}
+		for _, col := range rows[pick] {
+			cur = append(cur, col)
+			for ri := range rows {
+				if containsInt(rows[ri], col) {
+					covered[ri]++
+				}
+			}
+			rec()
+			for ri := range rows {
+				if containsInt(rows[ri], col) {
+					covered[ri]--
+				}
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec()
+	return best
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,446 @@
+// Package hfmin implements hazard-free two-level logic minimisation for
+// specified multi-input-change transitions, in the style of Nowick and
+// Dill's exact minimiser (reference [12] of the paper). It is the
+// synthesis substrate that produces the hazard-free sum-of-products
+// equations the technology mapper starts from: burst-mode synthesis
+// specifies which input transitions the combinational logic must traverse
+// glitch-free, and hfmin chooses a cover in which
+//
+//   - every static 1→1 transition is held by a single cube (no static
+//     logic 1-hazard),
+//   - no cube intersects a dynamic transition's space without containing
+//     its 1-endpoint (no dynamic logic hazard, Theorem 4.1), and
+//   - the cover realises the function exactly.
+package hfmin
+
+import (
+	"fmt"
+	"sort"
+
+	"gfmap/internal/cube"
+)
+
+// Transition is a specified multi-input change between two input points.
+type Transition struct {
+	From, To uint64
+}
+
+// Spec is a hazard-free minimisation problem: a completely-specified
+// function given by its ON-set (everything else is OFF) over N variables,
+// plus don't-cares, and the set of transitions that must be glitch-free.
+type Spec struct {
+	N           int
+	On          cube.Cover
+	DC          cube.Cover
+	Transitions []Transition
+}
+
+// value returns 1/0/-1(dc) at a point.
+func (s *Spec) value(p uint64) int {
+	if s.DC.Eval(p) {
+		return -1
+	}
+	if s.On.Eval(p) {
+		return 1
+	}
+	return 0
+}
+
+// kindOf classifies a transition; don't-care endpoints are invalid.
+func (s *Spec) kindOf(t Transition) (string, error) {
+	vf, vt := s.value(t.From), s.value(t.To)
+	if vf < 0 || vt < 0 {
+		return "", fmt.Errorf("hfmin: transition endpoint in don't-care set")
+	}
+	switch {
+	case vf == 1 && vt == 1:
+		return "static1", nil
+	case vf == 0 && vt == 0:
+		return "static0", nil
+	case vf == 1 && vt == 0:
+		return "fall", nil
+	default:
+		return "rise", nil
+	}
+}
+
+// privileged is a dynamic transition's hazard constraint: any chosen
+// implicant intersecting T must contain the 1-endpoint One.
+type privileged struct {
+	T   cube.Cube
+	One uint64
+}
+
+// Result carries the minimised cover plus the derived constraint sets (for
+// reporting and tests).
+type Result struct {
+	Cover      cube.Cover
+	Required   []cube.Cube
+	Privileged []privileged
+	Candidates int
+}
+
+// Minimize solves the hazard-free covering problem. It returns an error
+// when the specification itself is infeasible: a transition has a function
+// hazard, or some required cube admits no dhf implicant (the classical
+// non-existence case of hazard-free logic).
+func Minimize(spec Spec) (*Result, error) {
+	if spec.N > cube.MaxVars || spec.N > 24 {
+		return nil, fmt.Errorf("hfmin: %d variables out of range", spec.N)
+	}
+	if spec.DC.N == 0 && len(spec.DC.Cubes) == 0 {
+		spec.DC = cube.NewCover(spec.N) // allow a zero-value DC set
+	}
+	if spec.On.N != spec.N || spec.DC.N != spec.N {
+		return nil, fmt.Errorf("hfmin: ON/DC covers must range over %d variables", spec.N)
+	}
+	onDC := cube.Or(spec.On, spec.DC)
+
+	var required []cube.Cube
+	var privs []privileged
+	for _, t := range spec.Transitions {
+		kind, err := spec.kindOf(t)
+		if err != nil {
+			return nil, err
+		}
+		tc := cube.Supercube(cube.Minterm(spec.N, t.From), cube.Minterm(spec.N, t.To))
+		switch kind {
+		case "static1":
+			if err := spec.checkStaticFHF(tc, 1); err != nil {
+				return nil, fmt.Errorf("hfmin: transition %x->%x: %w", t.From, t.To, err)
+			}
+			required = append(required, tc)
+		case "static0":
+			if err := spec.checkStaticFHF(tc, 0); err != nil {
+				return nil, fmt.Errorf("hfmin: transition %x->%x: %w", t.From, t.To, err)
+			}
+			// A two-level SOP cannot glitch on a static-0 transition.
+		case "fall", "rise":
+			one, zero := t.From, t.To
+			if kind == "rise" {
+				one, zero = t.To, t.From
+			}
+			if err := spec.checkDynamicFHF(tc, zero, one); err != nil {
+				return nil, fmt.Errorf("hfmin: transition %x->%x: %w", t.From, t.To, err)
+			}
+			privs = append(privs, privileged{T: tc, One: one})
+			// Every ON point of the transition space must be covered by a
+			// cube that also contains the 1-endpoint.
+			for _, x := range tc.Minterms(spec.N, nil) {
+				if spec.value(x) == 1 {
+					required = append(required, cube.Supercube(cube.Minterm(spec.N, x), cube.Minterm(spec.N, one)))
+				}
+			}
+		}
+	}
+	required = dropContained(required)
+
+	legal := func(c cube.Cube) bool {
+		if !onDC.ContainsCube(c) {
+			return false
+		}
+		for _, p := range privs {
+			if c.Intersects(p.T) && !c.ContainsPoint(p.One) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Candidate implicants: maximal legal expansions of the required cubes
+	// and of every ON minterm. Required cubes must themselves be legal
+	// (otherwise no hazard-free cover exists); an individual ON minterm
+	// inside a dynamic transition space is merely unusable as a seed — it
+	// will be covered through the required supercube that reaches the
+	// transition's 1-endpoint.
+	candSet := map[cube.Cube]bool{}
+	var candidates []cube.Cube
+	addCand := func(c cube.Cube) {
+		if !candSet[c] {
+			candSet[c] = true
+			candidates = append(candidates, c)
+		}
+	}
+	expand := func(seed cube.Cube) {
+		// Expand in several literal orders to diversify the maximal legal
+		// implicants reached.
+		vars := seed.Vars()
+		for rot := 0; rot < len(vars) || rot == 0; rot++ {
+			c := seed
+			for i := range vars {
+				v := vars[(i+rot)%len(vars)]
+				if ex := c.WithoutVar(v); legal(ex) {
+					c = ex
+				}
+			}
+			addCand(c)
+		}
+	}
+	for _, seed := range required {
+		if !legal(seed) {
+			if !onDC.ContainsCube(seed) {
+				return nil, fmt.Errorf("hfmin: required cube %v is not an implicant (function-hazardous specification)", seed)
+			}
+			return nil, fmt.Errorf("hfmin: required cube %v intersects a dynamic transition illegally; no hazard-free cover exists", seed)
+		}
+		expand(seed)
+	}
+	for p := uint64(0); p < 1<<uint(spec.N); p++ {
+		if spec.value(p) != 1 {
+			continue
+		}
+		if m := cube.Minterm(spec.N, p); legal(m) {
+			expand(m)
+		}
+	}
+
+	chosen, err := solveCovering(spec, required, candidates)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Cover:      cube.Cover{N: spec.N, Cubes: chosen},
+		Required:   required,
+		Privileged: privs,
+		Candidates: len(candidates),
+	}
+	if err := Check(spec, res.Cover); err != nil {
+		return nil, fmt.Errorf("hfmin: internal: produced cover fails verification: %w", err)
+	}
+	return res, nil
+}
+
+// checkStaticFHF verifies the function is constant over the transition
+// space (no static function hazard), treating DC points as compatible.
+func (s *Spec) checkStaticFHF(tc cube.Cube, want int) error {
+	for _, x := range tc.Minterms(s.N, nil) {
+		if v := s.value(x); v >= 0 && v != want {
+			return fmt.Errorf("static function hazard (point %x has value %d)", x, v)
+		}
+	}
+	return nil
+}
+
+// checkDynamicFHF verifies the 0→1 direction characterisation: every ON
+// point x of T must have f ≡ 1 on T[x, one].
+func (s *Spec) checkDynamicFHF(tc cube.Cube, zero, one uint64) error {
+	mOne := cube.Minterm(s.N, one)
+	for _, x := range tc.Minterms(s.N, nil) {
+		if s.value(x) != 1 {
+			continue
+		}
+		sub := cube.Supercube(cube.Minterm(s.N, x), mOne)
+		for _, y := range sub.Minterms(s.N, nil) {
+			if v := s.value(y); v == 0 {
+				return fmt.Errorf("dynamic function hazard (point %x drops to 0 between %x and %x)", y, x, one)
+			}
+		}
+	}
+	_ = zero
+	return nil
+}
+
+func dropContained(cs []cube.Cube) []cube.Cube {
+	cs = cube.DedupCubes(cs)
+	var out []cube.Cube
+	for i, c := range cs {
+		contained := false
+		for j, d := range cs {
+			if i == j {
+				continue
+			}
+			if d.Contains(c) && (!c.Contains(d) || j < i) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// solveCovering picks candidates so that every required cube is inside a
+// single chosen candidate and every ON minterm is covered, preferring few
+// and large cubes (greedy with essentials, then redundancy elimination).
+func solveCovering(spec Spec, required []cube.Cube, candidates []cube.Cube) ([]cube.Cube, error) {
+	// Rows: required cubes, then ON minterms not inside any required cube.
+	var rows []coverRow
+	for _, r := range required {
+		var cols []int
+		for i, c := range candidates {
+			if c.Contains(r) {
+				cols = append(cols, i)
+			}
+		}
+		if len(cols) == 0 {
+			return nil, fmt.Errorf("hfmin: no dhf implicant covers required cube %v; hazard-free cover does not exist", r)
+		}
+		rows = append(rows, coverRow{c: r, cols: cols})
+	}
+	for p := uint64(0); p < 1<<uint(spec.N); p++ {
+		if spec.value(p) != 1 {
+			continue
+		}
+		m := cube.Minterm(spec.N, p)
+		var cols []int
+		for i, c := range candidates {
+			if c.ContainsPoint(p) {
+				cols = append(cols, i)
+			}
+		}
+		if len(cols) == 0 {
+			return nil, fmt.Errorf("hfmin: ON minterm %x has no legal implicant; hazard-free cover does not exist", p)
+		}
+		rows = append(rows, coverRow{c: m, cols: cols})
+	}
+
+	covered := make([]bool, len(rows))
+	chosen := map[int]bool{}
+	pick := func(col int) {
+		chosen[col] = true
+		for ri, r := range rows {
+			if covered[ri] {
+				continue
+			}
+			for _, c := range r.cols {
+				if c == col {
+					covered[ri] = true
+					break
+				}
+			}
+		}
+	}
+	// Essentials first.
+	for ri, r := range rows {
+		if !covered[ri] && len(r.cols) == 1 {
+			pick(r.cols[0])
+		}
+	}
+	// Greedy: the candidate covering the most uncovered rows, ties broken
+	// by fewer literals (bigger cube), then by index for determinism.
+	for {
+		remaining := 0
+		for _, c := range covered {
+			if !c {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		best, bestCount, bestLits := -1, -1, 0
+		counts := make(map[int]int)
+		for ri, r := range rows {
+			if covered[ri] {
+				continue
+			}
+			for _, c := range r.cols {
+				counts[c]++
+			}
+		}
+		cols := make([]int, 0, len(counts))
+		for c := range counts {
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			lits := candidates[c].NumLiterals()
+			if counts[c] > bestCount || (counts[c] == bestCount && lits < bestLits) {
+				best, bestCount, bestLits = c, counts[c], lits
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("hfmin: covering failed")
+		}
+		pick(best)
+	}
+	// Redundancy elimination: drop chosen cubes whose rows are all covered
+	// by other chosen cubes.
+	var order []int
+	for c := range chosen {
+		order = append(order, c)
+	}
+	sort.Ints(order)
+	for _, c := range order {
+		delete(chosen, c)
+		if !allRowsCovered(rows, chosen) {
+			chosen[c] = true
+		}
+	}
+	var out []cube.Cube
+	for c := range chosen {
+		out = append(out, candidates[c])
+	}
+	out = cube.DedupCubes(out)
+	return out, nil
+}
+
+// coverRow is one covering constraint: a cube that must be inside a single
+// chosen candidate (required cubes) or a minterm needing any cover.
+type coverRow struct {
+	c    cube.Cube
+	cols []int
+}
+
+func allRowsCovered(rows []coverRow, chosen map[int]bool) bool {
+	for _, r := range rows {
+		ok := false
+		for _, c := range r.cols {
+			if chosen[c] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Check verifies that a cover realises the specification exactly and is
+// logic-hazard-free for every specified transition, using the cube
+// conditions of the paper (§2.3, Theorem 4.1) directly.
+func Check(spec Spec, cover cube.Cover) error {
+	// Functional correctness outside don't-cares.
+	for p := uint64(0); p < 1<<uint(spec.N); p++ {
+		switch spec.value(p) {
+		case 1:
+			if !cover.Eval(p) {
+				return fmt.Errorf("cover misses ON point %x", p)
+			}
+		case 0:
+			if cover.Eval(p) {
+				return fmt.Errorf("cover overlaps OFF point %x", p)
+			}
+		}
+	}
+	for _, t := range spec.Transitions {
+		kind, err := spec.kindOf(t)
+		if err != nil {
+			return err
+		}
+		tc := cube.Supercube(cube.Minterm(spec.N, t.From), cube.Minterm(spec.N, t.To))
+		switch kind {
+		case "static1":
+			if !cover.SingleCubeContains(tc) {
+				return fmt.Errorf("static 1-hazard: no single cube holds %v", tc)
+			}
+		case "static0":
+			// No vacuous terms exist in a cover; nothing to check.
+		case "fall", "rise":
+			one := t.From
+			if kind == "rise" {
+				one = t.To
+			}
+			for _, c := range cover.Cubes {
+				if c.Intersects(tc) && !c.ContainsPoint(one) {
+					return fmt.Errorf("dynamic hazard: cube %v intersects %v without containing the 1-endpoint", c, tc)
+				}
+			}
+		}
+	}
+	return nil
+}

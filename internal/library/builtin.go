@@ -1,0 +1,349 @@
+package library
+
+import (
+	"fmt"
+	"sync"
+
+	"gfmap/internal/bexpr"
+)
+
+// The four libraries of the paper's evaluation, recreated synthetically
+// with the same cell-family mix and hazard census as Table 1:
+//
+//	LSI9K: commercial CMOS ASIC library, 86 cells, hazardous = 12 muxes (14%)
+//	CMOS3: commercial CMOS ASIC library, 30 cells, hazardous = 1 mux   (3%)
+//	GDT:   custom standard-cell library of complex AOI gates, 72 cells, none hazardous
+//	Actel: Act1 FPGA macro library, 84 cells, hazardous = 24 AOI/OAI/mux macros (29%)
+//
+// Every cell's BFF mirrors its physical structure: complementary CMOS
+// complex gates are written in single-stage factored form (hazard-free
+// read-once structures), while the Actel macros are written as expansions
+// of the Act1 multiplexer tree, whose reconvergent select literals are the
+// source of the hazards the paper reports.
+
+// BuiltinNames lists the built-in libraries in the paper's order. The
+// paper evaluates the first four; ActelAct2 is our §6-future-work
+// extension: the same macro set under the pass-transistor hazard model.
+var BuiltinNames = []string{"LSI9K", "CMOS3", "GDT", "Actel"}
+
+// ExtendedNames additionally includes the Act2 pass-transistor library.
+var ExtendedNames = []string{"LSI9K", "CMOS3", "GDT", "Actel", "ActelAct2"}
+
+// Build constructs a fresh, unannotated built-in library by name.
+func Build(name string) (*Library, error) {
+	switch name {
+	case "LSI9K":
+		return BuildLSI9K(), nil
+	case "CMOS3":
+		return BuildCMOS3(), nil
+	case "GDT":
+		return BuildGDT(), nil
+	case "Actel":
+		return BuildActel(), nil
+	case "ActelAct2":
+		return BuildActelAct2(), nil
+	}
+	return nil, fmt.Errorf("library: unknown built-in library %q", name)
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Library{}
+)
+
+// Get returns a cached, annotated built-in library. Use Build for fresh
+// instances (e.g. to time the annotation itself).
+func Get(name string) (*Library, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if l, ok := cache[name]; ok {
+		return l, nil
+	}
+	l, err := Build(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Annotate(); err != nil {
+		return nil, err
+	}
+	cache[name] = l
+	return l, nil
+}
+
+// MustGet is Get that panics on error.
+func MustGet(name string) *Library {
+	l, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// delayFn builds a simple linear delay model: intrinsic plus a per-literal
+// slope, scaled per technology.
+func delayFn(base, slope float64) func(lits int) float64 {
+	return func(lits int) float64 { return base + slope*float64(lits) }
+}
+
+type cellSpec struct {
+	name string
+	bff  string
+}
+
+func addAll(l *Library, specs []cellSpec, delay func(int) float64) {
+	for _, s := range specs {
+		c := l.MustAdd(s.name, s.bff, 0)
+		c.Delay = delay(c.Fn.Root.NumLiterals())
+	}
+}
+
+// Shared BFF fragments. Complementary CMOS structures (read-once factored
+// forms) are logic-hazard-free; the SOP mux forms are not.
+const (
+	bffMux21  = "s'*a + s*b"
+	bffMux21I = "(s'*a + s*b)'"
+	bffMux41  = "s'*t'*a + s*t'*b + s'*t*c + s*t*d"
+	bffMux41I = "(s'*t'*a + s*t'*b + s'*t*c + s*t*d)'"
+)
+
+// BuildLSI9K recreates the LSI 9K-class ASIC library: 86 cells, of which
+// exactly the 12 multiplexers are hazardous.
+func BuildLSI9K() *Library {
+	l := New("LSI9K")
+	d := delayFn(0.5, 0.10)
+	specs := []cellSpec{
+		{"INVA", "a'"}, {"INVB", "a'"}, {"INVC", "a'"}, {"INVD", "a'"},
+		{"BUFA", "a"}, {"BUFB", "a"}, {"BUFC", "a"}, {"BUFD", "a"},
+		{"NAND2A", "(a*b)'"}, {"NAND2B", "(a*b)'"},
+		{"NAND3A", "(a*b*c)'"}, {"NAND3B", "(a*b*c)'"},
+		{"NAND4A", "(a*b*c*d)'"}, {"NAND4B", "(a*b*c*d)'"},
+		{"NAND5", "(a*b*c*d*e)'"}, {"NAND6", "(a*b*c*d*e*f)'"},
+		{"NOR2A", "(a + b)'"}, {"NOR2B", "(a + b)'"},
+		{"NOR3A", "(a + b + c)'"}, {"NOR3B", "(a + b + c)'"},
+		{"NOR4A", "(a + b + c + d)'"}, {"NOR4B", "(a + b + c + d)'"},
+		{"NOR5", "(a + b + c + d + e)'"}, {"NOR6", "(a + b + c + d + e + f)'"},
+		{"AND2A", "a*b"}, {"AND2B", "a*b"},
+		{"AND3A", "a*b*c"}, {"AND3B", "a*b*c"},
+		{"AND4A", "a*b*c*d"}, {"AND4B", "a*b*c*d"}, {"AND5", "a*b*c*d*e"},
+		{"OR2A", "a + b"}, {"OR2B", "a + b"},
+		{"OR3A", "a + b + c"}, {"OR3B", "a + b + c"},
+		{"OR4A", "a + b + c + d"}, {"OR4B", "a + b + c + d"}, {"OR5", "a + b + c + d + e"},
+		{"AOI21", "(a*b + c)'"}, {"AOI22", "(a*b + c*d)'"},
+		{"AOI211", "(a*b + c + d)'"}, {"AOI221", "(a*b + c*d + e)'"},
+		{"AOI222", "(a*b + c*d + e*f)'"}, {"AOI31", "(a*b*c + d)'"},
+		{"AOI32", "(a*b*c + d*e)'"}, {"AOI33", "(a*b*c + d*e*f)'"},
+		{"AOI2222", "(a*b + c*d + e*f + g*h)'"},
+		{"OAI21", "((a + b)*c)'"}, {"OAI22", "((a + b)*(c + d))'"},
+		{"OAI211", "((a + b)*c*d)'"}, {"OAI221", "((a + b)*(c + d)*e)'"},
+		{"OAI222", "((a + b)*(c + d)*(e + f))'"}, {"OAI31", "((a + b + c)*d)'"},
+		{"OAI32", "((a + b + c)*(d + e))'"}, {"OAI33", "((a + b + c)*(d + e + f))'"},
+		{"OAI2222", "((a + b)*(c + d)*(e + f)*(g + h))'"},
+		{"AO21A", "a*b + c"}, {"AO21B", "a*b + c"},
+		{"AO22A", "a*b + c*d"}, {"AO22B", "a*b + c*d"},
+		{"OA21A", "(a + b)*c"}, {"OA21B", "(a + b)*c"},
+		{"OA22A", "(a + b)*(c + d)"}, {"OA22B", "(a + b)*(c + d)"},
+		{"XOR2A", "a*b' + a'*b"}, {"XOR2B", "a*b' + a'*b"},
+		{"XNOR2A", "a*b + a'*b'"}, {"XNOR2B", "a*b + a'*b'"},
+		{"XOR3", "a'*b'*c + a'*b*c' + a*b'*c' + a*b*c"},
+		{"XNOR3", "(a'*b'*c + a'*b*c' + a*b'*c' + a*b*c)'"},
+		{"MAJ3A", "a*b + a*c + b*c"}, {"MAJ3B", "a*b + a*c + b*c"},
+		{"AND6", "a*b*c*d*e*f"}, {"OR6", "a + b + c + d + e + f"},
+		// The 12 multiplexers — the library's only hazardous elements.
+		{"MUX21A", bffMux21}, {"MUX21B", bffMux21},
+		{"MUX21HA", bffMux21}, {"MUX21HB", bffMux21},
+		{"MUX21IA", bffMux21I}, {"MUX21IB", bffMux21I},
+		{"MUX41A", bffMux41}, {"MUX41B", bffMux41},
+		{"MUX41HA", bffMux41}, {"MUX41HB", bffMux41},
+		{"MUX41IA", bffMux41I}, {"MUX41IB", bffMux41I},
+	}
+	addAll(l, specs, d)
+	return l
+}
+
+// BuildCMOS3 recreates the CMOS3 cell library (Heinbuch): 30 cells with a
+// single hazardous multiplexer.
+func BuildCMOS3() *Library {
+	l := New("CMOS3")
+	d := delayFn(0.30, 0.05)
+	specs := []cellSpec{
+		{"INV", "a'"}, {"INVH", "a'"}, {"BUF", "a"}, {"BUFH", "a"},
+		{"NAND2", "(a*b)'"}, {"NAND3", "(a*b*c)'"}, {"NAND4", "(a*b*c*d)'"},
+		{"NAND8", "(a*b*c*d*e*f*g*h)'"},
+		{"NOR2", "(a + b)'"}, {"NOR3", "(a + b + c)'"}, {"NOR4", "(a + b + c + d)'"},
+		{"NOR8", "(a + b + c + d + e + f + g + h)'"},
+		{"AND2", "a*b"}, {"AND3", "a*b*c"}, {"AND4", "a*b*c*d"},
+		{"OR2", "a + b"}, {"OR3", "a + b + c"}, {"OR4", "a + b + c + d"},
+		{"AOI21", "(a*b + c)'"}, {"AOI22", "(a*b + c*d)'"}, {"AOI221", "(a*b + c*d + e)'"},
+		{"OAI21", "((a + b)*c)'"}, {"OAI22", "((a + b)*(c + d))'"}, {"OAI221", "((a + b)*(c + d)*e)'"},
+		{"AO22", "a*b + c*d"}, {"OA22", "(a + b)*(c + d)"},
+		{"XOR2", "a*b' + a'*b"}, {"XNOR2", "a*b + a'*b'"},
+		{"MAJ3", "a*b + a*c + b*c"},
+		{"MUX21", bffMux21}, // the single hazardous element
+	}
+	addAll(l, specs, d)
+	return l
+}
+
+// BuildGDT recreates the GDT custom standard-cell library produced for a
+// particular chip: 72 cells rich in large complex AOI gates, all expressed
+// as single-stage complementary structures and therefore hazard-free. Its
+// large cells are what made the paper's hazard analysis take 16.7 seconds.
+func BuildGDT() *Library {
+	l := New("GDT")
+	d := delayFn(0.40, 0.08)
+	specs := []cellSpec{
+		{"INVA", "a'"}, {"INVB", "a'"}, {"INVC", "a'"}, {"INVD", "a'"},
+		{"BUFA", "a"}, {"BUFB", "a"},
+		{"NAND2", "(a*b)'"}, {"NAND3", "(a*b*c)'"}, {"NAND4", "(a*b*c*d)'"}, {"NAND5", "(a*b*c*d*e)'"},
+		{"NOR2", "(a + b)'"}, {"NOR3", "(a + b + c)'"}, {"NOR4", "(a + b + c + d)'"}, {"NOR5", "(a + b + c + d + e)'"},
+		{"AND2", "a*b"}, {"AND3", "a*b*c"}, {"AND4", "a*b*c*d"},
+		{"OR2", "a + b"}, {"OR3", "a + b + c"}, {"OR4", "a + b + c + d"},
+		{"AOI21", "(a*b + c)'"}, {"AOI22", "(a*b + c*d)'"},
+		{"AOI211", "(a*b + c + d)'"}, {"AOI221", "(a*b + c*d + e)'"},
+		{"AOI222", "(a*b + c*d + e*f)'"}, {"AOI2222", "(a*b + c*d + e*f + g*h)'"},
+		{"AOI31", "(a*b*c + d)'"}, {"AOI32", "(a*b*c + d*e)'"}, {"AOI33", "(a*b*c + d*e*f)'"},
+		{"AOI311", "(a*b*c + d + e)'"}, {"AOI321", "(a*b*c + d*e + f)'"},
+		{"AOI322", "(a*b*c + d*e + f*g)'"}, {"AOI331", "(a*b*c + d*e*f + g)'"},
+		{"AOI332", "(a*b*c + d*e*f + g*h)'"}, {"AOI333", "(a*b*c + d*e*f + g*h*i)'"},
+		{"OAI21", "((a + b)*c)'"}, {"OAI22", "((a + b)*(c + d))'"},
+		{"OAI211", "((a + b)*c*d)'"}, {"OAI221", "((a + b)*(c + d)*e)'"},
+		{"OAI222", "((a + b)*(c + d)*(e + f))'"}, {"OAI2222", "((a + b)*(c + d)*(e + f)*(g + h))'"},
+		{"OAI31", "((a + b + c)*d)'"}, {"OAI32", "((a + b + c)*(d + e))'"}, {"OAI33", "((a + b + c)*(d + e + f))'"},
+		{"OAI311", "((a + b + c)*d*e)'"}, {"OAI321", "((a + b + c)*(d + e)*f)'"},
+		{"OAI322", "((a + b + c)*(d + e)*(f + g))'"}, {"OAI331", "((a + b + c)*(d + e + f)*g)'"},
+		{"OAI332", "((a + b + c)*(d + e + f)*(g + h))'"}, {"OAI333", "((a + b + c)*(d + e + f)*(g + h + i))'"},
+		{"AO21", "a*b + c"}, {"AO22", "a*b + c*d"}, {"AO211", "a*b + c + d"},
+		{"AO221", "a*b + c*d + e"}, {"AO222", "a*b + c*d + e*f"},
+		{"OA21", "(a + b)*c"}, {"OA22", "(a + b)*(c + d)"}, {"OA211", "(a + b)*c*d"},
+		{"OA221", "(a + b)*(c + d)*e"}, {"OA222", "(a + b)*(c + d)*(e + f)"},
+		{"AOI2211", "(a*b + c*d + e + f)'"}, {"OAI2211", "((a + b)*(c + d)*e*f)'"},
+		{"AOI2111", "(a*b + c + d + e)'"}, {"OAI2111", "((a + b)*c*d*e)'"},
+		{"AO2222", "a*b + c*d + e*f + g*h"}, {"OA2222", "(a + b)*(c + d)*(e + f)*(g + h)"},
+		{"XOR2", "a*b' + a'*b"}, {"XNOR2", "a*b + a'*b'"},
+		{"XOR3", "a'*b'*c + a'*b*c' + a*b'*c' + a*b*c"},
+		{"MAJ3A", "a*b + a*c + b*c"}, {"MAJ3B", "a*b + a*c + b*c"}, {"BUFC", "a"},
+	}
+	addAll(l, specs, d)
+	return l
+}
+
+// BuildActel recreates the Actel Act1 macro library: 84 macros implemented
+// on the Act1 multiplexer-tree logic module. The 24 AOI/OAI/mux macros
+// whose mux expansion reconverges a select literal are hazardous, matching
+// the paper's census; simple gating macros degenerate to read-once forms
+// and are clean. Area is counted in logic modules (8 units per module, a
+// fixed cost), not transistors.
+func BuildActel() *Library {
+	l := New("Actel")
+	d := delayFn(3.0, 0.40)
+	clean := []cellSpec{
+		{"INV", "a'"}, {"BUF", "a"},
+		{"NAND2", "(a*b)'"}, {"NAND2A", "(a'*b)'"},
+		{"NAND3", "(a*b*c)'"}, {"NAND3A", "(a'*b*c)'"}, {"NAND3B", "(a'*b'*c)'"},
+		{"NAND4", "(a*b*c*d)'"}, {"NAND4A", "(a'*b*c*d)'"}, {"NAND4B", "(a'*b'*c*d)'"}, {"NAND4C", "(a'*b'*c'*d)'"},
+		{"NOR2", "(a + b)'"}, {"NOR2A", "(a' + b)'"},
+		{"NOR3", "(a + b + c)'"}, {"NOR3A", "(a' + b + c)'"}, {"NOR3B", "(a' + b' + c)'"},
+		{"NOR4", "(a + b + c + d)'"}, {"NOR4A", "(a' + b + c + d)'"}, {"NOR4B", "(a' + b' + c + d)'"}, {"NOR4C", "(a' + b' + c' + d)'"},
+		{"AND2", "a*b"}, {"AND2A", "a'*b"},
+		{"AND3", "a*b*c"}, {"AND3A", "a'*b*c"}, {"AND3B", "a'*b'*c"},
+		{"AND4", "a*b*c*d"}, {"AND4A", "a'*b*c*d"}, {"AND4B", "a'*b'*c*d"}, {"AND4C", "a'*b'*c'*d"},
+		{"OR2", "a + b"}, {"OR2A", "a' + b"},
+		{"OR3", "a + b + c"}, {"OR3A", "a' + b + c"}, {"OR3B", "a' + b' + c"},
+		{"OR4", "a + b + c + d"}, {"OR4A", "a' + b + c + d"}, {"OR4B", "a' + b' + c + d"}, {"OR4C", "a' + b' + c' + d"},
+		{"NAND5", "(a*b*c*d*e)'"}, {"NOR5", "(a + b + c + d + e)'"},
+		{"AND5", "a*b*c*d*e"}, {"OR5", "a + b + c + d + e"},
+		{"XOR2", "a*b' + a'*b"}, {"XNOR2", "a*b + a'*b'"},
+		{"XOR3", "a'*b'*c + a'*b*c' + a*b'*c' + a*b*c"},
+		{"XNOR3", "(a'*b'*c + a'*b*c' + a*b'*c' + a*b*c)'"},
+		{"MAJ3", "a*b + a*c + b*c"}, {"BUFH", "a"},
+		{"NAND2B", "(a'*b')'"}, {"NOR2B", "(a' + b')'"},
+		{"AND2B", "a'*b'"}, {"OR2B", "a' + b'"},
+		{"NAND3C", "(a'*b'*c')'"}, {"NOR3C", "(a' + b' + c')'"},
+		{"AND3C", "a'*b'*c'"}, {"OR3C", "a' + b' + c'"},
+		{"NAND4D", "(a'*b'*c'*d')'"}, {"NOR4D", "(a' + b' + c' + d')'"},
+		{"AND4D", "a'*b'*c'*d'"}, {"OR4D", "a' + b' + c' + d'"},
+	}
+	// The 24 hazardous macros: multiplexers plus AO/AOI/OA/OAI macros in
+	// their Act1 mux-tree expansion, where the select literal reconverges.
+	hazardous := []cellSpec{
+		{"MX2", bffMux21}, {"MX2A", "s*a + s'*b"}, {"MX2B", "s'*a' + s*b"}, {"MX2C", "(s'*a + s*b)'"},
+		{"MX4", bffMux41}, {"MX4I", bffMux41I},
+		{"AO1", "c + c'*a*b"}, {"AO1A", "c + c'*a'*b"},
+		{"AO2", "c*d + (c*d)'*a*b"}, {"AO2A", "c*d + (c*d)'*a'*b"},
+		{"AO3", "c + c'*(a*b + a'*b')"},
+		{"AOI1", "(c + c'*a*b)'"}, {"AOI1A", "(c + c'*a'*b)'"},
+		{"AOI2", "(c*d + (c*d)'*a*b)'"}, {"AOI2A", "(c*d + (c*d)'*a'*b)'"},
+		{"AOI3", "(c + c'*(a*b + a'*b'))'"},
+		{"OA1", "(a + a'*b)*c"}, {"OA1A", "(a + a'*b')*c"},
+		{"OA2", "(a + a'*b)*(c + c'*d)"}, {"OA2A", "(a + a'*b')*(c + c'*d)"},
+		{"OA3", "(a + a'*b)*c*d"},
+		{"OAI1", "((a + a'*b)*c)'"}, {"OAI1A", "((a + a'*b')*c)'"},
+		{"OAI3", "((a + a'*b)*c*d)'"},
+	}
+	addAll(l, clean, d)
+	addAll(l, hazardous, d)
+	// Act1 macros occupy one logic module each (two for the 4:1 muxes);
+	// area is modules × 8, a fixed per-module cost.
+	for _, c := range l.Cells {
+		modules := 1.0
+		if c.NumPins() >= 6 {
+			modules = 2.0
+		}
+		c.Area = 8 * modules
+	}
+	return l
+}
+
+// BuildActelAct2 recreates the Actel Act2 macro library under the
+// pass-transistor hazard model the paper names as future work (§6): the
+// macros are the same mux-tree expansions as Act1, but each reconvergent
+// select variable rides a single physical pass-gate wire, so its leaf
+// occurrences switch atomically instead of racing. The hazards that Table 1
+// attributes to the Act1 AOI/OAI/mux macros disappear under this model,
+// which is exactly why the paper says Act2 parts "do not exhibit the same
+// hazard behavior as complementary CMOS networks".
+func BuildActelAct2() *Library {
+	l := BuildActel()
+	l.Name = "ActelAct2"
+	for _, c := range l.Cells {
+		c.SharedPins = reconvergentPins(c)
+	}
+	return l
+}
+
+// reconvergentPins lists the pins appearing in both phases of the BFF —
+// the select lines of the underlying mux tree.
+func reconvergentPins(c *Cell) []string {
+	type phases struct{ pos, neg bool }
+	seen := map[string]*phases{}
+	var walk func(e *bexpr.Expr, neg bool)
+	walk = func(e *bexpr.Expr, neg bool) {
+		switch e.Op {
+		case bexpr.OpVar:
+			p := seen[e.Name]
+			if p == nil {
+				p = &phases{}
+				seen[e.Name] = p
+			}
+			if neg {
+				p.neg = true
+			} else {
+				p.pos = true
+			}
+		case bexpr.OpNot:
+			walk(e.Kids[0], !neg)
+		default:
+			for _, k := range e.Kids {
+				walk(k, neg)
+			}
+		}
+	}
+	walk(c.Fn.Root, false)
+	var out []string
+	for _, pin := range c.Fn.Vars {
+		if p := seen[pin]; p != nil && p.pos && p.neg {
+			out = append(out, pin)
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package library
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1Census verifies that the built-in libraries reproduce the
+// hazard census of the paper's Table 1 exactly: which libraries contain
+// hazardous cells, how many, and which families they belong to.
+func TestTable1Census(t *testing.T) {
+	tests := []struct {
+		lib       string
+		total     int
+		hazardous int
+		percent   int
+		families  []string
+	}{
+		{"LSI9K", 86, 12, 14, []string{"MUX"}},
+		{"CMOS3", 30, 1, 3, []string{"MUX"}},
+		{"GDT", 72, 0, 0, nil},
+		{"Actel", 84, 24, 29, []string{"AO", "AOI", "MX", "OA", "OAI"}},
+	}
+	for _, tt := range tests {
+		l := MustGet(tt.lib)
+		c := l.Census()
+		if c.Total != tt.total {
+			t.Errorf("%s: total = %d, want %d", tt.lib, c.Total, tt.total)
+		}
+		if c.Hazardous != tt.hazardous {
+			var names []string
+			for _, cell := range l.HazardousCells() {
+				names = append(names, cell.Name)
+			}
+			t.Errorf("%s: hazardous = %d (%s), want %d", tt.lib, c.Hazardous,
+				strings.Join(names, ","), tt.hazardous)
+		}
+		if got := c.PercentHazardous(); got != tt.percent {
+			t.Errorf("%s: percent = %d, want %d", tt.lib, got, tt.percent)
+		}
+		if len(c.Families) != len(tt.families) {
+			t.Errorf("%s: families = %v, want %v", tt.lib, c.Families, tt.families)
+			continue
+		}
+		for i := range c.Families {
+			if c.Families[i] != tt.families[i] {
+				t.Errorf("%s: families = %v, want %v", tt.lib, c.Families, tt.families)
+				break
+			}
+		}
+	}
+}
+
+// TestAct2PassTransistorModel: the same macros that are hazardous on Act1
+// become hazard-free under the Act2 pass-transistor model, because the
+// reconvergent select literals ride one physical wire (§6 future work).
+func TestAct2PassTransistorModel(t *testing.T) {
+	act1 := MustGet("Actel")
+	act2 := MustGet("ActelAct2")
+	if len(act2.Cells) != len(act1.Cells) {
+		t.Fatalf("Act2 must mirror Act1's macro set: %d vs %d", len(act2.Cells), len(act1.Cells))
+	}
+	c1 := act1.Census()
+	c2 := act2.Census()
+	if c1.Hazardous != 24 {
+		t.Fatalf("Act1 census changed: %+v", c1)
+	}
+	if c2.Hazardous >= c1.Hazardous {
+		t.Errorf("Act2 should have fewer hazardous cells than Act1: %d vs %d", c2.Hazardous, c1.Hazardous)
+	}
+	// The canonical pair: MX2 is hazardous on Act1, clean on Act2.
+	if !act1.Cell("MX2").Hazardous() {
+		t.Error("Act1 MX2 must be hazardous")
+	}
+	if act2.Cell("MX2").Hazardous() {
+		t.Errorf("Act2 MX2 must be hazard-free under the shared-select model: %s",
+			act2.Cell("MX2").Report.Summary())
+	}
+	if got := act2.Cell("MX2").SharedPins; len(got) != 1 || got[0] != "s" {
+		t.Errorf("MX2 shared pins = %v, want [s]", got)
+	}
+	t.Logf("Act1 hazardous: %d; Act2 hazardous: %d", c1.Hazardous, c2.Hazardous)
+}
+
+// TestSharedPinsFormatRoundTrip: the SHARED statement survives dump/parse.
+func TestSharedPinsFormatRoundTrip(t *testing.T) {
+	orig, err := Build("ActelAct2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseString(DumpString(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range orig.Cells {
+		p := parsed.Cells[i]
+		if len(p.SharedPins) != len(c.SharedPins) {
+			t.Errorf("cell %s: shared pins lost in round trip: %v vs %v", c.Name, p.SharedPins, c.SharedPins)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package library
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The textual library format is a genlib-like line format:
+//
+//	# comment
+//	LIBRARY <name>
+//	GATE <cell> <area> <delay> <bff-expression> ;
+//	SHARED <cell> <pin> [<pin>...] ;
+//
+// SHARED marks pins whose paths switch atomically (the pass-transistor
+// select model); it must follow the cell's GATE statement.
+//
+// The expression extends to the terminating semicolon and uses the bexpr
+// grammar ('+', '*' or juxtaposition, postfix apostrophe, parentheses).
+// An area of "-" uses the default (the BFF literal count).
+
+// Parse reads a library from the text format.
+func Parse(r io.Reader) (*Library, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	l := New("unnamed")
+	lineNo := 0
+	var pending strings.Builder
+	flush := func() error {
+		stmt := strings.TrimSpace(pending.String())
+		pending.Reset()
+		if stmt == "" {
+			return nil
+		}
+		fields := strings.Fields(stmt)
+		switch strings.ToUpper(fields[0]) {
+		case "LIBRARY":
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: LIBRARY wants one name", lineNo)
+			}
+			l.Name = fields[1]
+			return nil
+		case "SHARED":
+			if len(fields) < 3 {
+				return fmt.Errorf("line %d: SHARED wants a cell and at least one pin", lineNo)
+			}
+			cell := l.Cell(fields[1])
+			if cell == nil {
+				return fmt.Errorf("line %d: SHARED names unknown cell %q", lineNo, fields[1])
+			}
+			for _, pin := range fields[2:] {
+				if cell.Fn.VarIndex(pin) < 0 {
+					return fmt.Errorf("line %d: cell %s has no pin %q", lineNo, fields[1], pin)
+				}
+			}
+			cell.SharedPins = append(cell.SharedPins, fields[2:]...)
+			return nil
+		case "GATE":
+			if len(fields) < 5 {
+				return fmt.Errorf("line %d: GATE wants name, area, delay, expression", lineNo)
+			}
+			name := fields[1]
+			areaStr, delayStr := fields[2], fields[3]
+			expr := strings.Join(fields[4:], " ")
+			delay, err := strconv.ParseFloat(delayStr, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bad delay %q", lineNo, delayStr)
+			}
+			cell, err := l.Add(name, expr, delay)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if areaStr != "-" {
+				area, err := strconv.ParseFloat(areaStr, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad area %q", lineNo, areaStr)
+				}
+				cell.Area = area
+			}
+			return nil
+		default:
+			return fmt.Errorf("line %d: unknown statement %q", lineNo, fields[0])
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for {
+			semi := strings.IndexByte(line, ';')
+			if semi < 0 {
+				break
+			}
+			pending.WriteString(line[:semi])
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			line = line[semi+1:]
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		// LIBRARY statements need no semicolon; GATE fragments accumulate.
+		if strings.HasPrefix(strings.ToUpper(trimmed), "LIBRARY") && pending.Len() == 0 {
+			pending.WriteString(trimmed)
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte(' ')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(pending.String()) != "" {
+		return nil, fmt.Errorf("library: unterminated statement at end of input")
+	}
+	return l, nil
+}
+
+// ParseString parses a library from a string.
+func ParseString(s string) (*Library, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Dump writes the library in the text format.
+func Dump(w io.Writer, l *Library) error {
+	if _, err := fmt.Fprintf(w, "# %d cells\nLIBRARY %s\n", len(l.Cells), l.Name); err != nil {
+		return err
+	}
+	for _, c := range l.Cells {
+		if _, err := fmt.Fprintf(w, "GATE %s %g %g %s ;\n", c.Name, c.Area, c.Delay, c.Fn.String()); err != nil {
+			return err
+		}
+		if len(c.SharedPins) > 0 {
+			if _, err := fmt.Fprintf(w, "SHARED %s %s ;\n", c.Name, strings.Join(c.SharedPins, " ")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DumpString renders the library in the text format.
+func DumpString(l *Library) string {
+	var b strings.Builder
+	_ = Dump(&b, l)
+	return b.String()
+}

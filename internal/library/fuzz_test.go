@@ -1,0 +1,24 @@
+package library
+
+import "testing"
+
+// FuzzParse: the library format parser must never panic; accepted
+// libraries must survive a dump/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("LIBRARY x\nGATE INV - 0.3 a' ;\n")
+	f.Add("GATE MUX 5 0.8 s'*a + s*b ;\nSHARED MUX s ;\n")
+	f.Add("# c\nLIBRARY t\nGATE AOI21 6 0.9\n (a*b + c)' ;\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		lib, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		lib2, err := ParseString(DumpString(lib))
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if len(lib2.Cells) != len(lib.Cells) {
+			t.Fatal("round trip changed cell count")
+		}
+	})
+}

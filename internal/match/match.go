@@ -1,0 +1,153 @@
+// Package match implements Boolean matching of cluster functions against
+// library cells, in the style of the CERES mapper: equivalence is detected
+// up to input permutation, input phase assignment and output phase, with
+// cofactor-signature pruning. The returned bindings are exactly what the
+// asynchronous matching filter of the paper needs: they say which cell pin
+// drives which subnetwork input, so the cell's hazard set can be translated
+// into the subnetwork's space and compared (§3.2.2).
+package match
+
+import (
+	"gfmap/internal/hazard"
+	"gfmap/internal/truthtab"
+)
+
+// Find enumerates the bindings under which the cell function equals the
+// target function, invoking fn for each; enumeration stops when fn returns
+// false. Bindings with an inverted output are reported only when
+// allowInvOut is set (the mapper handles output inversion by inserting an
+// inverter or by dual-phase covering).
+func Find(target, cell truthtab.TT, allowInvOut bool, fn func(hazard.Binding) bool) {
+	if target.N != cell.N {
+		return
+	}
+	outPhases := []bool{false}
+	if allowInvOut {
+		outPhases = []bool{false, true}
+	}
+	cellSig := cell.Signature()
+	for _, invOut := range outPhases {
+		goal := target
+		if invOut {
+			goal = target.Not()
+		}
+		if cell.Ones() != goal.Ones() {
+			continue
+		}
+		goalSig := goal.Signature()
+		s := &search{
+			cell:    cell,
+			goal:    goal,
+			cellSig: cellSig,
+			goalSig: goalSig,
+			invOut:  invOut,
+			n:       target.N,
+			fn:      fn,
+			perm:    make([]int, target.N),
+			usedVar: make([]bool, target.N),
+		}
+		if !s.assign(0) {
+			return // fn asked to stop
+		}
+	}
+}
+
+// All collects every binding (bounded by limit; limit <= 0 means no bound).
+func All(target, cell truthtab.TT, allowInvOut bool, limit int) []hazard.Binding {
+	var out []hazard.Binding
+	Find(target, cell, allowInvOut, func(b hazard.Binding) bool {
+		out = append(out, b)
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// First returns the first binding found, if any.
+func First(target, cell truthtab.TT, allowInvOut bool) (hazard.Binding, bool) {
+	var res hazard.Binding
+	found := false
+	Find(target, cell, allowInvOut, func(b hazard.Binding) bool {
+		res = b
+		found = true
+		return false
+	})
+	return res, found
+}
+
+type search struct {
+	cell, goal       truthtab.TT
+	cellSig, goalSig []truthtab.VarSignature
+	invOut           bool
+	n                int
+	fn               func(hazard.Binding) bool
+	perm             []int
+	inv              uint64
+	usedVar          []bool
+}
+
+// assign binds cell input i onward; returns false when enumeration should
+// stop entirely.
+func (s *search) assign(i int) bool {
+	if i == s.n {
+		// goal already accounts for the output phase, so transform without it.
+		h := s.cell.Transform(s.perm, s.inv, false, s.n)
+		if !h.Equal(s.goal) {
+			return true
+		}
+		b := hazard.Binding{
+			Perm:   append([]int(nil), s.perm...),
+			InvIn:  s.inv,
+			InvOut: s.invOut,
+		}
+		return s.fn(b)
+	}
+	cs := s.cellSig[i]
+	for v := 0; v < s.n; v++ {
+		if s.usedVar[v] {
+			continue
+		}
+		gs := s.goalSig[v]
+		if cs != gs {
+			continue
+		}
+		s.usedVar[v] = true
+		s.perm[i] = v
+		// Try both phases when the signature is symmetric, otherwise the
+		// phase is forced by cofactor alignment; a full check happens at the
+		// leaf anyway, so phase pruning is purely an optimisation.
+		phases := s.phasesFor(i, v)
+		for _, ph := range phases {
+			if ph {
+				s.inv |= 1 << uint(i)
+			} else {
+				s.inv &^= 1 << uint(i)
+			}
+			if !s.assign(i + 1) {
+				s.usedVar[v] = false
+				return false
+			}
+		}
+		s.inv &^= 1 << uint(i)
+		s.usedVar[v] = false
+	}
+	return true
+}
+
+// phasesFor decides which input phases are worth trying for binding cell
+// input i to goal variable v, using the ordered cofactor ON-set sizes.
+func (s *search) phasesFor(i, v int) []bool {
+	c0 := s.cell.Cofactor(i, false).Ones()
+	c1 := s.cell.Cofactor(i, true).Ones()
+	g0 := s.goal.Cofactor(v, false).Ones()
+	g1 := s.goal.Cofactor(v, true).Ones()
+	switch {
+	case c0 == c1:
+		return []bool{false, true}
+	case c0 == g0 && c1 == g1:
+		return []bool{false}
+	case c0 == g1 && c1 == g0:
+		return []bool{true}
+	default:
+		return nil
+	}
+}

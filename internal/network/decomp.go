@@ -1,0 +1,275 @@
+package network
+
+import (
+	"fmt"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/cube"
+	"gfmap/internal/espresso"
+)
+
+// GateKind classifies the nodes of a decomposed network.
+type GateKind int
+
+// Base gate kinds produced by AsyncTechDecomp.
+const (
+	GateOther GateKind = iota // not a base gate (undecomposed node)
+	GateAnd2
+	GateOr2
+	GateInv
+	GateBuf
+	GateConst
+)
+
+// KindOf classifies a node's expression as one of the base gates.
+func KindOf(node *Node) GateKind {
+	e := node.Expr
+	switch e.Op {
+	case bexpr.OpConst:
+		return GateConst
+	case bexpr.OpVar:
+		return GateBuf
+	case bexpr.OpNot:
+		if e.Kids[0].Op == bexpr.OpVar {
+			return GateInv
+		}
+	case bexpr.OpAnd:
+		if len(e.Kids) == 2 && e.Kids[0].Op == bexpr.OpVar && e.Kids[1].Op == bexpr.OpVar {
+			return GateAnd2
+		}
+	case bexpr.OpOr:
+		if len(e.Kids) == 2 && e.Kids[0].Op == bexpr.OpVar && e.Kids[1].Op == bexpr.OpVar {
+			return GateOr2
+		}
+	}
+	return GateOther
+}
+
+// AsyncTechDecomp is the paper's async_tech_decomp (§3.1.1): it rewrites
+// the network into an equivalent one built only from two-input AND and OR
+// gates and inverters, applying exclusively the associative law (to
+// binarise n-ary gates) and DeMorgan's law (to push complements to the
+// leaves). Both laws are hazard-preserving for all logic hazards (Unger),
+// so the decomposed network has exactly the hazard behaviour of the
+// original. No Boolean simplification of any kind is performed — dropping
+// a redundant cube could introduce a static 1-hazard.
+func AsyncTechDecomp(n *Network) (*Network, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	out := New(n.Name + "_decomp")
+	for _, in := range n.Inputs {
+		if err := out.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+	d := &decomposer{src: n, dst: out, invCache: make(map[string]string)}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		node := n.nodes[name]
+		d.created = make(map[string]bool)
+		sig, err := d.build(node.Expr, false)
+		if err != nil {
+			return nil, err
+		}
+		// The original node name must stay valid: alias it with a buffer
+		// unless the final gate can simply take the name. To keep the
+		// structure free of extra buffers, we emit the last gate under the
+		// original name where possible. Only gates created for this node
+		// may be renamed — the signal might otherwise be another node.
+		if sig == name {
+			continue
+		}
+		if d.created[sig] && out.nodes[sig] != nil && len(d.readers(sig)) == 0 && !containsName(out.Outputs, sig) {
+			// Rename the freshly created top gate to the node name.
+			g := out.nodes[sig]
+			delete(out.nodes, sig)
+			for i, o := range out.order {
+				if o == sig {
+					out.order[i] = name
+				}
+			}
+			g.Name = name
+			out.nodes[name] = g
+			for k, v := range d.invCache {
+				if v == sig {
+					d.invCache[k] = name
+				}
+			}
+			continue
+		}
+		if err := out.AddNode(name, bexpr.Var(sig)); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range n.Outputs {
+		if err := out.MarkOutput(o); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+type decomposer struct {
+	src      *Network
+	dst      *Network
+	invCache map[string]string // signal -> name of its inverter output
+	created  map[string]bool   // gate names created for the current node
+	counter  int
+}
+
+func containsName(list []string, name string) bool {
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// readers returns node names in dst reading the given signal (used only to
+// decide whether a fresh gate can be renamed; fresh gates have none).
+func (d *decomposer) readers(sig string) []string {
+	var out []string
+	for _, name := range d.dst.order {
+		for _, f := range d.dst.nodes[name].Fanins {
+			if f == sig {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+func (d *decomposer) fresh() string {
+	for {
+		d.counter++
+		name := fmt.Sprintf("g%d", d.counter)
+		if !d.dst.exists(name) && !d.src.exists(name) {
+			return name
+		}
+	}
+}
+
+func (d *decomposer) emit(e *bexpr.Expr) (string, error) {
+	name := d.fresh()
+	if err := d.dst.AddNode(name, e); err != nil {
+		return "", err
+	}
+	if d.created != nil {
+		d.created[name] = true
+	}
+	return name, nil
+}
+
+// build returns the name of a signal computing e complemented by neg.
+func (d *decomposer) build(e *bexpr.Expr, neg bool) (string, error) {
+	switch e.Op {
+	case bexpr.OpConst:
+		return d.emit(bexpr.Const(e.Val != neg))
+	case bexpr.OpVar:
+		if !neg {
+			return e.Name, nil
+		}
+		return d.inverter(e.Name)
+	case bexpr.OpNot:
+		return d.build(e.Kids[0], !neg)
+	case bexpr.OpAnd, bexpr.OpOr:
+		isAnd := (e.Op == bexpr.OpAnd) != neg // DeMorgan flips the operator
+		acc := ""
+		for i, k := range e.Kids {
+			sig, err := d.build(k, neg)
+			if err != nil {
+				return "", err
+			}
+			if i == 0 {
+				acc = sig
+				continue
+			}
+			var gate *bexpr.Expr
+			if isAnd {
+				gate = bexpr.And(bexpr.Var(acc), bexpr.Var(sig))
+			} else {
+				gate = bexpr.Or(bexpr.Var(acc), bexpr.Var(sig))
+			}
+			name, err := d.emit(gate)
+			if err != nil {
+				return "", err
+			}
+			acc = name
+		}
+		return acc, nil
+	}
+	return "", fmt.Errorf("network: bad op %d", e.Op)
+}
+
+func (d *decomposer) inverter(sig string) (string, error) {
+	if inv, ok := d.invCache[sig]; ok {
+		return inv, nil
+	}
+	name, err := d.emit(bexpr.Not(bexpr.Var(sig)))
+	if err != nil {
+		return "", err
+	}
+	d.invCache[sig] = name
+	return name, nil
+}
+
+// IsDecomposed reports whether every node of the network is a base gate.
+func IsDecomposed(n *Network) bool {
+	for _, name := range n.order {
+		if KindOf(n.nodes[name]) == GateOther {
+			return false
+		}
+	}
+	return true
+}
+
+// SyncTechDecomp mimics the decomposition step of a synchronous technology
+// mapper such as MIS, which also *simplifies* each node while decomposing:
+// every node's SOP is run through the Espresso-style two-level minimiser
+// before the network is broken into base gates. The paper's §3.1.1 warns that exactly
+// this simplification can introduce static 1-hazards — a redundant cube is
+// often the consensus term holding the output through a transition — which
+// is why the asynchronous flow must use AsyncTechDecomp instead. The
+// function exists to make that contrast executable (see the hazard tests).
+func SyncTechDecomp(n *Network) (*Network, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	simplified := New(n.Name + "_simp")
+	for _, in := range n.Inputs {
+		if err := simplified.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		node := n.nodes[name]
+		fn := bexpr.New(node.Expr)
+		cov, err := fn.Cover()
+		if err != nil {
+			return nil, err
+		}
+		min, err := espresso.Minimize(cov, cube.NewCover(cov.N))
+		if err != nil {
+			return nil, err
+		}
+		expr := bexpr.FromCover(min.Cover, fn.Vars)
+		if err := simplified.AddNode(name, expr.Root); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range n.Outputs {
+		if err := simplified.MarkOutput(o); err != nil {
+			return nil, err
+		}
+	}
+	return AsyncTechDecomp(simplified)
+}

@@ -1,0 +1,391 @@
+package network
+
+import (
+	"testing"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/hazard"
+)
+
+// buildNet constructs a network from input names and name=expr pairs; all
+// node names are marked as outputs unless outputs is non-nil.
+func buildNet(t *testing.T, inputs []string, defs [][2]string, outputs []string) *Network {
+	t.Helper()
+	n := New("t")
+	for _, in := range inputs {
+		if err := n.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range defs {
+		if err := n.AddNode(d[0], bexpr.MustParseExpr(d[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if outputs == nil {
+		for _, d := range defs {
+			outputs = append(outputs, d[0])
+		}
+	}
+	for _, o := range outputs {
+		if err := n.MarkOutput(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestEval(t *testing.T) {
+	n := buildNet(t,
+		[]string{"a", "b", "c"},
+		[][2]string{{"u", "a*b"}, {"f", "u + c"}},
+		[]string{"f"})
+	vals, err := n.Eval(map[string]bool{"a": true, "b": true, "c": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals["f"] || !vals["u"] {
+		t.Errorf("wrong evaluation: %v", vals)
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	n := New("cyc")
+	_ = n.AddInput("a")
+	_ = n.AddNode("x", bexpr.MustParseExpr("a + y"))
+	_ = n.AddNode("y", bexpr.MustParseExpr("x"))
+	_ = n.MarkOutput("y")
+	if err := n.Validate(); err == nil {
+		t.Error("cycle should be rejected")
+	}
+}
+
+func TestValidateCatchesUndefined(t *testing.T) {
+	n := New("undef")
+	_ = n.AddInput("a")
+	_ = n.AddNode("x", bexpr.MustParseExpr("a*q"))
+	_ = n.MarkOutput("x")
+	if err := n.Validate(); err == nil {
+		t.Error("undefined fanin should be rejected")
+	}
+}
+
+func TestDuplicateNames(t *testing.T) {
+	n := New("dup")
+	if err := n.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddInput("a"); err == nil {
+		t.Error("duplicate input should be rejected")
+	}
+	if err := n.AddNode("a", bexpr.MustParseExpr("a")); err == nil {
+		t.Error("node shadowing an input should be rejected")
+	}
+}
+
+func TestAsyncTechDecompEquivalence(t *testing.T) {
+	cases := [][2]string{
+		{"f", "a*b*c + a'*(b + c')"},
+		{"g", "(a*b + c*d)'"},
+		{"h", "a + b + c + d"},
+		{"k", "((a + b')*(c + d))' + a*d"},
+	}
+	for _, tc := range cases {
+		n := buildNet(t, []string{"a", "b", "c", "d"}, [][2]string{tc}, nil)
+		d, err := AsyncTechDecomp(n)
+		if err != nil {
+			t.Fatalf("%s: %v", tc[1], err)
+		}
+		if !IsDecomposed(d) {
+			t.Errorf("%s: decomposition left non-base gates:\n%s", tc[1], d)
+		}
+		eq, err := Equivalent(n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("%s: decomposed network is not equivalent:\n%s", tc[1], d)
+		}
+	}
+}
+
+func TestAsyncTechDecompMultiNode(t *testing.T) {
+	n := buildNet(t,
+		[]string{"a", "b", "c", "d"},
+		[][2]string{
+			{"u", "a*b + c"},
+			{"v", "u' + d"},
+			{"f", "u*v"},
+		},
+		[]string{"f", "v"})
+	d, err := AsyncTechDecomp(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDecomposed(d) {
+		t.Fatalf("not fully decomposed:\n%s", d)
+	}
+	eq, err := Equivalent(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("multi-node decomposition not equivalent:\n%s", d)
+	}
+}
+
+// TestDecompHazardPreserving verifies Unger's theorem empirically: the
+// decomposed single-output network has exactly the hazard behaviour of the
+// original expression.
+func TestDecompHazardPreserving(t *testing.T) {
+	exprs := []string{
+		"s'*a + s*b",
+		"a*b + a'*c + b*c",
+		"w*y + x*y",
+		"(w + x)*y",
+		"(w + y' + x')*(x*y + y'*z)",
+	}
+	for _, e := range exprs {
+		orig := bexpr.MustParse(e)
+		n := New("t")
+		for _, v := range orig.Vars {
+			if err := n.AddInput(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := n.AddNode("f", orig.Root.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.MarkOutput("f"); err != nil {
+			t.Fatal(err)
+		}
+		d, err := AsyncTechDecomp(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cones, err := Partition(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-express the whole decomposed network as one expression over
+		// the primary inputs by inlining every cone (fanout sharing of
+		// inverters may create more than one cone; inline all).
+		flat, err := expandCone(d, "f", func(string) bool { return false })
+		if err != nil {
+			t.Fatal(err)
+		}
+		flatFn, err := bexpr.NewWithVars(flat, orig.Vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		origSet := hazard.MustAnalyze(orig)
+		decompSet := hazard.MustAnalyze(flatFn)
+		if !origSet.Equal(decompSet) {
+			t.Errorf("%q: hazard behaviour changed by decomposition\noriginal: %v\ndecomposed: %v\n%s",
+				e, origSet, decompSet, d)
+		}
+		_ = cones
+	}
+}
+
+func TestPartitionSimple(t *testing.T) {
+	// u fans out to two nodes, so it must become a cone root.
+	n := buildNet(t,
+		[]string{"a", "b", "c"},
+		[][2]string{
+			{"u", "a*b"},
+			{"f", "u + c"},
+			{"g", "u*c"},
+		},
+		[]string{"f", "g"})
+	cones, err := Partition(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := map[string][]string{}
+	for _, c := range cones {
+		roots[c.Root] = c.Leaves
+	}
+	if len(cones) != 3 {
+		t.Fatalf("got %d cones, want 3 (u, f, g): %v", len(cones), roots)
+	}
+	if got := roots["f"]; len(got) != 2 || got[0] != "u" || got[1] != "c" {
+		t.Errorf("cone f leaves = %v, want [u c]", got)
+	}
+	if got := roots["u"]; len(got) != 2 {
+		t.Errorf("cone u leaves = %v, want [a b]", got)
+	}
+}
+
+func TestPartitionInlinesPrivateNodes(t *testing.T) {
+	n := buildNet(t,
+		[]string{"a", "b", "c", "d"},
+		[][2]string{
+			{"p", "a*b"},
+			{"q", "p + c"},
+			{"f", "q*d"},
+		},
+		[]string{"f"})
+	cones, err := Partition(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cones) != 1 {
+		t.Fatalf("got %d cones, want 1", len(cones))
+	}
+	c := cones[0]
+	if c.Root != "f" {
+		t.Errorf("root = %s, want f", c.Root)
+	}
+	want := "(a*b + c)*d"
+	if got := c.Expr.String(); got != want {
+		t.Errorf("cone expression = %q, want %q", got, want)
+	}
+}
+
+func TestPartitionTopological(t *testing.T) {
+	n := buildNet(t,
+		[]string{"a", "b"},
+		[][2]string{
+			{"u", "a*b"},
+			{"f", "u + a"},
+			{"g", "u + b"},
+		},
+		[]string{"f", "g"})
+	cones, err := Partition(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, c := range cones {
+		pos[c.Root] = i
+	}
+	if pos["u"] > pos["f"] || pos["u"] > pos["g"] {
+		t.Errorf("cone order not topological: %v", pos)
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	a := buildNet(t, []string{"x", "y"}, [][2]string{{"f", "x*y"}}, nil)
+	b := buildNet(t, []string{"x", "y"}, [][2]string{{"f", "x + y"}}, nil)
+	eq, err := Equivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("AND and OR must not be equivalent")
+	}
+}
+
+// TestSyncTechDecompIntroducesHazards executes the §3.1.1 warning: the
+// MIS-style simplifying decomposition drops the consensus cube of
+// f = ab + a'c + bc, creating a static 1-hazard that the hazard-preserving
+// AsyncTechDecomp keeps out.
+func TestSyncTechDecompIntroducesHazards(t *testing.T) {
+	n := buildNet(t, []string{"a", "b", "c"},
+		[][2]string{{"f", "a*b + a'*c + b*c"}}, nil)
+
+	analyse := func(net *Network) *hazard.Set {
+		t.Helper()
+		expr, err := ExpandToExpr(net, "f", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn, err := bexpr.NewWithVars(expr, []string{"a", "b", "c"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hazard.MustAnalyze(fn)
+	}
+
+	asyncD, err := AsyncTechDecomp(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncD, err := SyncTechDecomp(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*Network{asyncD, syncD} {
+		eq, err := Equivalent(n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("decomposition changed the function:\n%s", d)
+		}
+	}
+	asyncSet := analyse(asyncD)
+	syncSet := analyse(syncD)
+	if len(asyncSet.Static1) != 0 {
+		t.Errorf("async decomposition must preserve static-1 freedom, got %v", asyncSet)
+	}
+	if len(syncSet.Static1) == 0 {
+		t.Errorf("simplifying decomposition should drop the consensus cube and create a static-1 hazard; got %v", syncSet)
+	}
+}
+
+func TestExpandToExprBoundary(t *testing.T) {
+	n := buildNet(t,
+		[]string{"a", "b", "c"},
+		[][2]string{
+			{"u", "a*b"},
+			{"f", "u + c"},
+		},
+		[]string{"f"})
+	// Stopping at u keeps it as a leaf; no boundary inlines it.
+	atU, err := ExpandToExpr(n, "f", map[string]bool{"u": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atU.String(); got != "u + c" {
+		t.Errorf("boundary expansion = %q, want u + c", got)
+	}
+	full, err := ExpandToExpr(n, "f", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.String(); got != "a*b + c" {
+		t.Errorf("full expansion = %q, want a*b + c", got)
+	}
+	if _, err := ExpandToExpr(n, "a", nil); err == nil {
+		t.Error("expanding a primary input should fail")
+	}
+}
+
+func TestFanoutCounts(t *testing.T) {
+	n := buildNet(t,
+		[]string{"a", "b"},
+		[][2]string{
+			{"u", "a*b"},
+			{"f", "u + a"},
+			{"g", "u*b"},
+		},
+		[]string{"f", "g"})
+	fan := n.FanoutCounts()
+	if fan["u"] != 2 {
+		t.Errorf("fanout(u) = %d, want 2", fan["u"])
+	}
+	if fan["a"] != 2 { // u and f read a
+		t.Errorf("fanout(a) = %d, want 2", fan["a"])
+	}
+	if fan["f"] != 1 { // output counts as a reader
+		t.Errorf("fanout(f) = %d, want 1", fan["f"])
+	}
+}
+
+func TestEvalOutputsBitOrder(t *testing.T) {
+	n := buildNet(t, []string{"a", "b"},
+		[][2]string{{"f", "a"}, {"g", "b'"}},
+		[]string{"f", "g"})
+	out, err := n.EvalOutputs(0b01) // a=1, b=0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 0b11 { // f=1 (bit 0), g=1 (bit 1)
+		t.Errorf("outputs = %02b, want 11", out)
+	}
+}

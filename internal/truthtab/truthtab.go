@@ -1,0 +1,241 @@
+// Package truthtab provides truth tables for the modest support sizes of
+// library cells and match clusters (up to 12 inputs, bit-packed) and the
+// cofactor/unateness signatures used to prune Boolean matching, in the
+// style of the CERES matcher the paper builds on.
+package truthtab
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/cube"
+)
+
+// MaxVars is the largest supported input count. 2^12 = 4096 minterms = 64
+// words; the paper's libraries top out at 9 inputs.
+const MaxVars = 12
+
+// TT is a truth table over N variables: bit p of the packed Bits array is
+// the function value at input point p (bit i of p = value of variable i).
+type TT struct {
+	N    int
+	Bits []uint64
+}
+
+func words(n int) int {
+	if n <= 6 {
+		return 1
+	}
+	return 1 << uint(n-6)
+}
+
+// NewTT returns an all-zero table over n variables.
+func NewTT(n int) (TT, error) {
+	if n < 0 || n > MaxVars {
+		return TT{}, fmt.Errorf("truthtab: %d variables out of range", n)
+	}
+	return TT{N: n, Bits: make([]uint64, words(n))}, nil
+}
+
+// lastMask masks the valid bits of the last word.
+func (t TT) lastMask() uint64 {
+	if t.N >= 6 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (1 << uint(t.N))) - 1
+}
+
+// FromFunc builds a truth table by evaluating f at every point.
+func FromFunc(n int, f func(uint64) bool) (TT, error) {
+	t, err := NewTT(n)
+	if err != nil {
+		return TT{}, err
+	}
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		if f(p) {
+			t.Set(p, true)
+		}
+	}
+	return t, nil
+}
+
+// FromCover builds a truth table from a cover.
+func FromCover(c cube.Cover) (TT, error) {
+	return FromFunc(c.N, c.Eval)
+}
+
+// FromExpr builds a truth table from a BFF function.
+func FromExpr(f *bexpr.Function) (TT, error) {
+	return FromFunc(f.NumVars(), f.Eval)
+}
+
+// Set assigns the value at an input point.
+func (t TT) Set(p uint64, v bool) {
+	if v {
+		t.Bits[p>>6] |= 1 << (p & 63)
+	} else {
+		t.Bits[p>>6] &^= 1 << (p & 63)
+	}
+}
+
+// Eval returns the value at an input point.
+func (t TT) Eval(p uint64) bool { return t.Bits[p>>6]&(1<<(p&63)) != 0 }
+
+// Ones returns the ON-set size.
+func (t TT) Ones() int {
+	n := 0
+	for i, w := range t.Bits {
+		if i == len(t.Bits)-1 {
+			w &= t.lastMask()
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Not returns the complemented function.
+func (t TT) Not() TT {
+	out, _ := NewTT(t.N)
+	for i, w := range t.Bits {
+		out.Bits[i] = ^w
+	}
+	out.Bits[len(out.Bits)-1] &= t.lastMask()
+	return out
+}
+
+// Equal reports functional equality.
+func (t TT) Equal(o TT) bool {
+	if t.N != o.N {
+		return false
+	}
+	for i := range t.Bits {
+		a, b := t.Bits[i], o.Bits[i]
+		if i == len(t.Bits)-1 {
+			m := t.lastMask()
+			a &= m
+			b &= m
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Cofactor returns the cofactor with variable v fixed to val, kept over N
+// variables (the result ignores variable v).
+func (t TT) Cofactor(v int, val bool) TT {
+	out, _ := NewTT(t.N)
+	for p := uint64(0); p < 1<<uint(t.N); p++ {
+		q := p
+		if val {
+			q |= 1 << uint(v)
+		} else {
+			q &^= 1 << uint(v)
+		}
+		if t.Eval(q) {
+			out.Set(p, true)
+		}
+	}
+	return out
+}
+
+// DependsOn reports whether the function actually depends on variable v.
+func (t TT) DependsOn(v int) bool {
+	bit := uint64(1) << uint(v)
+	for p := uint64(0); p < 1<<uint(t.N); p++ {
+		if p&bit != 0 {
+			continue
+		}
+		if t.Eval(p) != t.Eval(p|bit) {
+			return true
+		}
+	}
+	return false
+}
+
+// Support returns the number of variables the function depends on.
+func (t TT) Support() int {
+	n := 0
+	for v := 0; v < t.N; v++ {
+		if t.DependsOn(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Transform applies an input binding: result(p) = t(q) where bit i of q is
+// bit perm[i] of p, XORed with bit i of inv. perm must have length t.N and
+// map cell inputs to result variables over nOut variables. When invOut is
+// set the output is complemented.
+func (t TT) Transform(perm []int, inv uint64, invOut bool, nOut int) TT {
+	out, err := NewTT(nOut)
+	if err != nil {
+		panic(err)
+	}
+	for p := uint64(0); p < 1<<uint(nOut); p++ {
+		var q uint64
+		for i, v := range perm {
+			bit := (p >> uint(v)) & 1
+			if inv&(1<<uint(i)) != 0 {
+				bit ^= 1
+			}
+			q |= bit << uint(i)
+		}
+		val := t.Eval(q)
+		if invOut {
+			val = !val
+		}
+		if val {
+			out.Set(p, true)
+		}
+	}
+	return out
+}
+
+// VarSignature is an input-inversion-invariant per-variable invariant used
+// to prune matching: the ON-set sizes of the two cofactors, sorted.
+type VarSignature struct {
+	Lo, Hi int
+}
+
+// Signature computes the per-variable signatures of the function.
+func (t TT) Signature() []VarSignature {
+	out := make([]VarSignature, t.N)
+	for v := 0; v < t.N; v++ {
+		c0 := t.Cofactor(v, false).Ones() / 2 // each cofactor point counted twice over N vars
+		c1 := t.Cofactor(v, true).Ones() / 2
+		if c0 > c1 {
+			c0, c1 = c1, c0
+		}
+		out[v] = VarSignature{Lo: c0, Hi: c1}
+	}
+	return out
+}
+
+// SymmetricPair reports whether variables u and v are interchangeable in
+// the function (first-order NE symmetry).
+func (t TT) SymmetricPair(u, v int) bool {
+	for p := uint64(0); p < 1<<uint(t.N); p++ {
+		bu := (p >> uint(u)) & 1
+		bv := (p >> uint(v)) & 1
+		if bu == bv {
+			continue
+		}
+		q := p ^ (1 << uint(u)) ^ (1 << uint(v))
+		if t.Eval(p) != t.Eval(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the table as hex words annotated with the input count.
+func (t TT) String() string {
+	if len(t.Bits) == 1 {
+		return fmt.Sprintf("0x%x/%d", t.Bits[0]&t.lastMask(), t.N)
+	}
+	return fmt.Sprintf("%x/%d", t.Bits, t.N)
+}

@@ -1,0 +1,148 @@
+package truthtab
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/cube"
+)
+
+func tt(t *testing.T, expr string) TT {
+	t.Helper()
+	f := bexpr.MustParse(expr)
+	out, err := FromExpr(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestFromCoverAndExprAgree(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	cov := cube.MustParseCover("ab + a'c", names)
+	fromCov, err := FromCover(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromExpr := tt(t, "a*b + a'*c")
+	if !fromCov.Equal(fromExpr) {
+		t.Errorf("cover TT %v != expr TT %v", fromCov, fromExpr)
+	}
+}
+
+func TestOnesAndNot(t *testing.T) {
+	and2 := tt(t, "a*b")
+	if and2.Ones() != 1 {
+		t.Errorf("AND2 ones = %d, want 1", and2.Ones())
+	}
+	if and2.Not().Ones() != 3 {
+		t.Errorf("NAND2 ones = %d, want 3", and2.Not().Ones())
+	}
+	if !and2.Not().Not().Equal(and2) {
+		t.Error("double complement must be identity")
+	}
+}
+
+func TestDependsOnSupport(t *testing.T) {
+	f := bexpr.MustParse("a*b + a'*b") // = b, does not depend on a
+	g, err := FromExpr(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DependsOn(0) {
+		t.Error("function should not depend on a")
+	}
+	if !g.DependsOn(1) {
+		t.Error("function should depend on b")
+	}
+	if g.Support() != 1 {
+		t.Errorf("support = %d, want 1", g.Support())
+	}
+}
+
+func TestTransform(t *testing.T) {
+	// cell = a*b' over (a,b); bind a->var1, b->var0 inverted: result = x1 * x0.
+	cell := tt(t, "a*b'")
+	got := cell.Transform([]int{1, 0}, 1<<1, false, 2)
+	want := tt(t, "a*b") // over (a,b) = (var0, var1)
+	if !got.Equal(want) {
+		t.Errorf("Transform = %v, want %v", got, want)
+	}
+	// Output inversion.
+	gotInv := cell.Transform([]int{0, 1}, 0, true, 2)
+	wantInv := tt(t, "(a*b')'")
+	if !gotInv.Equal(wantInv) {
+		t.Errorf("Transform invOut = %v, want %v", gotInv, wantInv)
+	}
+}
+
+func TestSignatureInvariance(t *testing.T) {
+	f := tt(t, "a*b + c")
+	g := tt(t, "a'*b + c") // input inversion of a
+	fs, gs := f.Signature(), g.Signature()
+	for v := range fs {
+		if fs[v] != gs[v] {
+			t.Errorf("signature of var %d not inversion-invariant: %v vs %v", v, fs[v], gs[v])
+		}
+	}
+}
+
+func TestSymmetricPair(t *testing.T) {
+	f := tt(t, "a*b + c")
+	if !f.SymmetricPair(0, 1) {
+		t.Error("a,b should be symmetric in ab + c")
+	}
+	if f.SymmetricPair(0, 2) {
+		t.Error("a,c should not be symmetric in ab + c")
+	}
+}
+
+func TestCofactor(t *testing.T) {
+	f := tt(t, "a*b + a'*c")
+	c1 := f.Cofactor(0, true) // = b, still over 3 variables
+	want, err := FromFunc(3, func(p uint64) bool { return p&0b010 != 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c1.Equal(want) {
+		t.Errorf("cofactor a=1: %v, want b (=%v)", c1, want)
+	}
+}
+
+// TestTransformComposition: applying two transforms sequentially equals
+// applying their composition.
+func TestTransformComposition(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(4))}
+	prop := func(bits uint16, inv1, inv2 uint8) bool {
+		n := 3
+		f, err := FromFunc(n, func(p uint64) bool { return bits&(1<<p) != 0 })
+		if err != nil {
+			return false
+		}
+		id := []int{0, 1, 2}
+		g := f.Transform(id, uint64(inv1)&7, false, n)
+		h := g.Transform(id, uint64(inv2)&7, false, n)
+		direct := f.Transform(id, (uint64(inv1)^uint64(inv2))&7, false, n)
+		return h.Equal(direct)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNotInvolution: complement is an involution and flips Ones.
+func TestNotInvolution(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(5))}
+	prop := func(bits uint16) bool {
+		f, err := FromFunc(4, func(p uint64) bool { return bits&(1<<p) != 0 })
+		if err != nil {
+			return false
+		}
+		return f.Not().Not().Equal(f) && f.Ones()+f.Not().Ones() == 16
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
