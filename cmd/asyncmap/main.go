@@ -12,11 +12,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"gfmap/internal/blif"
 	"gfmap/internal/core"
@@ -32,14 +34,19 @@ func main() {
 	depth := flag.Int("depth", 5, "maximum match-cluster depth")
 	leaves := flag.Int("leaves", 6, "maximum match-cluster inputs")
 	objective := flag.String("objective", "area", "covering objective: area or delay")
-	workers := flag.Int("workers", 1, "parallel covering workers (result is deterministic)")
+	workers := flag.Int("workers", 0, "parallel covering workers; 0 = one per CPU, 1 = serial (result is deterministic either way)")
 	maxBurst := flag.Int("maxburst", 0, "hazard don't-cares: ignore cell hazards on bursts wider than this (0 = off)")
 	verify := flag.Bool("verify", false, "verify functional equivalence and per-cone hazard safety")
 	quiet := flag.Bool("q", false, "print statistics only, not the netlist")
 	format := flag.String("o", "netlist", "output format: netlist or verilog")
 	showPath := flag.Bool("path", false, "print the critical path")
+	statsFmt := flag.String("stats", "text", "statistics format: text or json")
+	noCache := flag.Bool("nocache", false, "disable the shared hazard-analysis cache (A/B measurement)")
 	flag.Parse()
 
+	if *statsFmt != "text" && *statsFmt != "json" {
+		fatal(fmt.Errorf("unknown stats format %q", *statsFmt))
+	}
 	net, err := readNetwork(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -48,7 +55,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.Options{MaxDepth: *depth, MaxLeaves: *leaves, Workers: *workers, MaxBurst: *maxBurst}
+	opts := core.Options{MaxDepth: *depth, MaxLeaves: *leaves, Workers: *workers,
+		MaxBurst: *maxBurst, DisableHazardCache: *noCache}
 	switch *objective {
 	case "area":
 		opts.Objective = core.MinArea
@@ -90,11 +98,16 @@ func main() {
 		}
 		fmt.Print(report)
 	}
-	fmt.Printf("# mode=%s library=%s gates=%d area=%g delay=%.2fns\n",
-		*mode, lib.Name, res.Netlist.GateCount(), res.Area, res.Delay)
-	fmt.Printf("# cones=%d clusters=%d matches=%d hazardous=%d rejected=%d\n",
-		res.Stats.Cones, res.Stats.ClustersEnumerated, res.Stats.MatchesFound,
-		res.Stats.HazardousMatches, res.Stats.MatchesRejected)
+	switch *statsFmt {
+	case "json":
+		if err := printStatsJSON(*mode, lib.Name, res); err != nil {
+			fatal(err)
+		}
+	case "text":
+		printStatsText(*mode, lib.Name, res)
+	default:
+		fatal(fmt.Errorf("unknown stats format %q", *statsFmt))
+	}
 	if *verify {
 		if err := core.VerifyEquivalence(net, res.Netlist); err != nil {
 			fatal(err)
@@ -111,6 +124,42 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// printStatsText writes the run summary as "#"-prefixed comment lines, so
+// the statistics can trail a netlist without breaking downstream parsers.
+func printStatsText(mode, libName string, res *core.Result) {
+	st := res.Stats
+	fmt.Printf("# mode=%s library=%s gates=%d area=%g delay=%.2fns\n",
+		mode, libName, res.Netlist.GateCount(), res.Area, res.Delay)
+	fmt.Printf("# cones=%d clusters=%d matches=%d hazardous=%d rejected=%d\n",
+		st.Cones, st.ClustersEnumerated, st.MatchesFound,
+		st.HazardousMatches, st.MatchesRejected)
+	fmt.Printf("# hazard analyses=%d cache: local=%d shared=%d fresh=%d hit-rate=%.1f%% evictions=%d\n",
+		st.HazardAnalyses(), st.HazCacheLocalHits, st.HazCacheHits,
+		st.HazCacheMisses, 100*st.HazCacheHitRate(), st.HazCacheEvictions)
+	fmt.Printf("# phases: decompose=%s partition=%s cover=%s emit=%s\n",
+		st.DecomposeTime.Round(time.Microsecond), st.PartitionTime.Round(time.Microsecond),
+		st.CoverTime.Round(time.Microsecond), st.EmitTime.Round(time.Microsecond))
+	if st.CutTruncations > 0 {
+		fmt.Printf("# warning: cut enumeration truncated at %d node(s); pathological cones may be mapped suboptimally (lower -depth/-leaves to silence)\n",
+			st.CutTruncations)
+	}
+}
+
+// printStatsJSON writes the run summary as one JSON object on stdout.
+func printStatsJSON(mode, libName string, res *core.Result) error {
+	out := struct {
+		Mode    string
+		Library string
+		Gates   int
+		Area    float64
+		Delay   float64
+		Stats   core.Stats
+	}{mode, libName, res.Netlist.GateCount(), res.Area, res.Delay, res.Stats}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func readNetwork(path string) (*network.Network, error) {

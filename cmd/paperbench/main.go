@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	only := flag.String("table", "", "regenerate only one table (1-5); default all")
+	only := flag.String("table", "", "regenerate only one table (1-5, or \"cache\" for the cache study); default all")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	figures := flag.Bool("figures", false, "also regenerate the conceptual figures")
 	flag.Parse()
@@ -59,6 +59,13 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(bench.FormatTable5(rows))
+	}
+	if want("cache") {
+		rows, err := bench.CacheTable()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatCacheTable(rows))
 	}
 	if *figures {
 		text, err := bench.Figures()

@@ -22,8 +22,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"time"
 
+	"gfmap/internal/hazcache"
 	"gfmap/internal/library"
 	"gfmap/internal/network"
 )
@@ -86,7 +89,9 @@ type Options struct {
 	MaxBindings int
 	// Workers sets the number of goroutines used to run the per-cone
 	// covering DP; emission stays serial and the result is bit-identical
-	// to a single-worker run. Zero or one means serial.
+	// to a single-worker run, whatever the worker count. Zero (the
+	// default) means one worker per CPU (runtime.NumCPU()); use 1 to
+	// force a serial run.
 	Workers int
 	// MaxBurst, when positive, enables hazard don't-cares (the paper's
 	// future-work §6): in generalized fundamental-mode operation the
@@ -96,6 +101,16 @@ type Options struct {
 	// flip more than MaxBurst of the subnetwork's inputs. Zero means no
 	// don't-cares: every transition counts.
 	MaxBurst int
+	// HazardCache selects the cross-cone hazard-analysis cache consulted
+	// by the asynchronous matching filter. Nil means the process-wide
+	// shared cache (hazcache.Shared()); supply a private cache to isolate
+	// a run. The cache is semantically transparent — mapped netlists are
+	// bit-identical with the cache on, off, warm or cold.
+	HazardCache *hazcache.Cache
+	// DisableHazardCache turns the cross-cone cache off entirely; hazard
+	// analyses are then memoised per cone only. Intended for A/B
+	// measurement, not for production use.
+	DisableHazardCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -108,10 +123,19 @@ func (o Options) withDefaults() Options {
 	if o.MaxBindings == 0 {
 		o.MaxBindings = 32
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.DisableHazardCache {
+		o.HazardCache = nil
+	} else if o.HazardCache == nil {
+		o.HazardCache = hazcache.Shared()
+	}
 	return o
 }
 
-// Stats counts the work done during a mapping run.
+// Stats counts the work done during a mapping run and the wall-clock time
+// spent in each phase of the pipeline.
 type Stats struct {
 	Cones              int
 	ClustersEnumerated int
@@ -119,6 +143,75 @@ type Stats struct {
 	HazardousMatches   int
 	HazardChecks       int
 	MatchesRejected    int
+	// CutTruncations counts tree nodes whose cut enumeration hit the
+	// per-node bound and silently dropped candidate clusters; a nonzero
+	// value means pathological cones may have been mapped suboptimally.
+	CutTruncations int
+
+	// Hazard-analysis accounting for the matching filter: analyses served
+	// by the per-cone memo, by the shared cross-cone cache, and performed
+	// fresh. LocalHits is deterministic; the split between shared hits and
+	// misses depends on cache warmth and worker scheduling (their sum does
+	// not).
+	HazCacheLocalHits int
+	HazCacheHits      int
+	HazCacheMisses    int
+	// HazCacheEvictions is the number of shared-cache entries evicted
+	// while this run was in flight (approximate under concurrent runs).
+	HazCacheEvictions int
+
+	// Per-phase wall times of the pipeline: technology decomposition,
+	// cone partitioning, the covering DP (including matching and hazard
+	// analysis), and netlist emission.
+	DecomposeTime time.Duration
+	PartitionTime time.Duration
+	CoverTime     time.Duration
+	EmitTime      time.Duration
+}
+
+// merge folds a worker's counters into the receiver. Phase times are
+// measured only by the coordinating mapper and are not merged.
+func (s *Stats) merge(o Stats) {
+	s.ClustersEnumerated += o.ClustersEnumerated
+	s.MatchesFound += o.MatchesFound
+	s.HazardousMatches += o.HazardousMatches
+	s.HazardChecks += o.HazardChecks
+	s.MatchesRejected += o.MatchesRejected
+	s.CutTruncations += o.CutTruncations
+	s.HazCacheLocalHits += o.HazCacheLocalHits
+	s.HazCacheHits += o.HazCacheHits
+	s.HazCacheMisses += o.HazCacheMisses
+}
+
+// Deterministic returns the counters that are invariant across worker
+// counts and cache state, zeroing the scheduling-dependent cache split and
+// the wall-clock times. Two runs of the same mapping must agree on this
+// view exactly.
+func (s Stats) Deterministic() Stats {
+	s.HazCacheHits = 0
+	s.HazCacheMisses = 0
+	s.HazCacheEvictions = 0
+	s.DecomposeTime = 0
+	s.PartitionTime = 0
+	s.CoverTime = 0
+	s.EmitTime = 0
+	return s
+}
+
+// HazardAnalyses returns the total number of hazard-set computations the
+// run asked for, however they were served.
+func (s Stats) HazardAnalyses() int {
+	return s.HazCacheLocalHits + s.HazCacheHits + s.HazCacheMisses
+}
+
+// HazCacheHitRate returns the fraction of hazard-analysis requests served
+// by a cache (per-cone memo or shared), in [0, 1]; 0 when none were made.
+func (s Stats) HazCacheHitRate() float64 {
+	total := s.HazardAnalyses()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.HazCacheLocalHits+s.HazCacheHits) / float64(total)
 }
 
 // Result is the outcome of a mapping run.
@@ -138,27 +231,44 @@ func Map(net *network.Network, lib *library.Library, opts Options) (*Result, err
 			return nil, err
 		}
 	}
+	var evictions0 uint64
+	if opts.HazardCache != nil {
+		evictions0 = opts.HazardCache.Stats().Evictions
+	}
+	phase := time.Now()
 	decomposed, err := network.AsyncTechDecomp(net)
 	if err != nil {
 		return nil, err
 	}
+	decomposeTime := time.Since(phase)
+	phase = time.Now()
 	cones, err := network.Partition(decomposed)
 	if err != nil {
 		return nil, err
 	}
+	partitionTime := time.Since(phase)
 	nl := NewNetlist(net.Name, net.Inputs, net.Outputs)
 	m := &mapper{lib: lib, opts: opts, netlist: nl}
 	if err := m.ensureCells(); err != nil {
 		return nil, err
 	}
+	phase = time.Now()
 	prepared, err := m.prepareCones(cones)
 	if err != nil {
 		return nil, err
 	}
+	m.stats.CoverTime = time.Since(phase)
+	phase = time.Now()
 	for i, pc := range prepared {
 		if err := m.emitCone(pc); err != nil {
 			return nil, fmt.Errorf("core: cone %s: %w", cones[i].Root, err)
 		}
+	}
+	m.stats.EmitTime = time.Since(phase)
+	m.stats.DecomposeTime = decomposeTime
+	m.stats.PartitionTime = partitionTime
+	if opts.HazardCache != nil {
+		m.stats.HazCacheEvictions = int(opts.HazardCache.Stats().Evictions - evictions0)
 	}
 	m.stats.Cones = len(cones)
 	area := nl.Area()

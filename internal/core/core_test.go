@@ -1,13 +1,16 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
 	"gfmap/internal/bexpr"
 	"gfmap/internal/eqn"
 	"gfmap/internal/hazard"
+	"gfmap/internal/hazcache"
 	"gfmap/internal/library"
 	"gfmap/internal/network"
 )
@@ -274,6 +277,18 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.MaxDepth != 5 || o.MaxLeaves != 6 || o.MaxBindings != 32 {
 		t.Errorf("bad defaults: %+v", o)
 	}
+	if o.Workers != runtime.NumCPU() {
+		t.Errorf("Workers zero value should default to NumCPU (%d), got %d", runtime.NumCPU(), o.Workers)
+	}
+	if o.HazardCache != hazcache.Shared() {
+		t.Error("nil HazardCache should default to the shared cache")
+	}
+	if o := (Options{Workers: 1}).withDefaults(); o.Workers != 1 {
+		t.Errorf("Workers: 1 must stay serial, got %d", o.Workers)
+	}
+	if o := (Options{DisableHazardCache: true}).withDefaults(); o.HazardCache != nil {
+		t.Error("DisableHazardCache must clear the cache")
+	}
 }
 
 // TestHazardFilterDirection pins the subset filter semantics: a hazardous
@@ -499,7 +514,8 @@ f = a*b + a'*c + b*c;
 }
 
 // TestParallelMappingDeterministic: the parallel DP produces a netlist
-// bit-identical to the serial run.
+// bit-identical to the serial run, with identical hazard-check
+// statistics, whether the hazard cache is shared, private, warm or off.
 func TestParallelMappingDeterministic(t *testing.T) {
 	src := `
 INPUT(a, b, c, d, e, f)
@@ -511,7 +527,7 @@ z = (u*e)' + d*f;
 `
 	net := parseNet(t, src, "par")
 	lib := library.MustGet("Actel")
-	serial, err := Map(net, lib, Options{Mode: Async})
+	serial, err := Map(net, lib, Options{Mode: Async, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -522,8 +538,109 @@ z = (u*e)' + d*f;
 	if serial.Netlist.String() != parallel.Netlist.String() {
 		t.Errorf("parallel netlist differs:\n%s\nvs\n%s", serial.Netlist, parallel.Netlist)
 	}
-	if serial.Stats != parallel.Stats {
+	if serial.Stats.Deterministic() != parallel.Stats.Deterministic() {
 		t.Errorf("stats differ: %+v vs %+v", serial.Stats, parallel.Stats)
+	}
+	if got, want := serial.Stats.HazardAnalyses(), parallel.Stats.HazardAnalyses(); got != want {
+		t.Errorf("hazard-analysis totals differ: %d vs %d", got, want)
+	}
+	// A private cold cache and no cache at all must both reproduce the
+	// shared-cache result exactly.
+	private, err := Map(net, lib, Options{Mode: Async, Workers: 8, HazardCache: hazcache.New(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := Map(net, lib, Options{Mode: Async, Workers: 8, DisableHazardCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for what, res := range map[string]*Result{"private cache": private, "no cache": uncached} {
+		if res.Netlist.String() != serial.Netlist.String() {
+			t.Errorf("%s netlist differs from serial:\n%s\nvs\n%s", what, res.Netlist, serial.Netlist)
+		}
+		if res.Stats.Deterministic() != serial.Stats.Deterministic() {
+			t.Errorf("%s stats differ: %+v vs %+v", what, res.Stats, serial.Stats)
+		}
+	}
+	if uncached.Stats.HazCacheHits != 0 {
+		t.Errorf("cache-disabled run reported shared hits: %+v", uncached.Stats)
+	}
+}
+
+// TestHazardCacheSharesAcrossCones: on a design whose cones repeat the
+// same cluster shapes, the cross-cone cache serves repeats that the
+// per-cone memo cannot, and a warm cache serves a whole second run.
+func TestHazardCacheSharesAcrossCones(t *testing.T) {
+	src := `
+INPUT(a, b, c, p, q, r)
+OUTPUT(f, g)
+f = a*b + a'*c + b*c;
+g = p*q + p'*r + q*r;
+`
+	net := parseNet(t, src, "share")
+	lib := library.MustGet("LSI9K")
+	cache := hazcache.New(0)
+	cold, err := Map(net, lib, Options{Mode: Async, Workers: 1, HazardCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.HazCacheHits == 0 {
+		t.Errorf("expected cross-cone hits on twin cones: %+v", cold.Stats)
+	}
+	if cold.Stats.HazCacheMisses == 0 {
+		t.Errorf("cold cache must miss at least once: %+v", cold.Stats)
+	}
+	warm, err := Map(net, lib, Options{Mode: Async, Workers: 1, HazardCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Netlist.String() != cold.Netlist.String() {
+		t.Errorf("warm-cache netlist differs:\n%s\nvs\n%s", warm.Netlist, cold.Netlist)
+	}
+	if warm.Stats.HazCacheMisses != 0 {
+		t.Errorf("fully warm cache should serve every analysis: %+v", warm.Stats)
+	}
+	if rate := warm.Stats.HazCacheHitRate(); rate != 1 {
+		t.Errorf("warm hit rate %.2f, want 1", rate)
+	}
+}
+
+// balancedExpr builds a balanced expression tree over vars[lo:hi) with
+// alternating operators (so no level flattens away), the bushy shape whose
+// cut combinations explode combinatorially.
+func balancedExpr(vars []string, lo, hi int, and bool) string {
+	if hi-lo == 1 {
+		return vars[lo]
+	}
+	mid := (lo + hi) / 2
+	op := " + "
+	if and {
+		op = "*"
+	}
+	return "(" + balancedExpr(vars, lo, mid, !and) + op + balancedExpr(vars, mid, hi, !and) + ")"
+}
+
+// TestCutTruncationCounted: a cone bushy enough to overflow the per-node
+// cut bound is flagged in the statistics instead of failing silently.
+func TestCutTruncationCounted(t *testing.T) {
+	var vars []string
+	for i := 0; i < 32; i++ {
+		vars = append(vars, fmt.Sprintf("x%d", i))
+	}
+	src := "INPUT(" + strings.Join(vars, ", ") + ")\nOUTPUT(y)\ny = " +
+		balancedExpr(vars, 0, len(vars), true) + ";\n"
+	net := parseNet(t, src, "trunc")
+	res, err := Map(net, library.MustGet("LSI9K"), Options{Mode: Sync, MaxLeaves: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CutTruncations == 0 {
+		t.Errorf("expected cut truncations on a balanced 32-leaf cone: %+v", res.Stats)
+	}
+	// A narrow cone must not be flagged.
+	small := mapNet(t, parseNet(t, simpleSrc, "simple"), "LSI9K", Async)
+	if small.Stats.CutTruncations != 0 {
+		t.Errorf("small design spuriously flagged truncation: %+v", small.Stats)
 	}
 }
 

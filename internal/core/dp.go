@@ -84,6 +84,9 @@ type coneMapper struct {
 	nodes []tnode
 	cuts  [][]cutEntry
 
+	// hazCache is the per-cone memo of cluster hazard sets (already
+	// translated into each cluster's variable space), consulted before
+	// the shared cross-cone hazcache. Entries are owned by this cone.
 	hazCache map[string]*hazard.Set
 	emitted  map[[2]int]string
 	matCount int
@@ -194,11 +197,7 @@ func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
 		}
 	}
 	for _, st := range stats {
-		m.stats.ClustersEnumerated += st.ClustersEnumerated
-		m.stats.MatchesFound += st.MatchesFound
-		m.stats.HazardousMatches += st.HazardousMatches
-		m.stats.HazardChecks += st.HazardChecks
-		m.stats.MatchesRejected += st.MatchesRejected
+		m.stats.merge(st)
 	}
 	return out, nil
 }
@@ -263,6 +262,7 @@ func (cm *coneMapper) enumCuts(id int) []cutEntry {
 	if n.op == bexpr.OpNot {
 		depthAdd = 0 // complements fold into gates; the paper's depth counts gate levels
 	}
+	truncated := false
 	combos := []cutEntry{{nodes: nil, depth: 0}}
 	for _, kid := range n.kids {
 		var kidOpts []cutEntry
@@ -280,13 +280,14 @@ func (cm *coneMapper) enumCuts(id int) []cutEntry {
 				}
 				next = append(next, cutEntry{nodes: merged, depth: d})
 				if len(next) > 4*maxCutsPerNode {
+					truncated = true
 					break
 				}
 			}
 		}
 		combos = next
 	}
-	for _, c := range combos {
+	for ci, c := range combos {
 		depth := c.depth + depthAdd
 		if depth > cm.m.opts.MaxDepth {
 			continue
@@ -296,8 +297,14 @@ func (cm *coneMapper) enumCuts(id int) []cutEntry {
 		}
 		out = append(out, cutEntry{nodes: c.nodes, depth: depth})
 		if len(out) >= maxCutsPerNode {
+			if ci < len(combos)-1 {
+				truncated = true
+			}
 			break
 		}
+	}
+	if truncated {
+		cm.m.stats.CutTruncations++
 	}
 	cm.cuts[id] = out
 	return out
@@ -502,7 +509,9 @@ func (cm *coneMapper) hazardSubsetOK(fn *bexpr.Function, phase int, cell *librar
 	}
 	key := fmt.Sprintf("%d|%s", phase, fn.Root.String())
 	clusterSet, ok := cm.hazCache[key]
-	if !ok {
+	if ok {
+		cm.m.stats.HazCacheLocalHits++
+	} else {
 		expr := fn.Root
 		if phase == phaseNeg {
 			expr = bexpr.Not(fn.Root.Clone())
@@ -512,12 +521,28 @@ func (cm *coneMapper) hazardSubsetOK(fn *bexpr.Function, phase int, cell *librar
 			cm.hazCache[key] = nil
 			return false
 		}
-		set, err := hazard.Analyze(cfn)
-		if err != nil {
-			set = nil
+		if hc := cm.m.opts.HazardCache; hc != nil {
+			// The shared cross-cone cache: one hazard.Analyze serves every
+			// structurally equivalent cluster in the process, across cones,
+			// workers and runs. Returned sets are fresh copies, translated
+			// into this cluster's variable space, so the per-cone memo
+			// never aliases another goroutine's data.
+			set, hit := hc.Analyze(cfn)
+			if hit {
+				cm.m.stats.HazCacheHits++
+			} else {
+				cm.m.stats.HazCacheMisses++
+			}
+			clusterSet = set
+		} else {
+			cm.m.stats.HazCacheMisses++
+			set, err := hazard.Analyze(cfn)
+			if err != nil {
+				set = nil
+			}
+			clusterSet = set
 		}
-		cm.hazCache[key] = set
-		clusterSet = set
+		cm.hazCache[key] = clusterSet
 	}
 	if clusterSet == nil {
 		return false

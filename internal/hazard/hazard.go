@@ -321,14 +321,13 @@ func MustAnalyze(f *bexpr.Function) *Set {
 // transition flips at most k input variables. In generalized
 // fundamental-mode operation the environment issues bursts of bounded
 // width, so hazards on wider multi-input changes are don't-cares: they can
-// never be exercised. k <= 0 returns the set unchanged.
+// never be exercised. k <= 0 keeps every hazard. The result is always a
+// fresh set, never the receiver: callers mutate filtered sets, and with
+// cached analyses the receiver may be shared across goroutines.
 func (s *Set) FilterMaxBurst(k int) *Set {
-	if k <= 0 {
-		return s
-	}
 	out := NewSet(s.N)
 	keep := func(tr Transition) bool {
-		return popcount64(tr.From^tr.To) <= k
+		return k <= 0 || popcount64(tr.From^tr.To) <= k
 	}
 	for tr := range s.Static1 {
 		if keep(tr) {

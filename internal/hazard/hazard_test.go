@@ -711,6 +711,31 @@ func TestFilterMaxBurstProperty(t *testing.T) {
 	}
 }
 
+// TestFilterMaxBurstNoAliasing: FilterMaxBurst must return a fresh set for
+// every k, including k <= 0 ("no filter"). Returning the receiver lets a
+// caller's mutation corrupt the original — fatal once sets are shared
+// through the hazard-analysis cache.
+func TestFilterMaxBurstNoAliasing(t *testing.T) {
+	s := MustAnalyze(bexpr.MustParse("s'*a + s*b"))
+	for _, k := range []int{-1, 0, 1, s.N} {
+		f := s.FilterMaxBurst(k)
+		if f == s {
+			t.Fatalf("FilterMaxBurst(%d) returned the receiver", k)
+		}
+		if k <= 0 && !f.Equal(s) {
+			t.Errorf("FilterMaxBurst(%d) must keep every hazard", k)
+		}
+		before := len(s.Static1) + len(s.Static0) + len(s.Dynamic)
+		f.Static1[Transition{From: 0, To: 0}] = struct{}{}
+		f.Static0[Transition{From: 1, To: 1}] = struct{}{}
+		f.Dynamic[Transition{From: 2, To: 2}] = struct{}{}
+		after := len(s.Static1) + len(s.Static0) + len(s.Dynamic)
+		if before != after {
+			t.Fatalf("FilterMaxBurst(%d): mutating the filtered set changed the original", k)
+		}
+	}
+}
+
 // TestRepairStatic1 removes all m.i.c. static-1 hazards while preserving
 // the function; the exact analyser confirms.
 func TestRepairStatic1(t *testing.T) {
