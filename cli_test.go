@@ -4,6 +4,7 @@ package gfmap
 // into a temporary directory and driven the way a user would drive it.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -29,7 +30,7 @@ func buildTools(t *testing.T) string {
 		}
 		buildDir = dir
 		cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
-			"./cmd/asyncmap", "./cmd/hazardcheck", "./cmd/libaudit", "./cmd/paperbench")
+			"./cmd/asyncmap", "./cmd/hazardcheck", "./cmd/libaudit", "./cmd/paperbench", "./cmd/tracelint")
 		cmd.Env = os.Environ()
 		if out, err := cmd.CombinedOutput(); err != nil {
 			buildErr = err
@@ -44,19 +45,30 @@ func buildTools(t *testing.T) string {
 
 func run(t *testing.T, name string, stdin string, args ...string) (string, int) {
 	t.Helper()
+	stdout, stderr, code := runSplit(t, name, stdin, args...)
+	return stdout + stderr, code
+}
+
+// runSplit runs a built tool keeping stdout and stderr separate, for
+// tests of the stream contract.
+func runSplit(t *testing.T, name string, stdin string, args ...string) (string, string, int) {
+	t.Helper()
 	dir := buildTools(t)
 	cmd := exec.Command(filepath.Join(dir, name), args...)
 	if stdin != "" {
 		cmd.Stdin = strings.NewReader(stdin)
 	}
-	out, err := cmd.CombinedOutput()
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
 	code := 0
 	if ee, ok := err.(*exec.ExitError); ok {
 		code = ee.ExitCode()
 	} else if err != nil {
-		t.Fatalf("%s: %v\n%s", name, err, out)
+		t.Fatalf("%s: %v\n%s%s", name, err, stdout.String(), stderr.String())
 	}
-	return string(out), code
+	return stdout.String(), stderr.String(), code
 }
 
 const fig3Eqn = `
@@ -157,6 +169,169 @@ func TestCLIPaperbenchTable1(t *testing.T) {
 	}
 	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "MUX") {
 		t.Errorf("table 1 output wrong:\n%s", out)
+	}
+}
+
+// TestCLIStatsJSONStderr pins the stream contract: with the netlist on
+// stdout, -stats json must put the JSON on stderr so piped netlists stay
+// machine-parseable; with -q the JSON owns stdout.
+func TestCLIStatsJSONStderr(t *testing.T) {
+	stdout, stderr, code := runSplit(t, "asyncmap", fig3Eqn, "-lib", "LSI9K", "-stats", "json")
+	if code != 0 {
+		t.Fatalf("asyncmap failed (%d):\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "INPUT(") {
+		t.Errorf("netlist missing from stdout:\n%s", stdout)
+	}
+	if strings.Contains(stdout, `"Mode"`) {
+		t.Errorf("stats JSON leaked onto stdout:\n%s", stdout)
+	}
+	var st struct {
+		Mode  string
+		Gates int
+	}
+	if err := json.Unmarshal([]byte(stderr), &st); err != nil {
+		t.Fatalf("stderr is not a stats JSON object: %v\n%s", err, stderr)
+	}
+	if st.Mode != "async" || st.Gates == 0 {
+		t.Errorf("stats JSON wrong: %+v", st)
+	}
+
+	stdout, stderr, code = runSplit(t, "asyncmap", fig3Eqn, "-lib", "LSI9K", "-stats", "json", "-q")
+	if code != 0 {
+		t.Fatalf("asyncmap -q failed (%d):\n%s%s", code, stdout, stderr)
+	}
+	if err := json.Unmarshal([]byte(stdout), &st); err != nil {
+		t.Fatalf("with -q the stats JSON should own stdout: %v\n%s", err, stdout)
+	}
+	if strings.TrimSpace(stderr) != "" {
+		t.Errorf("unexpected stderr with -q: %s", stderr)
+	}
+}
+
+// TestCLIAsyncmapTrace drives the whole observability surface: trace and
+// event files are written, the trace passes the tracelint schema checker
+// with all pipeline-phase spans required, and -hist emits comment-style
+// histogram lines that don't break the netlist stream.
+func TestCLIAsyncmapTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	events := filepath.Join(dir, "events.jsonl")
+	stdout, stderr, code := runSplit(t, "asyncmap", fig3Eqn,
+		"-lib", "LSI9K", "-trace", trace, "-events", events, "-hist")
+	if code != 0 {
+		t.Fatalf("asyncmap failed (%d):\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "INPUT(") {
+		t.Errorf("netlist missing:\n%s", stdout)
+	}
+	for _, want := range []string{"# hist map_hazard_analyze_seconds", "# hist map_cuts_per_node", "# counter map_cones = 1"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-hist output missing %q:\n%s", want, stdout)
+		}
+	}
+	for _, ln := range strings.Split(stdout, "\n") {
+		if ln != "" && !strings.HasPrefix(ln, "#") && !strings.HasPrefix(ln, "INPUT") &&
+			!strings.HasPrefix(ln, "OUTPUT") && !strings.Contains(ln, "=") {
+			t.Errorf("non-comment, non-netlist line on stdout: %q", ln)
+		}
+	}
+	lintOut, lintCode := run(t, "tracelint", "",
+		"-require", "decompose,partition,cuts,match,hazard,cover,emit", trace, events)
+	if lintCode != 0 {
+		t.Fatalf("tracelint rejected the trace (%d):\n%s", lintCode, lintOut)
+	}
+	if !strings.Contains(lintOut, "OK") {
+		t.Errorf("tracelint output: %s", lintOut)
+	}
+
+	// The traced run must produce the same netlist as an untraced one.
+	plain, _, code := runSplit(t, "asyncmap", fig3Eqn, "-lib", "LSI9K")
+	if code != 0 {
+		t.Fatal("untraced run failed")
+	}
+	netlistOf := func(out string) string {
+		var keep []string
+		for _, ln := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(ln, "#") {
+				keep = append(keep, ln)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if netlistOf(stdout) != netlistOf(plain) {
+		t.Errorf("tracing perturbed the netlist:\n%s\nvs\n%s", netlistOf(stdout), netlistOf(plain))
+	}
+}
+
+// TestCLITracelintRejects: the schema checker must fail on malformed
+// traces and on traces missing required spans.
+func TestCLITracelintRejects(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents":[{"ph":"X"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := run(t, "tracelint", "", bad); code == 0 {
+		t.Errorf("nameless event should fail lint:\n%s", out)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"traceEvents":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := run(t, "tracelint", "", "-require", "decompose", empty); code == 0 {
+		t.Errorf("missing required span should fail lint:\n%s", out)
+	}
+	notJSON := filepath.Join(dir, "nope.json")
+	if err := os.WriteFile(notJSON, []byte(`garbage`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := run(t, "tracelint", "", notJSON); code == 0 {
+		t.Errorf("garbage should fail lint:\n%s", out)
+	}
+}
+
+// TestCLIPaperbenchJSON: the -json report is valid JSON, stamped with an
+// environment fingerprint, and carries per-design histogram summaries.
+func TestCLIPaperbenchJSON(t *testing.T) {
+	stdout, stderr, code := runSplit(t, "paperbench", "", "-json", "-", "-lib", "Actel")
+	if code != 0 {
+		t.Fatalf("paperbench -json failed (%d):\n%s", code, stderr)
+	}
+	var rep struct {
+		Fingerprint struct {
+			GoVersion  string `json:"go_version"`
+			GOOS       string `json:"goos"`
+			NumCPU     int    `json:"num_cpu"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+			Library    string `json:"library"`
+		} `json:"fingerprint"`
+		Designs []struct {
+			Design     string                     `json:"design"`
+			Gates      int                        `json:"gates"`
+			Histograms map[string]json.RawMessage `json:"histograms"`
+		} `json:"designs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Fingerprint.GoVersion == "" || rep.Fingerprint.GOOS == "" ||
+		rep.Fingerprint.NumCPU < 1 || rep.Fingerprint.GOMAXPROCS < 1 {
+		t.Errorf("fingerprint incomplete: %+v", rep.Fingerprint)
+	}
+	if rep.Fingerprint.Library != "Actel" {
+		t.Errorf("fingerprint library = %q", rep.Fingerprint.Library)
+	}
+	if len(rep.Designs) == 0 {
+		t.Fatal("no designs in report")
+	}
+	for _, d := range rep.Designs {
+		if d.Gates == 0 {
+			t.Errorf("%s: no gates", d.Design)
+		}
+		if _, ok := d.Histograms["map_cuts_per_node"]; !ok {
+			t.Errorf("%s: missing cuts-per-node histogram", d.Design)
+		}
 	}
 }
 

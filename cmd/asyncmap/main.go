@@ -6,15 +6,37 @@
 //
 //	asyncmap -lib LSI9K [-mode async|sync] [-depth 5] [-verify] design.eqn
 //	asyncmap -libfile mylib.genlib design.blif
+//	asyncmap -trace out.json -events out.jsonl -hist design.eqn
+//	asyncmap -pprof :6060 big-design.eqn
 //
 // With no positional argument the network is read from standard input in
 // eqn format.
+//
+// Stream contract: the mapped netlist (or Verilog) is the only
+// machine-parseable payload on standard output, optionally followed by
+// "#"-prefixed comment lines (text statistics, -hist histograms, -path
+// report) that netlist parsers skip. When -stats json is combined with
+// netlist output on stdout, the stats JSON object is written to standard
+// error, so `asyncmap -stats json design.eqn > mapped.net` leaves
+// mapped.net parseable and the JSON separable via 2>stats.json. With -q
+// (no netlist) the JSON goes to stdout.
+//
+// Observability: -trace writes a Chrome trace-event JSON file of the
+// whole pipeline (load it at https://ui.perfetto.dev — one track per DP
+// worker), -events writes the same records as grep/jq-friendly JSONL,
+// -hist prints metric histograms (hazard-analysis latency, cuts per
+// node, cluster leaf widths, cache shard occupancy), and -pprof serves
+// net/http/pprof on the given address for live CPU/heap profiling with
+// per-worker and per-cone labels. See docs/OBSERVABILITY.md.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,6 +47,7 @@ import (
 	"gfmap/internal/eqn"
 	"gfmap/internal/library"
 	"gfmap/internal/network"
+	"gfmap/internal/obs"
 )
 
 func main() {
@@ -40,8 +63,12 @@ func main() {
 	quiet := flag.Bool("q", false, "print statistics only, not the netlist")
 	format := flag.String("o", "netlist", "output format: netlist or verilog")
 	showPath := flag.Bool("path", false, "print the critical path")
-	statsFmt := flag.String("stats", "text", "statistics format: text or json")
+	statsFmt := flag.String("stats", "text", "statistics format: text or json (json goes to stderr when the netlist is on stdout)")
 	noCache := flag.Bool("nocache", false, "disable the shared hazard-analysis cache (A/B measurement)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the pipeline (open in Perfetto)")
+	eventsOut := flag.String("events", "", "write the span/event log as JSONL to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) and label DP workers")
+	hist := flag.Bool("hist", false, "print metric histograms (hazard latency, cuts/node, cluster widths) as comment lines")
 	flag.Parse()
 
 	if *statsFmt != "text" && *statsFmt != "json" {
@@ -73,11 +100,36 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+	if *traceOut != "" || *eventsOut != "" {
+		opts.Tracer = obs.NewTracer(0)
+	}
+	if *hist {
+		opts.Metrics = obs.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		opts.ProfileLabels = true
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "asyncmap: pprof server:", err)
+			}
+		}()
+	}
 	res, err := core.Map(net, lib, opts)
 	if err != nil {
 		fatal(err)
 	}
-	if !*quiet {
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, opts.Tracer.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+	}
+	if *eventsOut != "" {
+		if err := writeFileWith(*eventsOut, opts.Tracer.WriteJSONL); err != nil {
+			fatal(err)
+		}
+	}
+	netlistOnStdout := !*quiet
+	if netlistOnStdout {
 		switch *format {
 		case "netlist":
 			fmt.Print(res.Netlist)
@@ -100,13 +152,20 @@ func main() {
 	}
 	switch *statsFmt {
 	case "json":
-		if err := printStatsJSON(*mode, lib.Name, res); err != nil {
+		// Stream contract: keep stdout machine-parseable when it carries
+		// the netlist — the stats object then goes to stderr.
+		statsW := io.Writer(os.Stdout)
+		if netlistOnStdout {
+			statsW = os.Stderr
+		}
+		if err := printStatsJSON(statsW, *mode, lib.Name, res); err != nil {
 			fatal(err)
 		}
 	case "text":
 		printStatsText(*mode, lib.Name, res)
-	default:
-		fatal(fmt.Errorf("unknown stats format %q", *statsFmt))
+	}
+	if *hist {
+		fmt.Print(opts.Metrics.Snapshot().Format("# "))
 	}
 	if *verify {
 		if err := core.VerifyEquivalence(net, res.Netlist); err != nil {
@@ -124,6 +183,19 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// writeFileWith streams an exporter into a freshly created file.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printStatsText writes the run summary as "#"-prefixed comment lines, so
@@ -147,8 +219,8 @@ func printStatsText(mode, libName string, res *core.Result) {
 	}
 }
 
-// printStatsJSON writes the run summary as one JSON object on stdout.
-func printStatsJSON(mode, libName string, res *core.Result) error {
+// printStatsJSON writes the run summary as one JSON object.
+func printStatsJSON(w io.Writer, mode, libName string, res *core.Result) error {
 	out := struct {
 		Mode    string
 		Library string
@@ -157,7 +229,7 @@ func printStatsJSON(mode, libName string, res *core.Result) error {
 		Delay   float64
 		Stats   core.Stats
 	}{mode, libName, res.Netlist.GateCount(), res.Area, res.Delay, res.Stats}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }

@@ -2,11 +2,22 @@
 // (§5, Tables 1–5) using the reproduced system: the four libraries, the
 // hazard analyser, the synchronous and asynchronous mappers, and the
 // benchmark suite.
+//
+// With -json PATH (or -json -) it instead emits a machine-readable
+// benchmark report: every design mapped with the observability metrics
+// registry attached, each row carrying the deterministic mapper
+// statistics plus per-design histogram summaries (hazard-analysis
+// latency, per-cone covering latency, cuts per node, cluster widths).
+// Every JSON report is stamped with an environment fingerprint (go
+// version, GOOS/GOARCH, CPU count, GOMAXPROCS, cell library, git
+// describe) so bench trajectory files are comparable across machines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,12 +28,21 @@ func main() {
 	only := flag.String("table", "", "regenerate only one table (1-5, or \"cache\" for the cache study); default all")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	figures := flag.Bool("figures", false, "also regenerate the conceptual figures")
+	jsonOut := flag.String("json", "", "write a fingerprinted JSON benchmark report to this file (\"-\" for stdout) instead of the text tables")
+	jsonLib := flag.String("lib", "LSI9K", "cell library for the -json report")
 	flag.Parse()
 
 	want := func(n string) bool { return *only == "" || *only == n }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSONReport(*jsonOut, *jsonLib); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if want("1") {
@@ -79,6 +99,27 @@ func main() {
 	}
 	fmt.Println(strings.Repeat("-", 60))
 	fmt.Println("All requested tables regenerated.")
+}
+
+// writeJSONReport runs the benchmark suite with metrics enabled and
+// writes the fingerprinted report to path ("-" = stdout).
+func writeJSONReport(path, libName string) error {
+	rep, err := bench.JSONReport(libName)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func runAblations(fail func(error)) {

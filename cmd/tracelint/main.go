@@ -1,0 +1,174 @@
+// Command tracelint validates the observability artifacts emitted by
+// asyncmap: a Chrome trace-event JSON file (-trace) and, optionally, a
+// JSONL event log (-events). It is the schema checker the CI trace smoke
+// test runs, and a quick sanity gate before loading a trace in Perfetto.
+//
+// Usage:
+//
+//	tracelint [-require name,name,...] trace.json [events.jsonl]
+//
+// Checks performed on the Chrome trace:
+//   - the file is a JSON object with a traceEvents array (or a bare
+//     array, which the format also permits);
+//   - every event has a name and a phase ("ph"); duration events ("X")
+//     additionally carry numeric ts, dur, pid and tid;
+//   - every span name listed in -require appears at least once (default:
+//     the six pipeline phases decompose, partition, cuts, match, cover,
+//     emit);
+//   - at least two tracks exist: the pipeline track and one worker track.
+//
+// Checks performed on the JSONL log: every non-empty line is a JSON
+// object with "name", "ts_us" and "ph" fields.
+//
+// Exit status 0 if every check passes, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// event mirrors the subset of the Chrome trace-event schema we validate.
+type event struct {
+	Name *string          `json:"name"`
+	Ph   *string          `json:"ph"`
+	Ts   *float64         `json:"ts"`
+	Dur  *float64         `json:"dur"`
+	Pid  *json.RawMessage `json:"pid"`
+	Tid  *float64         `json:"tid"`
+}
+
+func main() {
+	require := flag.String("require", "decompose,partition,cuts,match,cover,emit",
+		"comma-separated span names that must appear in the trace")
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint [-require names] trace.json [events.jsonl]")
+		os.Exit(1)
+	}
+	var problems []string
+	spans, tracks, total, perr := lintChromeTrace(flag.Arg(0), strings.Split(*require, ","))
+	problems = append(problems, perr...)
+	if flag.NArg() == 2 {
+		lines, perr := lintJSONL(flag.Arg(1))
+		problems = append(problems, perr...)
+		fmt.Printf("tracelint: %s: %d lines ok\n", flag.Arg(1), lines)
+	}
+	fmt.Printf("tracelint: %s: %d events, %d tracks, %d distinct span names\n",
+		flag.Arg(0), total, tracks, spans)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "tracelint:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("tracelint: OK")
+}
+
+// lintChromeTrace validates one Chrome trace file, returning the distinct
+// span-name count, track count, total events, and any problems found.
+func lintChromeTrace(path string, required []string) (spans, tracks, total int, problems []string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, []string{err.Error()}
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || doc.TraceEvents == nil {
+		// The format also allows a bare JSON array of events.
+		if err2 := json.Unmarshal(data, &doc.TraceEvents); err2 != nil {
+			return 0, 0, 0, []string{fmt.Sprintf("%s: neither a traceEvents object nor an event array: %v", path, err2)}
+		}
+	}
+	seen := map[string]bool{}
+	tids := map[float64]bool{}
+	for i, raw := range doc.TraceEvents {
+		var ev event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			problems = append(problems, fmt.Sprintf("event %d: not an object: %v", i, err))
+			continue
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			problems = append(problems, fmt.Sprintf("event %d: missing name", i))
+			continue
+		}
+		if ev.Ph == nil || *ev.Ph == "" {
+			problems = append(problems, fmt.Sprintf("event %d (%s): missing ph", i, *ev.Name))
+			continue
+		}
+		switch *ev.Ph {
+		case "X":
+			if ev.Ts == nil || ev.Dur == nil || ev.Pid == nil || ev.Tid == nil {
+				problems = append(problems, fmt.Sprintf("event %d (%s): X event missing ts/dur/pid/tid", i, *ev.Name))
+				continue
+			}
+			if *ev.Ts < 0 || *ev.Dur < 0 {
+				problems = append(problems, fmt.Sprintf("event %d (%s): negative ts or dur", i, *ev.Name))
+			}
+			seen[*ev.Name] = true
+			tids[*ev.Tid] = true
+		case "M":
+			// metadata: name/ph suffice
+		default:
+			if ev.Ts == nil || ev.Tid == nil {
+				problems = append(problems, fmt.Sprintf("event %d (%s): %s event missing ts/tid", i, *ev.Name, *ev.Ph))
+				continue
+			}
+			seen[*ev.Name] = true
+			tids[*ev.Tid] = true
+		}
+	}
+	for _, name := range required {
+		name = strings.TrimSpace(name)
+		if name != "" && !seen[name] {
+			problems = append(problems, fmt.Sprintf("required span %q not found", name))
+		}
+	}
+	if len(tids) < 2 {
+		problems = append(problems, fmt.Sprintf("expected the pipeline track plus at least one worker track, found %d track(s)", len(tids)))
+	}
+	return len(seen), len(tids), len(doc.TraceEvents), problems
+}
+
+// lintJSONL validates the JSONL event log: one JSON object per line with
+// name, ts_us and ph fields.
+func lintJSONL(path string) (lines int, problems []string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, []string{err.Error()}
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	no := 0
+	for sc.Scan() {
+		no++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Name *string  `json:"name"`
+			TsUs *float64 `json:"ts_us"`
+			Ph   *string  `json:"ph"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			problems = append(problems, fmt.Sprintf("%s:%d: invalid JSON: %v", path, no, err))
+			continue
+		}
+		if rec.Name == nil || rec.TsUs == nil || rec.Ph == nil {
+			problems = append(problems, fmt.Sprintf("%s:%d: missing name/ts_us/ph", path, no))
+			continue
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+	}
+	return lines, problems
+}

@@ -1,0 +1,128 @@
+package bench
+
+// Machine-readable benchmark reports: every JSON report is stamped with
+// an environment fingerprint (go version, platform, CPU count, library,
+// git revision) so bench trajectory files collected on different
+// machines stay comparable, and each design row carries the observability
+// histograms (hazard-analysis latency, cuts per node, cluster widths)
+// alongside the deterministic mapper statistics.
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"gfmap/internal/core"
+	"gfmap/internal/library"
+	"gfmap/internal/obs"
+)
+
+// Fingerprint identifies the environment a report was produced in.
+// Reports from different machines are only comparable once their
+// fingerprints have been compared first.
+type Fingerprint struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Library is the cell library every design in the report was mapped
+	// onto.
+	Library string `json:"library"`
+	// GitDescribe is `git describe --always --dirty` of the working tree,
+	// empty when git (or a repository) is unavailable.
+	GitDescribe string `json:"git_describe,omitempty"`
+}
+
+// NewFingerprint collects the environment fingerprint for a report over
+// the named library.
+func NewFingerprint(libName string) Fingerprint {
+	return Fingerprint{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Library:     libName,
+		GitDescribe: gitDescribe(),
+	}
+}
+
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// DesignReport is one benchmark design mapped with full observability:
+// the deterministic mapping summary plus per-design histogram summaries
+// snapshotted from the metrics registry.
+type DesignReport struct {
+	Design string  `json:"design"`
+	Slices int     `json:"slices"`
+	Gates  int     `json:"gates"`
+	Area   float64 `json:"area"`
+	Delay  float64 `json:"delay"`
+
+	Stats core.Stats `json:"stats"`
+	// Histograms carries the core.Metric* distributions for this design
+	// (hazard-analysis latency in seconds, per-cone covering latency,
+	// cuts per node, cluster leaf widths).
+	Histograms map[string]obs.HistSnapshot `json:"histograms"`
+	// HazardP50 / HazardP99 are bucket-quantile estimates of the
+	// hazard-analysis latency in seconds, duplicated out of Histograms
+	// for easy plotting.
+	HazardP50 float64 `json:"hazard_p50_seconds"`
+	HazardP99 float64 `json:"hazard_p99_seconds"`
+}
+
+// Report is the top-level JSON benchmark report.
+type Report struct {
+	Fingerprint Fingerprint    `json:"fingerprint"`
+	Mode        string         `json:"mode"`
+	Designs     []DesignReport `json:"designs"`
+}
+
+// JSONReport maps every benchmark design onto the named library in
+// asynchronous mode with a metrics registry attached, and assembles the
+// fingerprinted report.
+func JSONReport(libName string) (*Report, error) {
+	lib, err := library.Get(libName)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := Designs()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Fingerprint: NewFingerprint(lib.Name), Mode: core.Async.String()}
+	for _, d := range ds {
+		reg := obs.NewRegistry()
+		res, err := core.AsyncTmap(d.Net, lib, core.Options{Metrics: reg})
+		if err != nil {
+			return nil, err
+		}
+		snap := reg.Snapshot()
+		hists := map[string]obs.HistSnapshot{
+			core.MetricHazardSeconds: snap.Histograms[core.MetricHazardSeconds],
+			core.MetricConeSeconds:   snap.Histograms[core.MetricConeSeconds],
+			core.MetricCutsPerNode:   snap.Histograms[core.MetricCutsPerNode],
+			core.MetricClusterLeaves: snap.Histograms[core.MetricClusterLeaves],
+		}
+		haz := hists[core.MetricHazardSeconds]
+		rep.Designs = append(rep.Designs, DesignReport{
+			Design:     d.Name,
+			Slices:     d.Slices,
+			Gates:      res.Netlist.GateCount(),
+			Area:       res.Area,
+			Delay:      res.Delay,
+			Stats:      res.Stats,
+			Histograms: hists,
+			HazardP50:  haz.Quantile(0.50),
+			HazardP99:  haz.Quantile(0.99),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"gfmap/internal/core"
+)
+
+func TestFingerprint(t *testing.T) {
+	fp := NewFingerprint("LSI9K")
+	if fp.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", fp.GoVersion, runtime.Version())
+	}
+	if fp.GOOS != runtime.GOOS || fp.GOARCH != runtime.GOARCH {
+		t.Errorf("platform = %s/%s, want %s/%s", fp.GOOS, fp.GOARCH, runtime.GOOS, runtime.GOARCH)
+	}
+	if fp.NumCPU < 1 || fp.GOMAXPROCS < 1 {
+		t.Errorf("CPU fields unset: %+v", fp)
+	}
+	if fp.Library != "LSI9K" {
+		t.Errorf("Library = %q", fp.Library)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("maps the whole suite")
+	}
+	rep, err := JSONReport("Actel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := DesignNames()
+	if len(rep.Designs) != len(names) {
+		t.Fatalf("report has %d designs, want %d", len(rep.Designs), len(names))
+	}
+	if rep.Mode != "async" {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	var sawHazard bool
+	for _, d := range rep.Designs {
+		if d.Gates == 0 || d.Area == 0 {
+			t.Errorf("%s: empty mapping in report", d.Design)
+		}
+		h, ok := d.Histograms[core.MetricCutsPerNode]
+		if !ok || h.Count == 0 {
+			t.Errorf("%s: cuts-per-node histogram missing or empty", d.Design)
+		}
+		if d.Histograms[core.MetricHazardSeconds].Count > 0 {
+			sawHazard = true
+			if d.HazardP99 < d.HazardP50 {
+				t.Errorf("%s: p99 %g < p50 %g", d.Design, d.HazardP99, d.HazardP50)
+			}
+		}
+	}
+	if !sawHazard {
+		t.Error("no design recorded hazard-analysis latencies on Actel")
+	}
+	// The report must round-trip through JSON.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint.GoVersion != rep.Fingerprint.GoVersion {
+		t.Error("fingerprint lost in round-trip")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"gfmap/internal/hazcache"
 	"gfmap/internal/library"
 	"gfmap/internal/network"
+	"gfmap/internal/obs"
 )
 
 // Mode selects between the synchronous baseline mapper and the
@@ -111,6 +112,21 @@ type Options struct {
 	// analyses are then memoised per cone only. Intended for A/B
 	// measurement, not for production use.
 	DisableHazardCache bool
+
+	// Tracer receives pipeline spans and events: phase spans on the
+	// pipeline track, per-cone covering spans on one track per DP worker.
+	// Nil disables tracing; the disabled hot path is allocation-free and
+	// never reads the clock. Tracing never changes the mapping result.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, is populated with the mapper's counters,
+	// gauges and latency histograms (see the Metric* constants). New
+	// measurements belong here rather than as new Stats fields: Stats is
+	// the frozen deterministic summary, the registry is the growth path.
+	Metrics *obs.Registry
+	// ProfileLabels attaches runtime/pprof labels ("worker", "cone") to
+	// the per-cone covering work, so CPU profiles taken during a run can
+	// be sliced by worker goroutine and by cone.
+	ProfileLabels bool
 }
 
 func (o Options) withDefaults() Options {
@@ -134,8 +150,47 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Metric names populated into Options.Metrics by Map. Histograms use
+// seconds for latencies and raw counts for sizes.
+const (
+	// MetricHazardSeconds is the latency histogram of individual hazard
+	// analyses performed by the matching filter (fresh analyses and
+	// shared-cache lookups; per-cone memo hits are not timed).
+	MetricHazardSeconds = "map_hazard_analyze_seconds"
+	// MetricConeSeconds is the per-cone covering-DP latency histogram.
+	MetricConeSeconds = "map_cone_seconds"
+	// MetricCutsPerNode is the histogram of cut counts surviving the
+	// depth/leaf bounds at each tree node.
+	MetricCutsPerNode = "map_cuts_per_node"
+	// MetricClusterLeaves is the histogram of distinct-input counts of
+	// enumerated match clusters.
+	MetricClusterLeaves = "map_cluster_leaves"
+)
+
+// metricSet caches the registry handles consulted on the mapper's hot
+// path, so instrumented code never takes the registry lock per event. All
+// handles are nil — and therefore free — when no registry is configured.
+type metricSet struct {
+	hazSeconds    *obs.Histogram
+	coneSeconds   *obs.Histogram
+	cutsPerNode   *obs.Histogram
+	clusterLeaves *obs.Histogram
+}
+
+func newMetricSet(r *obs.Registry) metricSet {
+	return metricSet{
+		hazSeconds:    r.Histogram(MetricHazardSeconds, obs.ExpBuckets(1e-6, 4, 12)),
+		coneSeconds:   r.Histogram(MetricConeSeconds, obs.ExpBuckets(1e-5, 4, 12)),
+		cutsPerNode:   r.Histogram(MetricCutsPerNode, obs.ExpBuckets(1, 2, 12)),
+		clusterLeaves: r.Histogram(MetricClusterLeaves, obs.LinearBuckets(1, 1, 8)),
+	}
+}
+
 // Stats counts the work done during a mapping run and the wall-clock time
-// spent in each phase of the pipeline.
+// spent in each phase of the pipeline. Stats is the frozen, deterministic
+// run summary; richer distributions (latency histograms, per-shard cache
+// state) are published through Options.Metrics instead of growing this
+// struct.
 type Stats struct {
 	Cones              int
 	ClustersEnumerated int
@@ -235,35 +290,50 @@ func Map(net *network.Network, lib *library.Library, opts Options) (*Result, err
 	if opts.HazardCache != nil {
 		evictions0 = opts.HazardCache.Stats().Evictions
 	}
+	tr := opts.Tracer
 	phase := time.Now()
+	dsp := tr.StartSpan("decompose")
 	decomposed, err := network.AsyncTechDecomp(net)
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
 	decomposeTime := time.Since(phase)
 	phase = time.Now()
+	psp := tr.StartSpan("partition")
 	cones, err := network.Partition(decomposed)
 	if err != nil {
+		psp.End()
 		return nil, err
 	}
+	psp.SetInt("cones", int64(len(cones)))
+	psp.End()
 	partitionTime := time.Since(phase)
 	nl := NewNetlist(net.Name, net.Inputs, net.Outputs)
-	m := &mapper{lib: lib, opts: opts, netlist: nl}
+	m := &mapper{lib: lib, opts: opts, netlist: nl, tid: 1, met: newMetricSet(opts.Metrics)}
 	if err := m.ensureCells(); err != nil {
 		return nil, err
 	}
 	phase = time.Now()
+	csp := tr.StartSpan("cover")
+	csp.SetInt("workers", int64(opts.Workers))
+	csp.SetInt("cones", int64(len(cones)))
 	prepared, err := m.prepareCones(cones)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
 	m.stats.CoverTime = time.Since(phase)
 	phase = time.Now()
+	esp := tr.StartSpan("emit")
 	for i, pc := range prepared {
 		if err := m.emitCone(pc); err != nil {
+			esp.End()
 			return nil, fmt.Errorf("core: cone %s: %w", cones[i].Root, err)
 		}
 	}
+	esp.SetInt("gates", int64(nl.GateCount()))
+	esp.End()
 	m.stats.EmitTime = time.Since(phase)
 	m.stats.DecomposeTime = decomposeTime
 	m.stats.PartitionTime = partitionTime
@@ -276,7 +346,30 @@ func Map(net *network.Network, lib *library.Library, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	tr.EventInt(obs.PipelineTrack, "mapped", "gates", int64(nl.GateCount()))
+	if reg := opts.Metrics; reg != nil {
+		publishStats(reg, m.stats, nl.GateCount(), area, delay)
+		opts.HazardCache.ExportMetrics(reg)
+	}
 	return &Result{Netlist: nl, Area: area, Delay: delay, Stats: m.stats}, nil
+}
+
+// publishStats mirrors the run's deterministic summary into the metrics
+// registry, alongside the histograms the mapper filled during the run.
+func publishStats(reg *obs.Registry, st Stats, gates int, area, delay float64) {
+	reg.Counter("map_cones").Add(uint64(st.Cones))
+	reg.Counter("map_clusters_enumerated").Add(uint64(st.ClustersEnumerated))
+	reg.Counter("map_matches_found").Add(uint64(st.MatchesFound))
+	reg.Counter("map_hazardous_matches").Add(uint64(st.HazardousMatches))
+	reg.Counter("map_hazard_checks").Add(uint64(st.HazardChecks))
+	reg.Counter("map_matches_rejected").Add(uint64(st.MatchesRejected))
+	reg.Counter("map_cut_truncations").Add(uint64(st.CutTruncations))
+	reg.Counter("map_haz_local_hits").Add(uint64(st.HazCacheLocalHits))
+	reg.Counter("map_haz_shared_hits").Add(uint64(st.HazCacheHits))
+	reg.Counter("map_haz_misses").Add(uint64(st.HazCacheMisses))
+	reg.Gauge("map_gates").Set(float64(gates))
+	reg.Gauge("map_area").Set(area)
+	reg.Gauge("map_delay").Set(delay)
 }
 
 // Tmap is the synchronous mapping procedure of §3.1.

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"gfmap/internal/bexpr"
 	"gfmap/internal/hazard"
@@ -24,6 +28,12 @@ type mapper struct {
 	opts    Options
 	netlist *Netlist
 	stats   Stats
+
+	// tid is the trace track this mapper's cone work is recorded on
+	// (1..Workers; track 0 carries the pipeline phases). met caches the
+	// registry handles so hot loops never look metrics up by name.
+	tid int
+	met metricSet
 
 	inv        *library.Cell
 	bufCell    *library.Cell
@@ -125,6 +135,13 @@ type preparedCone struct {
 // no shared mapper state (statistics are accumulated locally and merged by
 // the caller), so cones can be prepared concurrently.
 func (m *mapper) prepareCone(cone network.Cone) (*preparedCone, error) {
+	tr := m.opts.Tracer
+	sp := tr.StartSpanOn(m.tid, "cone")
+	st0 := m.stats
+	var t0 time.Time
+	if m.met.coneSeconds != nil {
+		t0 = time.Now()
+	}
 	cm := &coneMapper{
 		m:        m,
 		cone:     cone,
@@ -133,16 +150,48 @@ func (m *mapper) prepareCone(cone network.Cone) (*preparedCone, error) {
 	}
 	root, err := cm.buildTree(cone.Expr.Root)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	cm.cuts = make([][]cutEntry, len(cm.nodes))
 	for i := range cm.nodes {
 		cm.nodes[i].cost = [2]cost{infCost, infCost}
 	}
-	if err := cm.dp(root); err != nil {
+	dsp := tr.StartSpanOn(m.tid, "dp")
+	err = cm.dp(root)
+	dsp.End()
+	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	if m.met.coneSeconds != nil {
+		m.met.coneSeconds.Observe(time.Since(t0).Seconds())
+	}
+	d := m.stats
+	sp.SetStr("cone", cone.Root)
+	sp.SetInt("nodes", int64(len(cm.nodes)))
+	sp.SetInt("clusters", int64(d.ClustersEnumerated-st0.ClustersEnumerated))
+	sp.SetInt("matches", int64(d.MatchesFound-st0.MatchesFound))
+	sp.SetInt("rejected", int64(d.MatchesRejected-st0.MatchesRejected))
+	sp.SetInt("haz_local_hits", int64(d.HazCacheLocalHits-st0.HazCacheLocalHits))
+	sp.SetInt("haz_shared_hits", int64(d.HazCacheHits-st0.HazCacheHits))
+	sp.SetInt("haz_misses", int64(d.HazCacheMisses-st0.HazCacheMisses))
+	sp.End()
 	return &preparedCone{cm: cm, root: root}, nil
+}
+
+// prepareConeProfiled runs prepareCone, attaching runtime/pprof labels
+// ("worker", "cone") when Options.ProfileLabels is set so CPU profiles
+// can be sliced per worker goroutine and per cone.
+func (m *mapper) prepareConeProfiled(cone network.Cone) (pc *preparedCone, err error) {
+	if !m.opts.ProfileLabels {
+		return m.prepareCone(cone)
+	}
+	labels := pprof.Labels("worker", strconv.Itoa(m.tid), "cone", cone.Root)
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		pc, err = m.prepareCone(cone)
+	})
+	return pc, err
 }
 
 // prepareCones runs the covering DP over all cones, in parallel when
@@ -153,7 +202,7 @@ func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
 	if workers <= 1 || len(cones) < 2 {
 		out := make([]*preparedCone, len(cones))
 		for i, cone := range cones {
-			pc, err := m.prepareCone(cone)
+			pc, err := m.prepareConeProfiled(cone)
 			if err != nil {
 				return nil, fmt.Errorf("core: cone %s: %w", cone.Root, err)
 			}
@@ -169,13 +218,15 @@ func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for j := range jobs {
 				// Each worker accumulates statistics into its own mapper
-				// shim to avoid data races, merged below.
-				shadow := &mapper{lib: m.lib, opts: m.opts, netlist: m.netlist, inv: m.inv, bufCell: m.bufCell}
-				pc, err := shadow.prepareCone(cones[j.i])
+				// shim to avoid data races, merged below. Worker w records
+				// its cone spans on trace track w+1.
+				shadow := &mapper{lib: m.lib, opts: m.opts, netlist: m.netlist,
+					inv: m.inv, bufCell: m.bufCell, tid: w + 1, met: m.met}
+				pc, err := shadow.prepareConeProfiled(cones[j.i])
 				if err != nil {
 					errs[j.i] = fmt.Errorf("core: cone %s: %w", cones[j.i].Root, err)
 					continue
@@ -184,7 +235,7 @@ func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
 				out[j.i] = pc
 				stats[j.i] = shadow.stats
 			}
-		}()
+		}(w)
 	}
 	for i := range cones {
 		jobs <- job{i}
@@ -306,6 +357,7 @@ func (cm *coneMapper) enumCuts(id int) []cutEntry {
 	if truncated {
 		cm.m.stats.CutTruncations++
 	}
+	cm.m.met.cutsPerNode.Observe(float64(len(out)))
 	cm.cuts[id] = out
 	return out
 }
@@ -408,13 +460,24 @@ func (cm *coneMapper) dp(root int) error {
 
 func (cm *coneMapper) dpNode(id int) error {
 	n := &cm.nodes[id]
-	for _, cut := range cm.enumCuts(id) {
+	tr := cm.m.opts.Tracer
+	csp := tr.StartSpanOn(cm.m.tid, "cuts")
+	cuts := cm.enumCuts(id)
+	csp.SetInt("node", int64(id))
+	csp.SetInt("cuts", int64(len(cuts)))
+	csp.End()
+	msp := tr.StartSpanOn(cm.m.tid, "match")
+	msp.SetInt("node", int64(id))
+	msp.SetInt("clusters", int64(len(cuts)))
+	defer msp.End()
+	for _, cut := range cuts {
 		cm.m.stats.ClustersEnumerated++
 		fn, varNodes, err := cm.clusterFunction(id, cut.nodes)
 		if err != nil {
 			return err
 		}
 		nvars := fn.NumVars()
+		cm.m.met.clusterLeaves.Observe(float64(nvars))
 		if nvars > truthtab.MaxVars {
 			continue
 		}
@@ -521,6 +584,15 @@ func (cm *coneMapper) hazardSubsetOK(fn *bexpr.Function, phase int, cell *librar
 			cm.hazCache[key] = nil
 			return false
 		}
+		// The analysis itself (not the per-cone memo hit above) is the
+		// expensive step: trace it as a "hazard" span and feed the latency
+		// histogram. Both are free when observability is off.
+		sp := cm.m.opts.Tracer.StartSpanOn(cm.m.tid, "hazard")
+		var t0 time.Time
+		if cm.m.met.hazSeconds != nil {
+			t0 = time.Now()
+		}
+		sharedHit := false
 		if hc := cm.m.opts.HazardCache; hc != nil {
 			// The shared cross-cone cache: one hazard.Analyze serves every
 			// structurally equivalent cluster in the process, across cones,
@@ -528,6 +600,7 @@ func (cm *coneMapper) hazardSubsetOK(fn *bexpr.Function, phase int, cell *librar
 			// into this cluster's variable space, so the per-cone memo
 			// never aliases another goroutine's data.
 			set, hit := hc.Analyze(cfn)
+			sharedHit = hit
 			if hit {
 				cm.m.stats.HazCacheHits++
 			} else {
@@ -542,6 +615,20 @@ func (cm *coneMapper) hazardSubsetOK(fn *bexpr.Function, phase int, cell *librar
 			}
 			clusterSet = set
 		}
+		if cm.m.met.hazSeconds != nil {
+			cm.m.met.hazSeconds.Observe(time.Since(t0).Seconds())
+		}
+		sp.SetInt("phase", int64(phase))
+		sp.SetInt("vars", int64(fn.NumVars()))
+		if sharedHit {
+			sp.SetInt("cache_hit", 1)
+		} else {
+			sp.SetInt("cache_hit", 0)
+		}
+		if clusterSet == nil {
+			sp.SetInt("infeasible", 1)
+		}
+		sp.End()
 		cm.hazCache[key] = clusterSet
 	}
 	if clusterSet == nil {

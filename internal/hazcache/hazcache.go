@@ -35,6 +35,7 @@ import (
 
 	"gfmap/internal/bexpr"
 	"gfmap/internal/hazard"
+	"gfmap/internal/obs"
 	"gfmap/internal/truthtab"
 )
 
@@ -56,6 +57,13 @@ type shard struct {
 	mu      sync.RWMutex
 	buckets map[string][]entry // canonical truth table -> entries per structure
 	count   int
+	// evictions is guarded by mu, so Stats can read it and count in one
+	// consistent per-shard snapshot.
+	evictions uint64
+	// hits and contended are atomics so the read-locked hit path and the
+	// TryLock probes never write under a read lock.
+	hits      atomic.Uint64
+	contended atomic.Uint64
 }
 
 // Cache is a sharded hazard-analysis memo. The zero value is not usable;
@@ -64,17 +72,30 @@ type Cache struct {
 	maxPerShard int
 	shards      [numShards]shard
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	misses atomic.Uint64
 }
 
-// Stats is a point-in-time snapshot of the cache counters.
+// Stats is a point-in-time snapshot of the cache counters. Entries and
+// Evictions are read under each shard's lock, so every shard contributes
+// one internally consistent (count, evictions) pair.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
 	Entries   int
+	// Contended counts lock acquisitions that found the shard lock held
+	// and had to wait — a direct measure of shard contention under
+	// parallel mapping.
+	Contended uint64
+}
+
+// ShardStat is a consistent snapshot of one shard's occupancy and
+// counters, for per-shard metrics export.
+type ShardStat struct {
+	Entries   int
+	Evictions uint64
+	Hits      uint64
+	Contended uint64
 }
 
 // New returns an empty cache holding at most maxEntries analyses;
@@ -258,11 +279,14 @@ func (c *Cache) Analyze(f *bexpr.Function) (*hazard.Set, bool) {
 	structKey := cn.Fn.Root.String()
 	sh := &c.shards[shardIndex(ttKey)]
 
-	sh.mu.RLock()
+	if !sh.mu.TryRLock() {
+		sh.contended.Add(1)
+		sh.mu.RLock()
+	}
 	for _, e := range sh.buckets[ttKey] {
 		if e.structKey == structKey {
 			sh.mu.RUnlock()
-			c.hits.Add(1)
+			sh.hits.Add(1)
 			return cn.translate(e.set), true
 		}
 	}
@@ -276,7 +300,10 @@ func (c *Cache) Analyze(f *bexpr.Function) (*hazard.Set, bool) {
 	}
 	c.misses.Add(1)
 
-	sh.mu.Lock()
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
 	for _, e := range sh.buckets[ttKey] {
 		if e.structKey == structKey {
 			// A racing worker inserted first; defer to its result so every
@@ -292,7 +319,7 @@ func (c *Cache) Analyze(f *bexpr.Function) (*hazard.Set, bool) {
 		for k, b := range sh.buckets {
 			sh.count -= len(b)
 			delete(sh.buckets, k)
-			c.evictions.Add(uint64(len(b)))
+			sh.evictions += uint64(len(b))
 			break
 		}
 	}
@@ -302,20 +329,72 @@ func (c *Cache) Analyze(f *bexpr.Function) (*hazard.Set, bool) {
 	return cn.translate(set), false
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters. Each shard's entry and
+// eviction counts are read together under that shard's lock, so the sums
+// are built from consistent per-shard pairs rather than field-by-field
+// racing reads.
 func (c *Cache) Stats() Stats {
-	s := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+	s := Stats{Misses: c.misses.Load()}
+	for _, st := range c.ShardStats() {
+		s.Entries += st.Entries
+		s.Evictions += st.Evictions
+		s.Hits += st.Hits
+		s.Contended += st.Contended
 	}
+	return s
+}
+
+// ShardStats returns a per-shard snapshot of occupancy, evictions, hits
+// and lock contention; Entries and Evictions are read under the shard
+// lock as one consistent pair.
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, numShards)
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.RLock()
-		s.Entries += sh.count
+		out[i].Entries = sh.count
+		out[i].Evictions = sh.evictions
 		sh.mu.RUnlock()
+		out[i].Hits = sh.hits.Load()
+		out[i].Contended = sh.contended.Load()
 	}
-	return s
+	return out
+}
+
+// ExportMetrics publishes the cache state into a metrics registry:
+// aggregate gauges (hazcache_entries, _hits, _misses, _evictions,
+// _contended), per-shard occupancy and hit gauges
+// (hazcache_shard<NN>_entries / _hits, emitted only for shards that have
+// ever held an entry or served a hit, to keep reports compact), and a
+// histogram of shard occupancy (hazcache_shard_occupancy, one sample per
+// shard per export) whose spread shows how evenly the truth-table hash
+// distributes load. Safe to call repeatedly: gauges are set to the
+// current snapshot, never accumulated. A nil registry (or nil cache) is
+// a no-op.
+func (c *Cache) ExportMetrics(r *obs.Registry) {
+	if c == nil || r == nil {
+		return
+	}
+	shards := c.ShardStats()
+	occ := r.Histogram("hazcache_shard_occupancy", obs.ExpBuckets(1, 2, 12))
+	var s Stats
+	s.Misses = c.misses.Load()
+	for i, st := range shards {
+		s.Entries += st.Entries
+		s.Evictions += st.Evictions
+		s.Hits += st.Hits
+		s.Contended += st.Contended
+		if st.Entries > 0 || st.Hits > 0 || st.Evictions > 0 {
+			r.Gauge(fmt.Sprintf("hazcache_shard%02d_entries", i)).Set(float64(st.Entries))
+			r.Gauge(fmt.Sprintf("hazcache_shard%02d_hits", i)).Set(float64(st.Hits))
+		}
+		occ.Observe(float64(st.Entries))
+	}
+	r.Gauge("hazcache_entries").Set(float64(s.Entries))
+	r.Gauge("hazcache_hits").Set(float64(s.Hits))
+	r.Gauge("hazcache_misses").Set(float64(s.Misses))
+	r.Gauge("hazcache_evictions").Set(float64(s.Evictions))
+	r.Gauge("hazcache_contended").Set(float64(s.Contended))
 }
 
 // Reset empties the cache and zeroes its counters (for benchmarks that
@@ -326,9 +405,10 @@ func (c *Cache) Reset() {
 		sh.mu.Lock()
 		sh.buckets = make(map[string][]entry)
 		sh.count = 0
+		sh.evictions = 0
 		sh.mu.Unlock()
+		sh.hits.Store(0)
+		sh.contended.Store(0)
 	}
-	c.hits.Store(0)
 	c.misses.Store(0)
-	c.evictions.Store(0)
 }

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerSpansAndExport(t *testing.T) {
+	tr := NewTracer(0)
+	sp := tr.StartSpan("decompose")
+	sp.SetInt("nodes", 12)
+	sp.End()
+	wsp := tr.StartSpanOn(2, "cone")
+	wsp.SetStr("cone", "f")
+	wsp.SetInt("clusters", 7)
+	wsp.End()
+	tr.Event(0, "cones")
+	tr.EventInt(1, "partitioned", "count", 3)
+
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	names := tr.SpanNames()
+	for _, want := range []string{"decompose", "cone", "cones", "partitioned"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("SpanNames missing %q: %v", want, names)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, metas, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Errorf("X event missing dur: %v", ev)
+			}
+		case "M":
+			metas++
+		case "i":
+			instants++
+		}
+		for _, field := range []string{"name", "ph", "pid", "tid", "ts"} {
+			if _, ok := ev[field]; !ok && ev["ph"] != "M" {
+				t.Errorf("event missing %s: %v", field, ev)
+			}
+		}
+	}
+	if spans != 2 || instants != 2 {
+		t.Errorf("got %d spans, %d instants, want 2, 2", spans, instants)
+	}
+	if metas < 2 {
+		t.Errorf("expected thread metadata events, got %d", metas)
+	}
+
+	buf.Reset()
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("JSONL has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		if _, ok := rec["name"]; !ok {
+			t.Errorf("JSONL line missing name: %s", ln)
+		}
+		if _, ok := rec["ts_us"]; !ok {
+			t.Errorf("JSONL line missing ts_us: %s", ln)
+		}
+	}
+}
+
+func TestTracerBufferCap(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Event(0, "e")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.StartSpanOn(w+1, "cone")
+				sp.SetInt("i", int64(i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Errorf("Len = %d, want 800", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("concurrent trace export is not valid JSON")
+	}
+}
+
+func TestNilTracerExport(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Errorf("nil tracer export invalid: %s", buf.String())
+	}
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.SpanNames() != nil {
+		t.Error("nil tracer should report empty state")
+	}
+}
+
+// TestDisabledPathZeroAllocs pins the observability off-switch: the exact
+// call pattern the mapper's hot loops use must not allocate (or read the
+// clock, though only allocations are asserted here) when the tracer and
+// registry are nil.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	var reg *Registry
+	h := reg.Histogram("map_hazard_analyze_seconds", ExpBuckets(1e-6, 4, 10))
+	c := reg.Counter("map_clusters")
+	g := reg.Gauge("map_area")
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpanOn(1, "hazard")
+		sp.SetInt("cone", 7)
+		sp.SetStr("phase", "pos")
+		sp.End()
+		tr.Event(1, "e")
+		tr.EventInt(1, "e", "k", 1)
+		h.Observe(1.5)
+		h.ObserveDuration(0.01)
+		c.Add(3)
+		c.Inc()
+		g.Set(2.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("clusters")
+	c.Add(41)
+	c.Inc()
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+	if reg.Counter("clusters") != c {
+		t.Error("counter lookup should return the same instance")
+	}
+	g := reg.Gauge("area")
+	g.Set(12.5)
+	if g.Value() != 12.5 {
+		t.Errorf("gauge = %g, want 12.5", g.Value())
+	}
+
+	h := reg.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 2, 3, 50, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("hist count = %d, want 5", s.Count)
+	}
+	if s.Sum != 1055.5 {
+		t.Errorf("hist sum = %g, want 1055.5", s.Sum)
+	}
+	wantCounts := []uint64{1, 2, 1, 1}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if q := s.Quantile(0.5); q != 10 {
+		t.Errorf("p50 = %g, want 10", q)
+	}
+	if q := s.Quantile(0.99); q != 100 {
+		t.Errorf("p99 = %g, want 100 (overflow clamps to top bound)", q)
+	}
+	if mean := s.Mean(); math.Abs(mean-211.1) > 1e-9 {
+		t.Errorf("mean = %g, want 211.1", mean)
+	}
+	if str := s.String(); !strings.Contains(str, "count=5") {
+		t.Errorf("summary missing count: %s", str)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["clusters"] != 42 || snap.Gauges["area"] != 12.5 {
+		t.Errorf("snapshot wrong: %+v", snap)
+	}
+	if snap.Histograms["lat"].Count != 5 {
+		t.Errorf("snapshot hist wrong: %+v", snap.Histograms["lat"])
+	}
+	text := snap.Format("# ")
+	for _, want := range []string{"# counter clusters = 42", "# gauge area = 12.5", "# hist lat:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(ExpBuckets(1, 2, 8))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 300))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Errorf("count = %d, want 8000", s.Count)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != 8000 {
+		t.Errorf("bucket sum = %d, want 8000", bucketSum)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Errorf("ExpBuckets[%d] = %g, want %g", i, exp[i], want[i])
+		}
+	}
+	lin := LinearBuckets(0, 2, 3)
+	want = []float64{0, 2, 4}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Errorf("LinearBuckets[%d] = %g, want %g", i, lin[i], want[i])
+		}
+	}
+}
+
+func TestNilRegistrySnapshot(t *testing.T) {
+	var reg *Registry
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot should be empty")
+	}
+	if reg.Counter("x") != nil || reg.Gauge("x") != nil || reg.Histogram("x", nil) != nil {
+		t.Error("nil registry lookups should return nil handles")
+	}
+}

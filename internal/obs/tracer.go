@@ -1,0 +1,352 @@
+// Package obs is the mapper's observability layer: a span/event tracer
+// with Chrome trace-event and JSONL exporters, and a metrics registry of
+// counters, gauges and fixed-bucket histograms.
+//
+// Everything in the package is nil-safe and designed so that the
+// *disabled* path — a nil *Tracer, nil *Registry, or any nil metric
+// handle — costs nothing: no allocation, no clock read, no lock. Hot
+// loops in the mapper therefore call tracer and metric methods
+// unconditionally; whether observability is on is decided once, when the
+// caller constructs (or does not construct) the tracer and registry. The
+// zero-allocation contract of the disabled path is pinned by
+// testing.AllocsPerRun in the package tests.
+//
+// The tracer records two kinds of entries: spans (a named interval on a
+// track, with up to MaxAttrs key/value attributes) and instant events.
+// Tracks map onto Chrome trace-event thread IDs, so a Perfetto timeline
+// shows one track per DP worker plus track 0 for the pipeline phases.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PipelineTrack is the track (Chrome trace tid) carrying the top-level
+// pipeline phase spans; DP workers use tracks 1..N.
+const PipelineTrack = 0
+
+// MaxAttrs is the number of attribute slots on a span or event; further
+// Set calls are silently dropped. A fixed array keeps the enabled path
+// allocation-light and the disabled path allocation-free.
+const MaxAttrs = 8
+
+// DefaultMaxRecords bounds the tracer's in-memory buffer; once reached,
+// further spans and events are counted in Dropped() instead of stored.
+const DefaultMaxRecords = 1 << 20
+
+// Attr is one span or event attribute: a key with either an integer or a
+// string value.
+type Attr struct {
+	Key   string
+	Int   int64
+	Str   string
+	IsStr bool
+}
+
+// record is one finished span ('X') or instant event ('i').
+type record struct {
+	name  string
+	ph    byte
+	tid   int64
+	start time.Duration
+	dur   time.Duration
+	attrs [MaxAttrs]Attr
+	nattr int
+}
+
+// Tracer collects spans and instant events from a mapping run. A nil
+// *Tracer is a valid, fully disabled tracer: every method is a no-op.
+// Construct with NewTracer to enable collection. Tracers are safe for
+// concurrent use by multiple goroutines.
+type Tracer struct {
+	base time.Time
+
+	mu      sync.Mutex
+	recs    []record
+	max     int
+	dropped uint64
+}
+
+// NewTracer returns an enabled tracer buffering up to maxRecords entries;
+// maxRecords <= 0 means DefaultMaxRecords.
+func NewTracer(maxRecords int) *Tracer {
+	if maxRecords <= 0 {
+		maxRecords = DefaultMaxRecords
+	}
+	return &Tracer{base: time.Now(), max: maxRecords}
+}
+
+// Span is an in-flight interval started by StartSpan. The zero Span (from
+// a nil tracer) is inert: attribute setters and End do nothing.
+type Span struct {
+	tr    *Tracer
+	name  string
+	tid   int64
+	start time.Duration
+	attrs [MaxAttrs]Attr
+	nattr int
+}
+
+// StartSpan opens a span on the pipeline track. Close it with End.
+func (t *Tracer) StartSpan(name string) Span {
+	return t.StartSpanOn(PipelineTrack, name)
+}
+
+// StartSpanOn opens a span on an explicit track (0 = pipeline, 1..N = DP
+// workers). Close it with End.
+func (t *Tracer) StartSpanOn(track int, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, tid: int64(track), start: time.Since(t.base)}
+}
+
+// SetInt attaches an integer attribute to the span.
+func (s *Span) SetInt(key string, v int64) {
+	if s.tr == nil || s.nattr >= MaxAttrs {
+		return
+	}
+	s.attrs[s.nattr] = Attr{Key: key, Int: v}
+	s.nattr++
+}
+
+// SetStr attaches a string attribute to the span.
+func (s *Span) SetStr(key, v string) {
+	if s.tr == nil || s.nattr >= MaxAttrs {
+		return
+	}
+	s.attrs[s.nattr] = Attr{Key: key, Str: v, IsStr: true}
+	s.nattr++
+}
+
+// End closes the span and records it. Calling End on the zero Span is a
+// no-op.
+func (s *Span) End() {
+	if s.tr == nil {
+		return
+	}
+	rec := record{
+		name:  s.name,
+		ph:    'X',
+		tid:   s.tid,
+		start: s.start,
+		dur:   time.Since(s.tr.base) - s.start,
+		attrs: s.attrs,
+		nattr: s.nattr,
+	}
+	s.tr.record(rec)
+}
+
+// Event records an instant event on a track.
+func (t *Tracer) Event(track int, name string) {
+	if t == nil {
+		return
+	}
+	t.record(record{name: name, ph: 'i', tid: int64(track), start: time.Since(t.base)})
+}
+
+// EventInt records an instant event carrying one integer attribute.
+func (t *Tracer) EventInt(track int, name, key string, v int64) {
+	if t == nil {
+		return
+	}
+	rec := record{name: name, ph: 'i', tid: int64(track), start: time.Since(t.base), nattr: 1}
+	rec.attrs[0] = Attr{Key: key, Int: v}
+	t.record(rec)
+}
+
+func (t *Tracer) record(rec record) {
+	t.mu.Lock()
+	if len(t.recs) >= t.max {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	t.recs = append(t.recs, rec)
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered records.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.recs)
+}
+
+// Dropped returns how many records were discarded after the buffer
+// filled; a nonzero value means the trace is truncated, not corrupted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SpanNames returns the distinct span/event names recorded, sorted; handy
+// for tests and the trace linter.
+func (t *Tracer) SpanNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := map[string]bool{}
+	for _, r := range t.recs {
+		seen[r.name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// snapshot copies the record buffer so exporters run without holding the
+// tracer lock.
+func (t *Tracer) snapshot() []record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]record, len(t.recs))
+	copy(out, t.recs)
+	return out
+}
+
+func attrMap(attrs [MaxAttrs]Attr, n int) map[string]any {
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]any, n)
+	for _, a := range attrs[:n] {
+		if a.IsStr {
+			m[a.Key] = a.Str
+		} else {
+			m[a.Key] = a.Int
+		}
+	}
+	return m
+}
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// understood by Perfetto and chrome://tracing).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace writes the buffered records as a Chrome trace-event
+// JSON object ({"traceEvents": [...]}), one track per recorded tid, with
+// thread-name metadata so Perfetto labels the pipeline and worker tracks.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	recs := t.snapshot()
+	tids := map[int64]bool{}
+	for _, r := range recs {
+		tids[r.tid] = true
+	}
+	sorted := make([]int64, 0, len(tids))
+	for tid := range tids {
+		sorted = append(sorted, tid)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	events := make([]chromeEvent, 0, len(recs)+len(sorted)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "asyncmap"},
+	})
+	for _, tid := range sorted {
+		label := "pipeline"
+		if tid != PipelineTrack {
+			label = fmt.Sprintf("worker %d", tid)
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": label},
+		})
+	}
+	for _, r := range recs {
+		ev := chromeEvent{
+			Name: r.name,
+			Cat:  "map",
+			Ph:   string(r.ph),
+			Ts:   micros(r.start),
+			Pid:  1,
+			Tid:  r.tid,
+			Args: attrMap(r.attrs, r.nattr),
+		}
+		if r.ph == 'X' {
+			d := micros(r.dur)
+			ev.Dur = &d
+		} else {
+			ev.S = "t" // thread-scoped instant
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ns"})
+}
+
+// jsonlRecord is one line of the plain event log.
+type jsonlRecord struct {
+	TsUs  float64        `json:"ts_us"`
+	DurUs *float64       `json:"dur_us,omitempty"`
+	Ph    string         `json:"ph"` // "span" or "event"
+	Tid   int64          `json:"tid"`
+	Name  string         `json:"name"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes the buffered records as one JSON object per line, in
+// recording order — a grep/jq-friendly alternative to the Chrome format.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range t.snapshot() {
+		rec := jsonlRecord{
+			TsUs:  micros(r.start),
+			Ph:    "event",
+			Tid:   r.tid,
+			Name:  r.name,
+			Attrs: attrMap(r.attrs, r.nattr),
+		}
+		if r.ph == 'X' {
+			d := micros(r.dur)
+			rec.DurUs = &d
+			rec.Ph = "span"
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
