@@ -153,6 +153,42 @@ func BenchmarkParallelMapping(b *testing.B) {
 	}
 }
 
+// BenchmarkMapMatchIndex isolates the Boolean-matching acceleration: the
+// same mappings with the signature-keyed library index plus symmetry
+// pruning on (the default) and off. finds/op reports the number of
+// permutation searches actually run — the Stats.FindInvocations counter —
+// so the sublinearity claim is visible next to the wall time.
+func BenchmarkMapMatchIndex(b *testing.B) {
+	for _, designName := range []string{"scsi", "abcs"} {
+		d, err := bench.DesignByName(designName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lib := library.MustGet("Actel")
+		for _, disabled := range []bool{false, true} {
+			label := "indexed"
+			if disabled {
+				label = "unindexed"
+			}
+			b.Run(designName+"/"+label, func(b *testing.B) {
+				var finds, pruned int
+				for i := 0; i < b.N; i++ {
+					opts := core.Options{Mode: core.Async, Workers: 1,
+						HazardCache: hazcache.New(0), DisableMatchIndex: disabled}
+					res, err := core.Map(d.Net, lib, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					finds = res.Stats.FindInvocations
+					pruned = res.Stats.SymmetryPruned
+				}
+				b.ReportMetric(float64(finds), "finds/op")
+				b.ReportMetric(float64(pruned), "pruned/op")
+			})
+		}
+	}
+}
+
 // BenchmarkHazardCacheEffect isolates the shared cache: the same mapping
 // with the cross-cone cache disabled (per-cone memo only), cold, and warm.
 func BenchmarkHazardCacheEffect(b *testing.B) {

@@ -65,6 +65,7 @@ func main() {
 	showPath := flag.Bool("path", false, "print the critical path")
 	statsFmt := flag.String("stats", "text", "statistics format: text or json (json goes to stderr when the netlist is on stdout)")
 	noCache := flag.Bool("nocache", false, "disable the shared hazard-analysis cache (A/B measurement)")
+	noMatchIndex := flag.Bool("nomatchindex", false, "disable the Boolean-match index and symmetry pruning (A/B measurement; netlists are bit-identical either way)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the pipeline (open in Perfetto)")
 	eventsOut := flag.String("events", "", "write the span/event log as JSONL to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) and label DP workers")
@@ -83,7 +84,7 @@ func main() {
 		fatal(err)
 	}
 	opts := core.Options{MaxDepth: *depth, MaxLeaves: *leaves, Workers: *workers,
-		MaxBurst: *maxBurst, DisableHazardCache: *noCache}
+		MaxBurst: *maxBurst, DisableHazardCache: *noCache, DisableMatchIndex: *noMatchIndex}
 	switch *objective {
 	case "area":
 		opts.Objective = core.MinArea
@@ -207,6 +208,8 @@ func printStatsText(mode, libName string, res *core.Result) {
 	fmt.Printf("# cones=%d clusters=%d matches=%d hazardous=%d rejected=%d\n",
 		st.Cones, st.ClustersEnumerated, st.MatchesFound,
 		st.HazardousMatches, st.MatchesRejected)
+	fmt.Printf("# matching: finds=%d index probes=%d cells skipped=%d symmetry pruned=%d\n",
+		st.FindInvocations, st.IndexProbes, st.IndexSkippedCells, st.SymmetryPruned)
 	fmt.Printf("# hazard analyses=%d cache: local=%d shared=%d fresh=%d hit-rate=%.1f%% evictions=%d\n",
 		st.HazardAnalyses(), st.HazCacheLocalHits, st.HazCacheHits,
 		st.HazCacheMisses, 100*st.HazCacheHitRate(), st.HazCacheEvictions)

@@ -112,6 +112,13 @@ type Options struct {
 	// analyses are then memoised per cone only. Intended for A/B
 	// measurement, not for production use.
 	DisableHazardCache bool
+	// DisableMatchIndex turns off the library's signature-keyed match
+	// index and the symmetry pruning of the Boolean matcher, reverting to
+	// probing every same-pin-count cell with the full permutation search.
+	// The acceleration is semantically transparent — mapped netlists are
+	// bit-identical either way — so this exists for A/B measurement and
+	// bit-identity smoke tests only.
+	DisableMatchIndex bool
 
 	// Tracer receives pipeline spans and events: phase spans on the
 	// pipeline track, per-cone covering spans on one track per DP worker.
@@ -203,6 +210,19 @@ type Stats struct {
 	// value means pathological cones may have been mapped suboptimally.
 	CutTruncations int
 
+	// Boolean-matching accounting. FindInvocations counts permutation
+	// searches actually run (per cell, per cluster phase); IndexProbes
+	// counts cluster-signature lookups against the library match index;
+	// IndexSkippedCells counts same-pin-count cells the index proved
+	// unmatchable without a search; SymmetryPruned counts bindings the
+	// symmetry classes collapsed away (orbit size minus the enumerated
+	// representative, summed over matches). The last three are zero when
+	// Options.DisableMatchIndex is set.
+	FindInvocations   int
+	IndexProbes       int
+	IndexSkippedCells int
+	SymmetryPruned    int
+
 	// Hazard-analysis accounting for the matching filter: analyses served
 	// by the per-cone memo, by the shared cross-cone cache, and performed
 	// fresh. LocalHits is deterministic; the split between shared hits and
@@ -233,6 +253,10 @@ func (s *Stats) merge(o Stats) {
 	s.HazardChecks += o.HazardChecks
 	s.MatchesRejected += o.MatchesRejected
 	s.CutTruncations += o.CutTruncations
+	s.FindInvocations += o.FindInvocations
+	s.IndexProbes += o.IndexProbes
+	s.IndexSkippedCells += o.IndexSkippedCells
+	s.SymmetryPruned += o.SymmetryPruned
 	s.HazCacheLocalHits += o.HazCacheLocalHits
 	s.HazCacheHits += o.HazCacheHits
 	s.HazCacheMisses += o.HazCacheMisses
@@ -364,6 +388,10 @@ func publishStats(reg *obs.Registry, st Stats, gates int, area, delay float64) {
 	reg.Counter("map_hazard_checks").Add(uint64(st.HazardChecks))
 	reg.Counter("map_matches_rejected").Add(uint64(st.MatchesRejected))
 	reg.Counter("map_cut_truncations").Add(uint64(st.CutTruncations))
+	reg.Counter("map_match_find_calls").Add(uint64(st.FindInvocations))
+	reg.Counter("map_index_probes").Add(uint64(st.IndexProbes))
+	reg.Counter("map_index_skipped_cells").Add(uint64(st.IndexSkippedCells))
+	reg.Counter("map_symmetry_pruned").Add(uint64(st.SymmetryPruned))
 	reg.Counter("map_haz_local_hits").Add(uint64(st.HazCacheLocalHits))
 	reg.Counter("map_haz_shared_hits").Add(uint64(st.HazCacheHits))
 	reg.Counter("map_haz_misses").Add(uint64(st.HazCacheMisses))

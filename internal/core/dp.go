@@ -158,7 +158,7 @@ func (m *mapper) prepareCone(cone network.Cone) (*preparedCone, error) {
 		cm.nodes[i].cost = [2]cost{infCost, infCost}
 	}
 	dsp := tr.StartSpanOn(m.tid, "dp")
-	err = cm.dp(root)
+	err = cm.dp()
 	dsp.End()
 	if err != nil {
 		sp.End()
@@ -322,6 +322,7 @@ func (cm *coneMapper) enumCuts(id int) []cutEntry {
 			kidOpts = append(kidOpts, e)
 		}
 		var next []cutEntry
+	combine:
 		for _, base := range combos {
 			for _, opt := range kidOpts {
 				merged := mergeCut(base.nodes, opt.nodes)
@@ -331,8 +332,10 @@ func (cm *coneMapper) enumCuts(id int) []cutEntry {
 				}
 				next = append(next, cutEntry{nodes: merged, depth: d})
 				if len(next) > 4*maxCutsPerNode {
+					// Combo explosion: abandon the whole cross product, not
+					// just the current base, so the bound actually bounds.
 					truncated = true
-					break
+					break combine
 				}
 			}
 		}
@@ -437,8 +440,9 @@ func (cm *coneMapper) clusterFunction(root int, cut []int) (*bexpr.Function, []i
 	return fn, varNodes, nil
 }
 
-// dp computes the two-phase covering costs bottom-up.
-func (cm *coneMapper) dp(root int) error {
+// dp computes the two-phase covering costs bottom-up. The tree is stored
+// post-order, so a single pass over the node array visits children first.
+func (cm *coneMapper) dp() error {
 	for id := range cm.nodes {
 		n := &cm.nodes[id]
 		if n.op == bexpr.OpVar {
@@ -454,7 +458,6 @@ func (cm *coneMapper) dp(root int) error {
 			return err
 		}
 	}
-	_ = root
 	return nil
 }
 
@@ -485,13 +488,44 @@ func (cm *coneMapper) dpNode(id int) error {
 		if err != nil {
 			continue
 		}
-		for phase := 0; phase < 2; phase++ {
-			target := ttPos
-			if phase == phaseNeg {
-				target = ttPos.Not()
+		// The cluster's signature vector is computed once per cut with the
+		// word-parallel kernels and shared across both phases and every
+		// candidate cell; the negative-phase vector is derived arithmetically
+		// without touching the truth table.
+		ttNeg := ttPos.Not()
+		sigPos := ttPos.SigVec()
+		sigNeg := sigPos.Complement()
+		if cm.m.opts.DisableMatchIndex {
+			for phase := 0; phase < 2; phase++ {
+				target, tsig := ttPos, sigPos
+				if phase == phaseNeg {
+					target, tsig = ttNeg, sigNeg
+				}
+				for _, cell := range cm.m.lib.CellsWithPins(nvars) {
+					mt := cm.m.lib.MatchInfo(cell).Matcher
+					cm.m.stats.FindInvocations++
+					cm.tryCell(id, phase, fn, target, tsig, cell, mt, false, varNodes)
+				}
 			}
-			for _, cell := range cm.m.lib.CellsWithPins(nvars) {
-				cm.tryCell(id, phase, fn, target, cell, varNodes)
+			continue
+		}
+		// Indexed path: one probe of the library's signature-keyed match
+		// index serves both phases (the key is output-phase-invariant), and
+		// only cells the key proves compatible get a permutation search.
+		cands := cm.m.lib.Candidates(sigPos.CanonKey())
+		cm.m.stats.IndexProbes++
+		cm.m.stats.IndexSkippedCells += cm.m.lib.NumCellsWithPins(nvars) - len(cands)
+		for phase := 0; phase < 2; phase++ {
+			target, tsig := ttPos, sigPos
+			if phase == phaseNeg {
+				target, tsig = ttNeg, sigNeg
+			}
+			for _, ic := range cands {
+				if ic.Matcher.Sig().Ones != tsig.Ones {
+					continue // the cell matches the other phase only
+				}
+				cm.m.stats.FindInvocations++
+				cm.tryCell(id, phase, fn, target, tsig, ic.Cell, ic.Matcher, true, varNodes)
 			}
 		}
 	}
@@ -511,21 +545,40 @@ func (cm *coneMapper) dpNode(id int) error {
 }
 
 // tryCell attempts to match one cell against a cluster target and updates
-// the DP cost for (id, phase).
-func (cm *coneMapper) tryCell(id, phase int, fn *bexpr.Function, target truthtab.TT, cell *library.Cell, varNodes []int) {
+// the DP cost for (id, phase). tsig must be target's signature vector
+// (computed once per cut by dpNode); mt is the cell's prebuilt matcher.
+// With pruned set, only one representative binding per pin-symmetry orbit
+// is enumerated — legitimate because orbit members agree on cost (the
+// input-phase demand travels with the target variable) and on the hazard
+// verdict (symmetry classes require hazard-set swap invariance), and the
+// representative is the orbit's DFS-first member, so the strict `better`
+// comparison picks the same choice either way.
+func (cm *coneMapper) tryCell(id, phase int, fn *bexpr.Function, target truthtab.TT, tsig truthtab.SigVector, cell *library.Cell, mt *match.Matcher, pruned bool, varNodes []int) {
 	n := &cm.nodes[id]
-	tried := 0
+	rejected := 0
+	maxB := cm.m.opts.MaxBindings
 	// Output inversion is handled by the dual-phase DP (cost[x][neg] plus
 	// phase relaxation), so only direct-output bindings are usable here: a
 	// binding with InvOut realises the *complement* of the target.
-	match.Find(target, cell.TT, false, func(b hazard.Binding) bool {
-		tried++
+	visit := func(b hazard.Binding) bool {
 		cm.m.stats.MatchesFound++
+		if pruned {
+			cm.m.stats.SymmetryPruned += mt.Orbit() - 1
+		}
 		if cm.m.opts.Mode == Async && cell.Hazardous() {
 			cm.m.stats.HazardousMatches++
 			if !cm.hazardSubsetOK(fn, phase, cell, b) {
 				cm.m.stats.MatchesRejected++
-				return tried < cm.m.opts.MaxBindings
+				// MaxBindings bounds how many hazard-rejected bindings are
+				// examined before giving up on a hazardous cell; accepted
+				// bindings never count toward the limit. Only orbit
+				// representatives count, so the pruned and unpruned searches
+				// give up at exactly the same frontier and the mapped
+				// netlist stays bit-identical across the two modes.
+				if pruned || mt.Representative(b.Perm) {
+					rejected++
+				}
+				return rejected < maxB
 			}
 		}
 		// Cost: cell area plus the cost of each cluster input in the phase
@@ -553,10 +606,13 @@ func (cm *coneMapper) tryCell(id, phase int, fn *bexpr.Function, target truthtab
 				varNode: append([]int(nil), varNodes...),
 			}
 		}
-		// Keep exploring bindings only while hazard rejections might matter
-		// or a cheaper input-phase assignment could exist.
-		return tried < cm.m.opts.MaxBindings
-	})
+		return rejected < maxB
+	}
+	if pruned {
+		mt.Find(target, tsig, visit)
+	} else {
+		mt.FindAll(target, tsig, visit)
+	}
 }
 
 // hazardSubsetOK implements the paper's asyncmatchingroutine acceptance

@@ -1,0 +1,114 @@
+package library
+
+import (
+	"testing"
+
+	"gfmap/internal/match"
+)
+
+// The match index must be exact as a filter: every cell that matches a
+// target (in any permutation, input phase or output phase) must be in the
+// target's candidate bucket. Here every cell plays the target role, so
+// each must at minimum find itself, and any cross-cell match must stay
+// within one bucket.
+func TestIndexBucketsAreExactFilters(t *testing.T) {
+	for _, name := range []string{"LSI9K", "CMOS3", "GDT", "Actel"} {
+		lib, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		for _, target := range lib.Cells {
+			key := target.TT.SigVec().CanonKey()
+			cands := lib.Candidates(key)
+			inBucket := make(map[*Cell]bool, len(cands))
+			for _, ic := range cands {
+				inBucket[ic.Cell] = true
+			}
+			if !inBucket[target] {
+				t.Fatalf("%s: cell %s missing from its own candidate bucket", name, target.Name)
+			}
+			for _, cell := range lib.CellsWithPins(target.NumPins()) {
+				if inBucket[cell] {
+					continue
+				}
+				if got := match.All(target.TT, cell.TT, true, 1); len(got) != 0 {
+					t.Fatalf("%s: cell %s matches %s but is not in its bucket",
+						name, cell.Name, target.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexCandidateOrderIsLibraryOrder(t *testing.T) {
+	lib, err := Get("LSI9K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[*Cell]int, len(lib.Cells))
+	for i, c := range lib.Cells {
+		pos[c] = i
+	}
+	seen := map[string]bool{}
+	for _, c := range lib.Cells {
+		key := c.TT.SigVec().CanonKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cands := lib.Candidates(key)
+		for i := 1; i < len(cands); i++ {
+			if pos[cands[i-1].Cell] >= pos[cands[i].Cell] {
+				t.Fatalf("bucket %q not in library order: %s before %s",
+					key, cands[i-1].Cell.Name, cands[i].Cell.Name)
+			}
+		}
+	}
+}
+
+func TestNumCellsWithPins(t *testing.T) {
+	lib, err := Get("CMOS3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= 8; n++ {
+		if got, want := lib.NumCellsWithPins(n), len(lib.CellsWithPins(n)); got != want {
+			t.Fatalf("NumCellsWithPins(%d)=%d, want %d", n, got, want)
+		}
+	}
+}
+
+// Symmetry classes must collapse totally symmetric cells to one
+// representative ordering and keep provably asymmetric pins apart.
+func TestSymmetryClasses(t *testing.T) {
+	lib := New("test")
+	and4 := lib.MustAdd("AND4", "a*b*c*d", 1)
+	mux := lib.MustAdd("MUX21", "s*a + s'*b", 1)
+	if err := lib.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.MatchInfo(and4).Matcher.Orbit(); got != 24 {
+		t.Fatalf("AND4 orbit=%d, want 4!=24", got)
+	}
+	// MUX21's select pin is not interchangeable with the data pins; the
+	// data pins themselves are not functionally symmetric either (a is
+	// selected by s, b by s').
+	if got := lib.MatchInfo(mux).Matcher.Orbit(); got != 1 {
+		t.Fatalf("MUX21 orbit=%d, want 1", got)
+	}
+}
+
+// Adding a cell after an index has been built must invalidate it.
+func TestIndexRebuildsAfterAdd(t *testing.T) {
+	lib := New("test")
+	lib.MustAdd("AND2", "a*b", 1)
+	key := lib.Cells[0].TT.SigVec().CanonKey()
+	if got := len(lib.Candidates(key)); got != 1 {
+		t.Fatalf("initial bucket size=%d, want 1", got)
+	}
+	lib.MustAdd("NAND2", "(a*b)'", 1)
+	// NAND2 is AND2's complement, so it shares the phase-folded key.
+	if got := len(lib.Candidates(key)); got != 2 {
+		t.Fatalf("bucket size after Add=%d, want 2 (index not rebuilt?)", got)
+	}
+}

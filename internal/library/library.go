@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"gfmap/internal/bexpr"
 	"gfmap/internal/hazard"
+	"gfmap/internal/match"
 	"gfmap/internal/truthtab"
 )
 
@@ -78,6 +80,10 @@ type Library struct {
 
 	byName    map[string]*Cell
 	annotated bool
+
+	// mu guards midx, the lazily (re)built Boolean-match index.
+	mu   sync.RWMutex
+	midx *matchIndex
 }
 
 // New creates an empty library.
@@ -156,7 +162,141 @@ func (l *Library) Annotate() error {
 		c.Hazards = rep.Set
 	}
 	l.annotated = true
+	// Build the Boolean-match index eagerly: annotation is the asynchronous
+	// mapper's initialisation step, and the index's symmetry classes depend
+	// on the hazard sets just computed.
+	l.index()
 	return nil
+}
+
+// IndexedCell pairs a library cell with its prebuilt Boolean matcher —
+// memoized signature vector plus pin symmetry classes.
+type IndexedCell struct {
+	Cell    *Cell
+	Matcher *match.Matcher
+}
+
+// matchIndex buckets the library's cells by their phase-invariant
+// signature key so the covering DP probes only cells that can possibly
+// match a cluster, instead of every cell with the right pin count. cells
+// and annotated record the library generation the index was built from.
+type matchIndex struct {
+	cells     int
+	annotated bool
+	byPins    map[int]int
+	buckets   map[string][]*IndexedCell // CanonKey -> cells, library order
+	all       map[*Cell]*IndexedCell
+}
+
+// index returns the match index, (re)building it when the library gained
+// cells or annotation since the last build. The built index is immutable,
+// so concurrent readers share it safely.
+func (l *Library) index() *matchIndex {
+	l.mu.RLock()
+	idx := l.midx
+	fresh := idx != nil && idx.cells == len(l.Cells) && idx.annotated == l.annotated
+	l.mu.RUnlock()
+	if fresh {
+		return idx
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.midx != nil && l.midx.cells == len(l.Cells) && l.midx.annotated == l.annotated {
+		return l.midx
+	}
+	idx = &matchIndex{
+		cells:     len(l.Cells),
+		annotated: l.annotated,
+		byPins:    make(map[int]int),
+		buckets:   make(map[string][]*IndexedCell),
+		all:       make(map[*Cell]*IndexedCell, len(l.Cells)),
+	}
+	for _, c := range l.Cells {
+		ic := &IndexedCell{
+			Cell:    c,
+			Matcher: match.NewSymMatcher(c.TT, c.symClasses(l.annotated)),
+		}
+		idx.byPins[c.NumPins()]++
+		key := ic.Matcher.Sig().CanonKey()
+		idx.buckets[key] = append(idx.buckets[key], ic)
+		idx.all[c] = ic
+	}
+	l.midx = idx
+	return idx
+}
+
+// Candidates returns the indexed cells whose signature key equals key —
+// the only cells that can match a cluster with that key, in any input
+// permutation, input phase or output phase. Cells are returned in library
+// order, matching CellsWithPins, so an indexed covering run visits the
+// same matches in the same order as an unindexed one. The returned slice
+// is shared and must not be mutated.
+func (l *Library) Candidates(key string) []*IndexedCell {
+	return l.index().buckets[key]
+}
+
+// NumCellsWithPins returns how many cells have the given input count,
+// without materialising the slice CellsWithPins builds.
+func (l *Library) NumCellsWithPins(n int) int {
+	return l.index().byPins[n]
+}
+
+// MatchInfo returns the indexed matcher for one of the library's cells.
+func (l *Library) MatchInfo(c *Cell) *IndexedCell {
+	return l.index().all[c]
+}
+
+// symClasses partitions the cell's pins into symmetry classes: pins in one
+// class are interchangeable without changing the cell's function or (for
+// annotated hazardous cells) its hazard set, so the Boolean matcher may
+// enumerate a single representative pin ordering per class. Each pin is
+// checked against the representative of every open class; transpositions
+// with the representative generate the full symmetric group on the class,
+// so pairwise checks against the representative suffice.
+func (c *Cell) symClasses(annotated bool) []int {
+	n := c.NumPins()
+	classOf := make([]int, n)
+	var reps []int
+	for i := 0; i < n; i++ {
+		assigned := -1
+		// Hazard sets are unknown for cells past the exact-analysis bound
+		// (Hazards == nil after annotation): keep every pin in its own
+		// class, conservatively.
+		if !annotated || c.Hazards != nil {
+			for ci, r := range reps {
+				if !c.TT.SymmetricPair(r, i) {
+					continue
+				}
+				if annotated && !c.hazardSwapInvariant(r, i) {
+					continue
+				}
+				assigned = ci
+				break
+			}
+		}
+		if assigned < 0 {
+			assigned = len(reps)
+			reps = append(reps, i)
+		}
+		classOf[i] = assigned
+	}
+	return classOf
+}
+
+// hazardSwapInvariant reports whether exchanging pins u and v leaves the
+// cell's hazard set unchanged. Only then are the pins interchangeable for
+// the asynchronous matching filter: every binding in a symmetry orbit then
+// translates the hazard set identically up to the orbit's own relabeling,
+// so hazard acceptance is decided once per orbit.
+func (c *Cell) hazardSwapInvariant(u, v int) bool {
+	n := c.NumPins()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	perm[u], perm[v] = v, u
+	swapped := c.Hazards.Translate(hazard.Binding{Perm: perm}, n)
+	return swapped.Equal(c.Hazards)
 }
 
 // HazardousCells returns the annotated cells that contain logic hazards,

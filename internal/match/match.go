@@ -5,6 +5,13 @@
 // asynchronous matching filter of the paper needs: they say which cell pin
 // drives which subnetwork input, so the cell's hazard set can be translated
 // into the subnetwork's space and compared (§3.2.2).
+//
+// A Matcher wraps one side of a match (typically a library cell) with its
+// signature vector memoized and, optionally, symmetry classes over its
+// pins. Symmetric pins are interchangeable both functionally and in their
+// hazard behaviour, so the permutation search can enumerate one canonical
+// representative per symmetry orbit (Matcher.Find) instead of the whole
+// orbit (Matcher.FindAll) — collapsing e.g. AND6's 720 pin orderings to 1.
 package match
 
 import (
@@ -12,43 +19,136 @@ import (
 	"gfmap/internal/truthtab"
 )
 
+// Matcher carries a match subject with memoized pruning data: the
+// signature vector (computed once, shared across every probe) and the
+// pin symmetry classes. A Matcher is read-only after construction and
+// safe for concurrent use.
+type Matcher struct {
+	tt  truthtab.TT
+	sig truthtab.SigVector
+	// prev[i] is the previous pin in pin i's symmetry class, or -1. A
+	// binding is its orbit's canonical representative iff the bound target
+	// variables ascend along every class chain.
+	prev  []int
+	orbit int // bindings per orbit: product of class-size factorials
+}
+
+// NewMatcher builds a matcher with no symmetry information: every pin is
+// its own class, so Find and FindAll enumerate identically.
+func NewMatcher(tt truthtab.TT) *Matcher {
+	m := &Matcher{tt: tt, sig: tt.SigVec(), orbit: 1, prev: make([]int, tt.N)}
+	for i := range m.prev {
+		m.prev[i] = -1
+	}
+	return m
+}
+
+// NewSymMatcher builds a matcher with pin symmetry classes. classOf[i]
+// names pin i's class; pins sharing a class value must be provably
+// interchangeable — the function and (for hazardous cells) the hazard set
+// invariant under every swap within the class. The caller vouches for
+// that; library.Annotate derives the classes from TT.SymmetricPair plus a
+// hazard-set swap-invariance check.
+func NewSymMatcher(tt truthtab.TT, classOf []int) *Matcher {
+	m := NewMatcher(tt)
+	last := make(map[int]int, tt.N)
+	size := make(map[int]int, tt.N)
+	for i := 0; i < tt.N; i++ {
+		c := classOf[i]
+		if p, ok := last[c]; ok {
+			m.prev[i] = p
+		}
+		last[c] = i
+		size[c]++
+	}
+	for _, s := range size {
+		for k := 2; k <= s; k++ {
+			m.orbit *= k
+		}
+	}
+	return m
+}
+
+// TT returns the matcher's truth table.
+func (m *Matcher) TT() truthtab.TT { return m.tt }
+
+// Sig returns the memoized signature vector. The caller must not mutate
+// the shared C0/C1 slices.
+func (m *Matcher) Sig() truthtab.SigVector { return m.sig }
+
+// Orbit returns the number of bindings in each symmetry orbit (1 when the
+// matcher has no symmetry classes).
+func (m *Matcher) Orbit() int { return m.orbit }
+
+// Representative reports whether perm is the canonical representative of
+// its symmetry orbit: target variables ascend along every symmetry-class
+// chain. With no symmetry classes every binding is a representative.
+// Bindings yielded by Find are always representatives; FindAll yields the
+// whole orbit, of which exactly one binding satisfies this predicate.
+func (m *Matcher) Representative(perm []int) bool {
+	for i, p := range m.prev {
+		if p >= 0 && perm[i] < perm[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Find enumerates one representative binding per symmetry orbit under
+// which the matcher's function equals goal (direct output phase; the
+// mapper handles output inversion by dual-phase covering). goalSig must be
+// goal's signature vector — passed in so the caller can compute it once
+// per cluster and share it across cells and phases. Enumeration stops when
+// fn returns false.
+func (m *Matcher) Find(goal truthtab.TT, goalSig truthtab.SigVector, fn func(hazard.Binding) bool) {
+	m.run(goal, goalSig, false, true, fn)
+}
+
+// FindAll is Find without symmetry pruning: every binding of every orbit.
+func (m *Matcher) FindAll(goal truthtab.TT, goalSig truthtab.SigVector, fn func(hazard.Binding) bool) {
+	m.run(goal, goalSig, false, false, fn)
+}
+
+// run drives one permutation search against a single output phase.
+// Returns false when fn asked to stop.
+func (m *Matcher) run(goal truthtab.TT, goalSig truthtab.SigVector, invOut, prune bool, fn func(hazard.Binding) bool) bool {
+	if m.tt.N != goal.N || m.sig.Ones != goalSig.Ones {
+		return true
+	}
+	n := m.tt.N
+	s := &search{
+		cell:    m.tt,
+		goal:    goal,
+		cellSig: m.sig,
+		goalSig: goalSig,
+		prev:    m.prev,
+		prune:   prune,
+		invOut:  invOut,
+		n:       n,
+		fn:      fn,
+		perm:    make([]int, n),
+		usedVar: make([]bool, n),
+	}
+	return s.assign(0)
+}
+
 // Find enumerates the bindings under which the cell function equals the
 // target function, invoking fn for each; enumeration stops when fn returns
 // false. Bindings with an inverted output are reported only when
 // allowInvOut is set (the mapper handles output inversion by inserting an
-// inverter or by dual-phase covering).
+// inverter or by dual-phase covering). No symmetry pruning is applied:
+// every binding of every orbit is reported.
 func Find(target, cell truthtab.TT, allowInvOut bool, fn func(hazard.Binding) bool) {
 	if target.N != cell.N {
 		return
 	}
-	outPhases := []bool{false}
-	if allowInvOut {
-		outPhases = []bool{false, true}
+	m := NewMatcher(cell)
+	tsig := target.SigVec()
+	if !m.run(target, tsig, false, false, fn) {
+		return // fn asked to stop
 	}
-	cellSig := cell.Signature()
-	for _, invOut := range outPhases {
-		goal := target
-		if invOut {
-			goal = target.Not()
-		}
-		if cell.Ones() != goal.Ones() {
-			continue
-		}
-		goalSig := goal.Signature()
-		s := &search{
-			cell:    cell,
-			goal:    goal,
-			cellSig: cellSig,
-			goalSig: goalSig,
-			invOut:  invOut,
-			n:       target.N,
-			fn:      fn,
-			perm:    make([]int, target.N),
-			usedVar: make([]bool, target.N),
-		}
-		if !s.assign(0) {
-			return // fn asked to stop
-		}
+	if allowInvOut {
+		m.run(target.Not(), tsig.Complement(), true, false, fn)
 	}
 }
 
@@ -74,9 +174,19 @@ func First(target, cell truthtab.TT, allowInvOut bool) (hazard.Binding, bool) {
 	return res, found
 }
 
+// Phase-candidate slices are shared read-only constants so phasesFor never
+// allocates on the hot path.
+var (
+	phBoth = []bool{false, true}
+	phPos  = []bool{false}
+	phNeg  = []bool{true}
+)
+
 type search struct {
 	cell, goal       truthtab.TT
-	cellSig, goalSig []truthtab.VarSignature
+	cellSig, goalSig truthtab.SigVector
+	prev             []int
+	prune            bool
 	invOut           bool
 	n                int
 	fn               func(hazard.Binding) bool
@@ -101,13 +211,20 @@ func (s *search) assign(i int) bool {
 		}
 		return s.fn(b)
 	}
-	cs := s.cellSig[i]
-	for v := 0; v < s.n; v++ {
+	cs := s.cellSig.Var(i)
+	// Symmetry pruning: pins of one class are interchangeable, so any
+	// binding with descending target variables along a class chain is a
+	// duplicate of the representative with them ascending — skip the
+	// variables below the previous class member's assignment.
+	minV := 0
+	if s.prune && s.prev[i] >= 0 {
+		minV = s.perm[s.prev[i]] + 1
+	}
+	for v := minV; v < s.n; v++ {
 		if s.usedVar[v] {
 			continue
 		}
-		gs := s.goalSig[v]
-		if cs != gs {
+		if cs != s.goalSig.Var(v) {
 			continue
 		}
 		s.usedVar[v] = true
@@ -134,19 +251,18 @@ func (s *search) assign(i int) bool {
 }
 
 // phasesFor decides which input phases are worth trying for binding cell
-// input i to goal variable v, using the ordered cofactor ON-set sizes.
+// input i to goal variable v, using the ordered cofactor ON-set sizes from
+// the memoized signature vectors (no truth-table work).
 func (s *search) phasesFor(i, v int) []bool {
-	c0 := s.cell.Cofactor(i, false).Ones()
-	c1 := s.cell.Cofactor(i, true).Ones()
-	g0 := s.goal.Cofactor(v, false).Ones()
-	g1 := s.goal.Cofactor(v, true).Ones()
+	c0, c1 := s.cellSig.C0[i], s.cellSig.C1[i]
+	g0, g1 := s.goalSig.C0[v], s.goalSig.C1[v]
 	switch {
 	case c0 == c1:
-		return []bool{false, true}
+		return phBoth
 	case c0 == g0 && c1 == g1:
-		return []bool{false}
+		return phPos
 	case c0 == g1 && c1 == g0:
-		return []bool{true}
+		return phNeg
 	default:
 		return nil
 	}

@@ -7,6 +7,7 @@ package truthtab
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"gfmap/internal/bexpr"
 	"gfmap/internal/cube"
@@ -123,32 +124,112 @@ func (t TT) Equal(o TT) bool {
 	return true
 }
 
+// loMask[v] marks, within one 64-point word, the points where variable v
+// is 0. Variables 6 and up select whole words instead of bits, so the
+// word-parallel kernels below split every operation into an in-word case
+// (v < 6, mask arithmetic) and a word-stride case (v >= 6, block moves).
+var loMask = [6]uint64{
+	0x5555555555555555,
+	0x3333333333333333,
+	0x0F0F0F0F0F0F0F0F,
+	0x00FF00FF00FF00FF,
+	0x0000FFFF0000FFFF,
+	0x00000000FFFFFFFF,
+}
+
+func (t TT) clone() TT {
+	out := TT{N: t.N, Bits: make([]uint64, len(t.Bits))}
+	copy(out.Bits, t.Bits)
+	return out
+}
+
 // Cofactor returns the cofactor with variable v fixed to val, kept over N
 // variables (the result ignores variable v).
 func (t TT) Cofactor(v int, val bool) TT {
 	out, _ := NewTT(t.N)
-	for p := uint64(0); p < 1<<uint(t.N); p++ {
-		q := p
+	if v < 6 {
+		s := uint(1) << uint(v)
 		if val {
-			q |= 1 << uint(v)
+			m := ^loMask[v]
+			for i, w := range t.Bits {
+				h := w & m
+				out.Bits[i] = h | h>>s
+			}
 		} else {
-			q &^= 1 << uint(v)
+			m := loMask[v]
+			for i, w := range t.Bits {
+				h := w & m
+				out.Bits[i] = h | h<<s
+			}
 		}
-		if t.Eval(q) {
-			out.Set(p, true)
+	} else {
+		stride := 1 << uint(v-6)
+		for i := range t.Bits {
+			src := i &^ stride
+			if val {
+				src |= stride
+			}
+			out.Bits[i] = t.Bits[src]
 		}
 	}
+	out.Bits[len(out.Bits)-1] &= t.lastMask()
 	return out
+}
+
+// CofactorOnes counts the ON-set points with variable v fixed to val — the
+// cofactor's ON-set size over the 2^(N-1) points of the remaining
+// variables — without materialising the cofactor.
+func (t TT) CofactorOnes(v int, val bool) int {
+	last := len(t.Bits) - 1
+	n := 0
+	if v < 6 {
+		m := loMask[v]
+		if val {
+			m = ^m
+		}
+		for i, w := range t.Bits {
+			if i == last {
+				w &= t.lastMask()
+			}
+			n += bits.OnesCount64(w & m)
+		}
+		return n
+	}
+	want := 0
+	if val {
+		want = 1
+	}
+	for i, w := range t.Bits {
+		if (i>>uint(v-6))&1 != want {
+			continue
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
 }
 
 // DependsOn reports whether the function actually depends on variable v.
 func (t TT) DependsOn(v int) bool {
-	bit := uint64(1) << uint(v)
-	for p := uint64(0); p < 1<<uint(t.N); p++ {
-		if p&bit != 0 {
+	last := len(t.Bits) - 1
+	if v < 6 {
+		s := uint(1) << uint(v)
+		m := loMask[v]
+		for i, w := range t.Bits {
+			if i == last {
+				w &= t.lastMask()
+			}
+			if (w^(w>>s))&m != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	stride := 1 << uint(v-6)
+	for i, w := range t.Bits {
+		if i&stride != 0 {
 			continue
 		}
-		if t.Eval(p) != t.Eval(p|bit) {
+		if w != t.Bits[i|stride] {
 			return true
 		}
 	}
@@ -170,7 +251,30 @@ func (t TT) Support() int {
 // bit perm[i] of p, XORed with bit i of inv. perm must have length t.N and
 // map cell inputs to result variables over nOut variables. When invOut is
 // set the output is complemented.
+//
+// Bijective same-width bindings — the only kind Boolean matching produces —
+// run word-parallel: input inversions are in-word/word-pair exchanges and
+// the permutation decomposes into variable swaps, so the whole transform is
+// O(words) mask arithmetic instead of a per-point evaluation loop.
 func (t TT) Transform(perm []int, inv uint64, invOut bool, nOut int) TT {
+	if nOut == t.N && isPermutation(perm, t.N) {
+		out := t.clone()
+		for i := 0; i < t.N; i++ {
+			if inv&(1<<uint(i)) != 0 {
+				out.flipVar(i)
+			}
+		}
+		out.applyPerm(perm)
+		if invOut {
+			for i := range out.Bits {
+				out.Bits[i] = ^out.Bits[i]
+			}
+		}
+		out.Bits[len(out.Bits)-1] &= out.lastMask()
+		return out
+	}
+	// General fallback (width change or non-bijective binding): the
+	// per-point definition.
 	out, err := NewTT(nOut)
 	if err != nil {
 		panic(err)
@@ -195,6 +299,108 @@ func (t TT) Transform(perm []int, inv uint64, invOut bool, nOut int) TT {
 	return out
 }
 
+func isPermutation(perm []int, n int) bool {
+	if len(perm) != n {
+		return false
+	}
+	var seen uint32
+	for _, v := range perm {
+		if v < 0 || v >= n || seen&(1<<uint(v)) != 0 {
+			return false
+		}
+		seen |= 1 << uint(v)
+	}
+	return true
+}
+
+// flipVar complements variable v in place: f'(p) = f(p ^ 1<<v).
+func (t TT) flipVar(v int) {
+	if v < 6 {
+		s := uint(1) << uint(v)
+		m := loMask[v]
+		for i, w := range t.Bits {
+			t.Bits[i] = (w&m)<<s | (w>>s)&m
+		}
+		return
+	}
+	stride := 1 << uint(v-6)
+	for i := range t.Bits {
+		if i&stride == 0 {
+			j := i | stride
+			t.Bits[i], t.Bits[j] = t.Bits[j], t.Bits[i]
+		}
+	}
+}
+
+// applyPerm rearranges variables in place so that the result reads its
+// bit-perm[i] input where the old table read variable i: out(p) = old(q)
+// with q_i = bit perm[i] of p. perm must be a permutation of 0..N-1. The
+// permutation is decomposed into at most N-1 variable swaps.
+func (t TT) applyPerm(perm []int) {
+	n := t.N
+	var posBuf, atBuf [MaxVars]int
+	pos, at := posBuf[:n], atBuf[:n]
+	for i := 0; i < n; i++ {
+		pos[i], at[i] = i, i
+	}
+	for i := 0; i < n; i++ {
+		cur, tgt := pos[i], perm[i]
+		if cur == tgt {
+			continue
+		}
+		t.swapVars(cur, tgt)
+		j := at[tgt]
+		at[cur], at[tgt] = j, i
+		pos[i], pos[j] = tgt, cur
+	}
+}
+
+// swapVars exchanges variables u and v in place: f'(p) = f(p with bits u
+// and v swapped).
+func (t TT) swapVars(u, v int) {
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	switch {
+	case v < 6:
+		// Both in-word: delta-swap the (u=1, v=0) bits with their (u=0,
+		// v=1) partners, which sit a fixed distance d up the word.
+		d := uint(1)<<uint(v) - uint(1)<<uint(u)
+		a := ^loMask[u] & loMask[v]
+		for i, w := range t.Bits {
+			x := (w >> d) & a
+			y := (w & a) << d
+			t.Bits[i] = w&^(a|a<<d) | x | y
+		}
+	case u >= 6:
+		// Both word-indexed: swap whole words across the two index bits.
+		bu, bv := 1<<uint(u-6), 1<<uint(v-6)
+		for i := range t.Bits {
+			if i&bu != 0 && i&bv == 0 {
+				j := i ^ bu ^ bv
+				t.Bits[i], t.Bits[j] = t.Bits[j], t.Bits[i]
+			}
+		}
+	default:
+		// Mixed: u lives in-word, v selects word pairs. Exchange the u=1
+		// half of each v=0 word with the u=0 half of its v=1 partner.
+		s := uint(1) << uint(u)
+		m0 := loMask[u]
+		bv := 1 << uint(v-6)
+		for i := range t.Bits {
+			if i&bv != 0 {
+				continue
+			}
+			lo, hi := t.Bits[i], t.Bits[i|bv]
+			t.Bits[i] = lo&m0 | (hi&m0)<<s
+			t.Bits[i|bv] = hi&^m0 | (lo&^m0)>>s
+		}
+	}
+}
+
 // VarSignature is an input-inversion-invariant per-variable invariant used
 // to prune matching: the ON-set sizes of the two cofactors, sorted.
 type VarSignature struct {
@@ -203,16 +409,102 @@ type VarSignature struct {
 
 // Signature computes the per-variable signatures of the function.
 func (t TT) Signature() []VarSignature {
+	sv := t.SigVec()
 	out := make([]VarSignature, t.N)
-	for v := 0; v < t.N; v++ {
-		c0 := t.Cofactor(v, false).Ones() / 2 // each cofactor point counted twice over N vars
-		c1 := t.Cofactor(v, true).Ones() / 2
-		if c0 > c1 {
-			c0, c1 = c1, c0
-		}
-		out[v] = VarSignature{Lo: c0, Hi: c1}
+	for v := range out {
+		out[v] = sv.Var(v)
 	}
 	return out
+}
+
+// SigVector carries the ON-set size and the per-variable cofactor ON-set
+// counts of a function — every quantity the Boolean matcher's pruning
+// consults — computed once with the word-parallel kernels so it can be
+// memoized per cell and shared across phases, cells and bindings.
+type SigVector struct {
+	N    int
+	Ones int
+	// C0[v] and C1[v] are the ON-set sizes of the v=0 and v=1 cofactors,
+	// each counted over the 2^(N-1) points of the remaining variables.
+	C0, C1 []int
+}
+
+// SigVec computes the signature vector of the function.
+func (t TT) SigVec() SigVector {
+	s := SigVector{N: t.N, Ones: t.Ones()}
+	s.C0 = make([]int, t.N)
+	s.C1 = make([]int, t.N)
+	for v := 0; v < t.N; v++ {
+		c0 := t.CofactorOnes(v, false)
+		s.C0[v] = c0
+		s.C1[v] = s.Ones - c0
+	}
+	return s
+}
+
+// Complement returns the signature vector of the complemented function
+// without touching a truth table.
+func (s SigVector) Complement() SigVector {
+	out := SigVector{
+		N:    s.N,
+		Ones: 1<<uint(s.N) - s.Ones,
+		C0:   make([]int, s.N),
+		C1:   make([]int, s.N),
+	}
+	if s.N > 0 {
+		half := 1 << uint(s.N-1)
+		for v := range s.C0 {
+			out.C0[v] = half - s.C0[v]
+			out.C1[v] = half - s.C1[v]
+		}
+	}
+	return out
+}
+
+// Var returns the input-inversion-invariant signature of one variable.
+func (s SigVector) Var(v int) VarSignature {
+	c0, c1 := s.C0[v], s.C1[v]
+	if c0 > c1 {
+		c0, c1 = c1, c0
+	}
+	return VarSignature{Lo: c0, Hi: c1}
+}
+
+// rawKey serialises (ON-set size, sorted per-variable signatures) as a
+// compact byte string; all values fit in 16 bits for N <= MaxVars.
+func (s SigVector) rawKey() string {
+	var sigBuf [MaxVars]VarSignature
+	sigs := sigBuf[:s.N]
+	for v := range sigs {
+		sigs[v] = s.Var(v)
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		if sigs[i].Lo != sigs[j].Lo {
+			return sigs[i].Lo < sigs[j].Lo
+		}
+		return sigs[i].Hi < sigs[j].Hi
+	})
+	b := make([]byte, 0, 2+4*len(sigs))
+	b = append(b, byte(s.Ones>>8), byte(s.Ones))
+	for _, sg := range sigs {
+		b = append(b, byte(sg.Lo>>8), byte(sg.Lo), byte(sg.Hi>>8), byte(sg.Hi))
+	}
+	return string(b)
+}
+
+// CanonKey returns the match-index key of the function: the ON-set size
+// and signature multiset, folded so that a function and its complement
+// share one key. Two functions equal up to input permutation, input
+// phases and output phase always agree on CanonKey, and two functions
+// with different keys can never match — the key is a necessary condition,
+// so an index bucketed by it returns a superset of the true matches.
+func (s SigVector) CanonKey() string {
+	a := s.rawKey()
+	b := s.Complement().rawKey()
+	if b < a {
+		return b
+	}
+	return a
 }
 
 // SymmetricPair reports whether variables u and v are interchangeable in
