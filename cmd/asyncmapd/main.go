@@ -1,0 +1,115 @@
+// Command asyncmapd serves the hazard-aware technology mapper over HTTP.
+//
+// It preloads and hazard-annotates the requested libraries once at
+// startup, then maps BLIF or eqn designs POSTed to /map (one design) or
+// /map/batch (several, with per-design error isolation). Every request
+// runs under a deadline threaded through the covering DP as a
+// context.Context, so slow designs time out promptly and disconnected
+// clients stop burning CPU. Admission control is a fixed worker pool with
+// a bounded queue; excess load is rejected with 503 rather than piling up.
+//
+//	asyncmapd -addr :8931 -libs LSI9K,CMOS3 -timeout 30s
+//
+// Endpoints: POST /map, POST /map/batch, GET /healthz, GET /metrics
+// (add ?format=text for a flat text dump), and /debug/pprof/ with -pprof.
+// See docs/SERVING.md for the request/response schema.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gfmap/internal/library"
+	"gfmap/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8931", "listen address")
+		libs    = flag.String("libs", "", "comma-separated libraries to preload (default: all built-ins)")
+		maxConc = flag.Int("maxconcurrent", 4, "mapping requests running at once")
+		queue   = flag.Int("queue", 8, "admitted requests allowed to wait beyond -maxconcurrent")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-request mapping deadline")
+		maxTO   = flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested deadlines")
+		maxBody = flag.Int64("maxbody", 8<<20, "request body size limit in bytes")
+		workers = flag.Int("workers", 0, "DP worker goroutines per request (0 = one per CPU)")
+		pprofOn = flag.Bool("pprof", false, "serve /debug/pprof/")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: asyncmapd [flags]\n\nbuilt-in libraries: %s\n\nflags:\n",
+			strings.Join(library.BuiltinNames, ", "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := server.Config{
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+		MaxBodyBytes:   *maxBody,
+		MapWorkers:     *workers,
+		EnablePprof:    *pprofOn,
+	}
+	if *libs != "" {
+		for _, name := range strings.Split(*libs, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.Libraries = append(cfg.Libraries, name)
+			}
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("asyncmapd: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	loaded := cfg.Libraries
+	if len(loaded) == 0 {
+		loaded = library.BuiltinNames
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("asyncmapd: serving on %s (libraries: %s)", *addr, strings.Join(loaded, ", "))
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("asyncmapd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("asyncmapd: shutting down (drain budget %s)", *drain)
+	// Shutdown stops accepting and waits for in-flight requests; their
+	// mapping contexts are children of the request contexts, which the
+	// server cancels when the drain budget runs out.
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("asyncmapd: drain budget exhausted, aborting in-flight requests")
+		}
+		httpSrv.Close()
+	}
+	log.Printf("asyncmapd: stopped")
+}

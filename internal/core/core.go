@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -74,6 +75,15 @@ func (o Objective) String() string {
 
 // Options configures a mapping run.
 type Options struct {
+	// Ctx, when non-nil, bounds the run: the pipeline polls for
+	// cancellation at cone, cut-enumeration and binding-search boundaries
+	// and Map returns ctx.Err() promptly after the context is cancelled
+	// or its deadline passes, leaking no goroutines. Cancellation never
+	// changes the result of a run that completes — a mapping that
+	// finishes under a context is bit-identical to one run without.
+	// Nil means the run is unbounded (and the polling is skipped
+	// entirely, so a nil context costs nothing).
+	Ctx context.Context
 	// Mode selects the synchronous baseline or the asynchronous mapper.
 	Mode Mode
 	// Objective selects area-driven (default) or delay-driven covering.
@@ -301,9 +311,14 @@ type Result struct {
 	Stats   Stats
 }
 
-// Map runs the technology mapper over a combinational network.
+// Map runs the technology mapper over a combinational network. When
+// Options.Ctx is set, a cancelled or expired context aborts the pipeline
+// promptly and Map returns ctx.Err(); see MapContext for the common case.
 func Map(net *network.Network, lib *library.Library, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	if opts.Mode == Async && !lib.Annotated() {
 		// augment-library-with-hazard-info(library)
 		if err := lib.Annotate(); err != nil {
@@ -333,8 +348,21 @@ func Map(net *network.Network, lib *library.Library, opts Options) (*Result, err
 	psp.SetInt("cones", int64(len(cones)))
 	psp.End()
 	partitionTime := time.Since(phase)
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	nl := NewNetlist(net.Name, net.Inputs, net.Outputs)
 	m := &mapper{lib: lib, opts: opts, netlist: nl, tid: 1, met: newMetricSet(opts.Metrics)}
+	// Reserve every signal name of the decomposed network up front, so
+	// generated names (match signals, inverter outputs) can never collide
+	// with a design signal that has not been emitted yet.
+	m.reserved = make(map[string]bool, decomposed.NumNodes()+len(decomposed.Inputs))
+	for _, name := range decomposed.NodeNames() {
+		m.reserved[name] = true
+	}
+	for _, in := range decomposed.Inputs {
+		m.reserved[in] = true
+	}
 	if err := m.ensureCells(); err != nil {
 		return nil, err
 	}
@@ -345,12 +373,19 @@ func Map(net *network.Network, lib *library.Library, opts Options) (*Result, err
 	prepared, err := m.prepareCones(cones)
 	csp.End()
 	if err != nil {
+		if cerr := ctxErr(opts.Ctx); cerr != nil {
+			return nil, cerr
+		}
 		return nil, err
 	}
 	m.stats.CoverTime = time.Since(phase)
 	phase = time.Now()
 	esp := tr.StartSpan("emit")
 	for i, pc := range prepared {
+		if err := ctxErr(opts.Ctx); err != nil {
+			esp.End()
+			return nil, err
+		}
 		if err := m.emitCone(pc); err != nil {
 			esp.End()
 			return nil, fmt.Errorf("core: cone %s: %w", cones[i].Root, err)
@@ -398,6 +433,23 @@ func publishStats(reg *obs.Registry, st Stats, gates int, area, delay float64) {
 	reg.Gauge("map_gates").Set(float64(gates))
 	reg.Gauge("map_area").Set(area)
 	reg.Gauge("map_delay").Set(delay)
+}
+
+// MapContext runs Map with the given context installed in Options.Ctx.
+// It is the entry point long-lived callers (servers, batch drivers) should
+// use: the context's cancellation or deadline bounds the whole pipeline.
+func MapContext(ctx context.Context, net *network.Network, lib *library.Library, opts Options) (*Result, error) {
+	opts.Ctx = ctx
+	return Map(net, lib, opts)
+}
+
+// ctxErr reports a context's cancellation state; a nil context never
+// cancels. Used at the pipeline's coarse phase boundaries.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Tmap is the synchronous mapping procedure of §3.1.

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gfmap/internal/hazcache"
+	"gfmap/internal/library"
+	"gfmap/internal/network"
+)
+
+// bigCtxSrc builds a design with n structurally similar cones, large
+// enough that mapping reliably outlives a few-millisecond deadline (each
+// cone needs dozens of hazard analyses when the shared cache is off).
+func bigCtxSrc(n int) string {
+	var b strings.Builder
+	b.WriteString("INPUT(a,b,c,d,e,g,h,i)\nOUTPUT(")
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "f%d", k)
+	}
+	b.WriteString(")\n")
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&b, "f%d = (a*b + c*d)*(e + g') + (a'*c + b*d')*(h + i') + b*c*(e' + h');\n", k)
+	}
+	return b.String()
+}
+
+func bigCtxNet(t *testing.T, n int) *network.Network {
+	t.Helper()
+	return parseNet(t, bigCtxSrc(n), "bigctx")
+}
+
+// waitGoroutines waits for the goroutine count to drop back to the
+// baseline, tolerating runtime background goroutines that were already
+// running before the run under test.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMapContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	net := parseNet(t, simpleSrc, "pre")
+	_, err := MapContext(ctx, net, library.MustGet("LSI9K"), Options{Mode: Async})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapContextMidRunCancel(t *testing.T) {
+	net := bigCtxNet(t, 120)
+	lib := library.MustGet("LSI9K")
+	for _, workers := range []int{1, 0} { // serial and parallel pool
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		res, err := Map(net, lib, Options{
+			Mode: Async, Workers: workers, Ctx: ctx,
+			HazardCache: hazcache.New(0), // cold private cache: keep the run slow
+		})
+		elapsed := time.Since(start)
+		cancel()
+		if err == nil {
+			// The run beat the cancel — possible only on an absurdly fast
+			// box; the deterministic deadline test below still covers the
+			// mid-run path.
+			t.Logf("workers=%d: run completed in %s before cancellation", workers, elapsed)
+			if res == nil {
+				t.Fatalf("workers=%d: nil result without error", workers)
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Cancellation must be prompt: well under the full run time.
+		if elapsed > 5*time.Second {
+			t.Fatalf("workers=%d: cancellation took %s", workers, elapsed)
+		}
+		waitGoroutines(t, baseline)
+	}
+}
+
+func TestMapContextDeadline(t *testing.T) {
+	net := bigCtxNet(t, 120)
+	lib := library.MustGet("LSI9K")
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Map(net, lib, Options{
+		Mode: Async, Ctx: ctx, HazardCache: hazcache.New(0),
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline abort took %s", elapsed)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// A run that completes under a context must be bit-identical to one run
+// without any context: cancellation checks may abort a run but never
+// change its outcome.
+func TestMapContextBitIdentical(t *testing.T) {
+	lib := library.MustGet("LSI9K")
+	for _, src := range []string{simpleSrc, bigCtxSrc(12)} {
+		plain, err := Map(parseNet(t, src, "plain"), lib, Options{Mode: Async})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxRes, err := MapContext(context.Background(), parseNet(t, src, "plain"), lib, Options{Mode: Async})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ctxRes.Netlist.String(), plain.Netlist.String(); got != want {
+			t.Fatalf("netlists differ with/without context:\n--- with ---\n%s--- without ---\n%s", got, want)
+		}
+		if got, want := ctxRes.Stats.Deterministic(), plain.Stats.Deterministic(); got != want {
+			t.Fatalf("deterministic stats differ: %+v vs %+v", got, want)
+		}
+	}
+}
+
+// A panic while covering one cone on a parallel worker must surface as an
+// error on that cone, not crash the process: a long-lived mapping service
+// cannot afford a poisoned request taking down its neighbours.
+func TestPrepareConeIsolatedConvertsPanic(t *testing.T) {
+	m := &mapper{opts: Options{}.withDefaults()}
+	// A constant-expression cone makes buildTree return an error path, but
+	// to exercise the recover we need a genuine panic: a nil library makes
+	// prepareCone dereference nil when enumerating cells.
+	_, err := prepareConeIsolated(m, network.Cone{Root: "boom"})
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want panic conversion", err)
+	}
+}

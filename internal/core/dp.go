@@ -35,9 +35,44 @@ type mapper struct {
 	tid int
 	met metricSet
 
+	// reserved holds every signal name of the decomposed network, so
+	// generated names (match signals, inverter outputs) never collide with
+	// a design signal — including ones not yet emitted.
+	reserved map[string]bool
+
+	// polls counts cancellation-poll opportunities on the hot matching
+	// path; the context is consulted once every cancelPollStride calls so
+	// a bounded run stays within a few percent of an unbounded one.
+	polls int
+
 	inv        *library.Cell
 	bufCell    *library.Cell
 	invSignals map[string]string
+}
+
+// cancelPollStride is how many hot-path poll opportunities pass between
+// actual context checks. Cancellation is still detected at every cone and
+// cut boundary, so this only bounds the latency within one binding search.
+const cancelPollStride = 1024
+
+// ctxErr reports the run context's cancellation state at a coarse
+// boundary; free when the run is unbounded.
+func (m *mapper) ctxErr() error {
+	if m.opts.Ctx == nil {
+		return nil
+	}
+	return m.opts.Ctx.Err()
+}
+
+// pollCtx is ctxErr amortised for per-binding hot loops.
+func (m *mapper) pollCtx() error {
+	if m.opts.Ctx == nil {
+		return nil
+	}
+	if m.polls++; m.polls%cancelPollStride != 0 {
+		return nil
+	}
+	return m.opts.Ctx.Err()
 }
 
 // cost is a covering DP value: the quantity being minimised depends on
@@ -100,6 +135,11 @@ type coneMapper struct {
 	hazCache map[string]*hazard.Set
 	emitted  map[[2]int]string
 	matCount int
+
+	// stop latches the run context's error once a hot-loop poll observes
+	// cancellation, so the enclosing binding search and cut loops unwind
+	// immediately instead of re-polling.
+	stop error
 }
 
 func (m *mapper) ensureCells() error {
@@ -202,6 +242,9 @@ func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
 	if workers <= 1 || len(cones) < 2 {
 		out := make([]*preparedCone, len(cones))
 		for i, cone := range cones {
+			if err := m.ctxErr(); err != nil {
+				return nil, err
+			}
 			pc, err := m.prepareConeProfiled(cone)
 			if err != nil {
 				return nil, fmt.Errorf("core: cone %s: %w", cone.Root, err)
@@ -220,13 +263,21 @@ func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Workers always drain the jobs channel — on cancellation they
+			// skip the work per job rather than stop receiving, so the
+			// feeder below never blocks and no goroutine outlives this call.
 			for j := range jobs {
+				if err := m.ctxErr(); err != nil {
+					errs[j.i] = err
+					continue
+				}
 				// Each worker accumulates statistics into its own mapper
 				// shim to avoid data races, merged below. Worker w records
 				// its cone spans on trace track w+1.
 				shadow := &mapper{lib: m.lib, opts: m.opts, netlist: m.netlist,
-					inv: m.inv, bufCell: m.bufCell, tid: w + 1, met: m.met}
-				pc, err := shadow.prepareConeProfiled(cones[j.i])
+					inv: m.inv, bufCell: m.bufCell, tid: w + 1, met: m.met,
+					reserved: m.reserved}
+				pc, err := prepareConeIsolated(shadow, cones[j.i])
 				if err != nil {
 					errs[j.i] = fmt.Errorf("core: cone %s: %w", cones[j.i].Root, err)
 					continue
@@ -242,6 +293,11 @@ func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	// A cancelled run reports the context's error in preference to the
+	// per-cone wrappers, so callers see ctx.Err() itself.
+	if err := m.ctxErr(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -251,6 +307,20 @@ func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
 		m.stats.merge(st)
 	}
 	return out, nil
+}
+
+// prepareConeIsolated runs the covering DP for one cone, converting a
+// panic on the worker goroutine into an error. A panic in a worker would
+// otherwise kill the whole process — unacceptable for a long-lived
+// mapping service, where one poisoned request must not take down its
+// neighbours.
+func prepareConeIsolated(m *mapper, cone network.Cone) (pc *preparedCone, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pc, err = nil, fmt.Errorf("panic in covering DP: %v", r)
+		}
+	}()
+	return m.prepareConeProfiled(cone)
 }
 
 // emitCone realises a prepared cone into the shared netlist.
@@ -444,6 +514,9 @@ func (cm *coneMapper) clusterFunction(root int, cut []int) (*bexpr.Function, []i
 // post-order, so a single pass over the node array visits children first.
 func (cm *coneMapper) dp() error {
 	for id := range cm.nodes {
+		if err := cm.m.ctxErr(); err != nil {
+			return err
+		}
 		n := &cm.nodes[id]
 		if n.op == bexpr.OpVar {
 			// Cone leaves exist for free; their complements cost an
@@ -474,6 +547,15 @@ func (cm *coneMapper) dpNode(id int) error {
 	msp.SetInt("clusters", int64(len(cuts)))
 	defer msp.End()
 	for _, cut := range cuts {
+		// Cut-enumeration boundary: a cancelled run stops before matching
+		// the next cluster. cm.stop carries a cancellation observed by the
+		// binding-search hot loop below.
+		if cm.stop != nil {
+			return cm.stop
+		}
+		if err := cm.m.pollCtx(); err != nil {
+			return err
+		}
 		cm.m.stats.ClustersEnumerated++
 		fn, varNodes, err := cm.clusterFunction(id, cut.nodes)
 		if err != nil {
@@ -529,6 +611,12 @@ func (cm *coneMapper) dpNode(id int) error {
 			}
 		}
 	}
+	// A cancellation observed inside the final cut's binding search must
+	// surface here: the DP costs are incomplete, so the run must error
+	// rather than emit from a partial table.
+	if cm.stop != nil {
+		return cm.stop
+	}
 	// Phase relaxation: realise one phase as the inverse of the other.
 	for phase := 0; phase < 2; phase++ {
 		other := 1 - phase
@@ -554,6 +642,9 @@ func (cm *coneMapper) dpNode(id int) error {
 // representative is the orbit's DFS-first member, so the strict `better`
 // comparison picks the same choice either way.
 func (cm *coneMapper) tryCell(id, phase int, fn *bexpr.Function, target truthtab.TT, tsig truthtab.SigVector, cell *library.Cell, mt *match.Matcher, pruned bool, varNodes []int) {
+	if cm.stop != nil {
+		return
+	}
 	n := &cm.nodes[id]
 	rejected := 0
 	maxB := cm.m.opts.MaxBindings
@@ -561,6 +652,14 @@ func (cm *coneMapper) tryCell(id, phase int, fn *bexpr.Function, target truthtab
 	// phase relaxation), so only direct-output bindings are usable here: a
 	// binding with InvOut realises the *complement* of the target.
 	visit := func(b hazard.Binding) bool {
+		// Binding-search boundary: the permutation search over a wide,
+		// hazardous cell can visit many bindings (each with a hazard
+		// analysis), so cancellation is polled here too — stride-amortised,
+		// and latched in cm.stop so the surrounding loops unwind at once.
+		if err := cm.m.pollCtx(); err != nil {
+			cm.stop = err
+			return false
+		}
 		cm.m.stats.MatchesFound++
 		if pruned {
 			cm.m.stats.SymmetryPruned += mt.Orbit() - 1
@@ -767,8 +866,7 @@ func (cm *coneMapper) emit(id, phase int, outName string) (string, error) {
 		}
 		sig = outName
 		if sig == "" {
-			cm.matCount++
-			sig = fmt.Sprintf("%s_m%d", sanitize(cm.cone.Root), cm.matCount)
+			sig = cm.freshMatchSignal()
 		}
 		if _, err := cm.m.netlist.AddGate(ch.cell, pins, sig); err != nil {
 			return "", err
@@ -780,9 +878,30 @@ func (cm *coneMapper) emit(id, phase int, outName string) (string, error) {
 	return sig, nil
 }
 
+// freshMatchSignal returns the next free generated name for an internal
+// match output of this cone. sanitize can map distinct cone roots (e.g.
+// "a.b" and "a-b") to the same string, and matCount is per-cone, so the
+// raw "<root>_m<n>" scheme could hand two cones the same signal; names
+// are therefore checked against everything already driven and against the
+// reserved set of original design signals, which also prevents a
+// generated name from shadowing a design signal emitted later. Emission
+// is serial and cone-ordered, so the outcome is deterministic.
+func (cm *coneMapper) freshMatchSignal() string {
+	base := sanitize(cm.cone.Root)
+	for {
+		cm.matCount++
+		sig := fmt.Sprintf("%s_m%d", base, cm.matCount)
+		if !cm.m.netlist.Driven(sig) && !cm.m.reserved[sig] {
+			return sig
+		}
+	}
+}
+
 // invertSignal returns (creating on demand) the inverter-driven complement
 // of a signal. Inverters are shared across cones; generated names avoid
-// collisions with pre-existing signals.
+// collisions with signals already driven and with every original design
+// signal — even ones not yet emitted, so a design node literally named
+// "<sig>_bar" can still be emitted later under its own name.
 func (m *mapper) invertSignal(sig string) (string, error) {
 	if m.invSignals == nil {
 		m.invSignals = make(map[string]string)
@@ -791,7 +910,7 @@ func (m *mapper) invertSignal(sig string) (string, error) {
 		return name, nil
 	}
 	name := negName(sig)
-	for i := 2; m.netlist.Driven(name); i++ {
+	for i := 2; m.netlist.Driven(name) || m.reserved[name]; i++ {
 		name = fmt.Sprintf("%s%d", negName(sig), i)
 	}
 	if _, err := m.netlist.AddGate(m.inv, []string{sig}, name); err != nil {

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/library"
+	"gfmap/internal/network"
+)
+
+// wideExpr returns an 8-input function too wide for one match cluster
+// (MaxLeaves defaults to 6), so covering it needs at least two gates and
+// therefore generated internal match-signal names.
+func wideExpr() *bexpr.Expr {
+	v := bexpr.Var
+	return bexpr.And(
+		bexpr.Or(bexpr.And(v("x1"), v("x2")), bexpr.And(v("x3"), v("x4"))),
+		bexpr.Or(bexpr.And(v("x5"), v("x6")), bexpr.And(v("x7"), v("x8"))),
+	)
+}
+
+// Distinct cone roots (here "a.b" and "a-b") can sanitize to the same
+// string, and the match counter is per-cone, so both cones used to emit
+// the same generated signal (a_b_m1) and fail with "signal already
+// driven". Generated names must be globally unique.
+func TestMatchSignalsUniqueAcrossSanitizeCollision(t *testing.T) {
+	net := network.New("sc")
+	for _, in := range []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8"} {
+		if err := net.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, root := range []string{"a.b", "a-b"} {
+		if err := net.AddNode(root, wideExpr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.MarkOutput(root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, mode := range []Mode{Sync, Async} {
+		res := mapNet(t, net, "LSI9K", mode)
+		if res.Netlist.GateCount() < 4 {
+			t.Fatalf("expected a multi-gate cover per cone, got %d gates:\n%s",
+				res.Netlist.GateCount(), res.Netlist)
+		}
+	}
+}
+
+// A design node literally named "<sig>_bar" must keep its name even when
+// the mapper creates an inverter for sig first: generated inverter names
+// must avoid every original design signal, not only those emitted so far.
+func TestInvertSignalAvoidsLaterDesignSignal(t *testing.T) {
+	src := `
+INPUT(a,b,c,d)
+OUTPUT(f,g,u_bar)
+u = a*b + c*d;
+f = u'*a + u*b';
+g = u' + d;
+u_bar = c + d';
+`
+	net := parseNet(t, src, "invbar")
+	res := mapNet(t, net, "LSI9K", Async)
+	// The design's own u_bar node must be driven by its cover, not by the
+	// generated inverter of u.
+	g := res.Netlist.Driver("u_bar")
+	if g == nil {
+		t.Fatalf("output u_bar undriven:\n%s", res.Netlist)
+	}
+	if g.Cell.NumPins() == 1 && len(g.Pins) == 1 && g.Pins[0] == "u" {
+		t.Fatalf("u_bar captured by the generated inverter of u:\n%s", res.Netlist)
+	}
+}
+
+// Unit-level check of the reserved-name logic in invertSignal.
+func TestInvertSignalSkipsReservedNames(t *testing.T) {
+	lib := library.MustGet("LSI9K")
+	nl := NewNetlist("t", []string{"foo"}, nil)
+	m := &mapper{lib: lib, netlist: nl,
+		reserved: map[string]bool{"foo": true, "foo_bar": true, "foo_bar2": true}}
+	if err := m.ensureCells(); err != nil {
+		t.Fatal(err)
+	}
+	name, err := m.invertSignal("foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "foo_bar" || name == "foo_bar2" {
+		t.Fatalf("invertSignal picked reserved name %q", name)
+	}
+	if !strings.HasPrefix(name, "foo_bar") {
+		t.Fatalf("unexpected inverter name %q", name)
+	}
+	// The memo returns the same name, without a second gate.
+	again, err := m.invertSignal("foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != name || nl.GateCount() != 1 {
+		t.Fatalf("memo broken: %q vs %q, %d gates", again, name, nl.GateCount())
+	}
+	// The reserved design signals are still free to be driven later.
+	if _, err := nl.AddGate(m.inv, []string{"foo"}, "foo_bar"); err != nil {
+		t.Fatalf("design signal foo_bar no longer emittable: %v", err)
+	}
+}
+
+// Generated match signals must also avoid original design signals that
+// have not been emitted yet.
+func TestFreshMatchSignalSkipsReservedAndDriven(t *testing.T) {
+	lib := library.MustGet("LSI9K")
+	nl := NewNetlist("t", []string{"x"}, nil)
+	m := &mapper{lib: lib, netlist: nl, reserved: map[string]bool{"r_m1": true, "r_m3": true}}
+	if err := m.ensureCells(); err != nil {
+		t.Fatal(err)
+	}
+	cm := &coneMapper{m: m, cone: network.Cone{Root: "r"}}
+	if got := cm.freshMatchSignal(); got != "r_m2" {
+		t.Fatalf("first fresh name = %q, want r_m2 (r_m1 reserved)", got)
+	}
+	if _, err := nl.AddGate(m.inv, []string{"x"}, "r_m2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.freshMatchSignal(); got != "r_m4" {
+		t.Fatalf("second fresh name = %q, want r_m4 (r_m3 reserved)", got)
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/library"
 )
 
 // WriteVerilog renders the netlist as structural Verilog: one module with
@@ -70,8 +73,89 @@ func (nl *Netlist) VerilogString() (string, error) {
 	return b.String(), nil
 }
 
+// pinName names cell input pin i in bijective base-26: a…z, aa, ab, …
+// The earlier i%26 scheme silently aliased the pins of cells with 26 or
+// more inputs (pin 26 collided with pin 0), corrupting the Verilog
+// netlist for such libraries.
 func pinName(i int) string {
-	return string(rune('a' + i%26))
+	var buf [8]byte
+	pos := len(buf)
+	for {
+		pos--
+		buf[pos] = byte('a' + i%26)
+		i = i/26 - 1
+		if i < 0 {
+			return string(buf[pos:])
+		}
+	}
+}
+
+// WriteVerilogLibrary renders behavioural companion models for every cell
+// of a library, so a netlist written by WriteVerilog can be simulated
+// standalone: one module per cell (sorted by name), input pins named with
+// pinName in the cell's pin order, and the output pin y driven by an
+// assign of the cell's Boolean factored form.
+func WriteVerilogLibrary(w io.Writer, lib *library.Library) error {
+	cells := append([]*library.Cell(nil), lib.Cells...)
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Name < cells[j].Name })
+	var b strings.Builder
+	for ci, c := range cells {
+		if ci > 0 {
+			b.WriteByte('\n')
+		}
+		pins := make([]string, c.NumPins())
+		sub := make(map[string]string, len(pins))
+		for i, v := range c.Fn.Vars {
+			pins[i] = pinName(i)
+			sub[v] = pins[i]
+		}
+		ports := append(append([]string{}, pins...), "y")
+		fmt.Fprintf(&b, "module %s(%s);\n", vlogID(c.Name), strings.Join(ports, ", "))
+		for _, p := range pins {
+			fmt.Fprintf(&b, "  input %s;\n", p)
+		}
+		b.WriteString("  output y;\n")
+		fmt.Fprintf(&b, "  assign y = %s;\n", vlogExpr(c.Fn.Root, sub))
+		b.WriteString("endmodule\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// vlogExpr renders a BFF expression as a Verilog expression, with the
+// variables substituted by their pin names.
+func vlogExpr(e *bexpr.Expr, sub map[string]string) string {
+	switch e.Op {
+	case bexpr.OpConst:
+		if e.Val {
+			return "1'b1"
+		}
+		return "1'b0"
+	case bexpr.OpVar:
+		return sub[e.Name]
+	case bexpr.OpNot:
+		return "~" + vlogTerm(e.Kids[0], sub)
+	case bexpr.OpAnd, bexpr.OpOr:
+		op := " & "
+		if e.Op == bexpr.OpOr {
+			op = " | "
+		}
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = vlogTerm(k, sub)
+		}
+		return strings.Join(parts, op)
+	}
+	return "1'bx"
+}
+
+// vlogTerm is vlogExpr with parentheses around compound subexpressions.
+func vlogTerm(e *bexpr.Expr, sub map[string]string) string {
+	s := vlogExpr(e, sub)
+	if e.Op == bexpr.OpAnd || e.Op == bexpr.OpOr {
+		return "(" + s + ")"
+	}
+	return s
 }
 
 func mapStrings(xs []string, f func(string) string) []string {

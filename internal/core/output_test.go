@@ -29,6 +29,56 @@ f = a*b + a'*c + b*c;
 	}
 }
 
+// pinName must be bijective base-26: the old i%26 scheme silently aliased
+// pin 26 with pin 0 on wide cells.
+func TestPinNameBase26(t *testing.T) {
+	tests := map[int]string{
+		0: "a", 1: "b", 25: "z",
+		26: "aa", 27: "ab", 51: "az", 52: "ba",
+		701: "zz", 702: "aaa",
+	}
+	for i, want := range tests {
+		if got := pinName(i); got != want {
+			t.Errorf("pinName(%d) = %q, want %q", i, got, want)
+		}
+	}
+	// No aliasing over a wide range.
+	seen := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		n := pinName(i)
+		if prev, dup := seen[n]; dup {
+			t.Fatalf("pinName aliases %d and %d to %q", prev, i, n)
+		}
+		seen[n] = i
+	}
+}
+
+func TestWriteVerilogLibrary(t *testing.T) {
+	lib := library.MustGet("LSI9K")
+	var b strings.Builder
+	if err := WriteVerilogLibrary(&b, lib); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if got, want := strings.Count(text, "module "), len(lib.Cells); got != want {
+		t.Fatalf("%d modules for %d cells:\n%s", got, want, text)
+	}
+	for _, c := range lib.Cells {
+		if !strings.Contains(text, "module "+vlogID(c.Name)+"(") {
+			t.Errorf("missing module for cell %s", c.Name)
+		}
+	}
+	// Every module drives y and uses base-26 pin names matching the
+	// netlist writer's connection names.
+	if strings.Count(text, "  assign y = ") != len(lib.Cells) {
+		t.Errorf("not every module assigns y:\n%s", text)
+	}
+	inv := lib.MinInverter()
+	if !strings.Contains(text, "module "+vlogID(inv.Name)+"(a, y);") {
+		t.Errorf("inverter ports wrong:\n%s", text)
+	}
+}
+
 func TestVlogIDSanitisation(t *testing.T) {
 	tests := map[string]string{
 		"a":     "a",

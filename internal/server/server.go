@@ -1,0 +1,633 @@
+// Package server implements asyncmapd's HTTP mapping service: a
+// long-lived, concurrency-limited front end over core.Map.
+//
+// Design designs (BLIF or eqn text) are mapped against libraries that are
+// preloaded and hazard-annotated once at startup, so no request pays the
+// library-initialisation cost. Every request runs under a deadline and the
+// request's own context, threaded through core.Options.Ctx into the
+// covering DP: a cancelled or timed-out request aborts the pipeline at the
+// next cone/cut/binding boundary and releases its worker slot without
+// leaking goroutines. Admission is a fixed-size semaphore with a bounded
+// wait queue — requests beyond the queue are rejected immediately with
+// 503 and a Retry-After hint (backpressure, not collapse). A panicking
+// request is isolated: it answers 500 and the process keeps serving.
+//
+// See docs/SERVING.md for the full API and operational contract.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"context"
+	"sync/atomic"
+	"time"
+
+	"gfmap/internal/blif"
+	"gfmap/internal/core"
+	"gfmap/internal/eqn"
+	"gfmap/internal/hazcache"
+	"gfmap/internal/library"
+	"gfmap/internal/network"
+	"gfmap/internal/obs"
+)
+
+// Config tunes a Server. The zero value is a usable development setup.
+type Config struct {
+	// Libraries names the built-in libraries to preload and annotate at
+	// startup. Empty means every built-in (library.BuiltinNames).
+	Libraries []string
+	// MaxConcurrent bounds how many mapping requests run simultaneously;
+	// 0 means 4. Each request may itself use core's per-cone worker pool.
+	MaxConcurrent int
+	// MaxQueue bounds how many admitted requests may wait for a slot
+	// beyond the MaxConcurrent running ones; 0 means 2*MaxConcurrent.
+	// Requests past the queue are rejected with 503 (backpressure).
+	MaxQueue int
+	// DefaultTimeout is the per-request mapping deadline when the client
+	// does not ask for one; 0 means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines; 0 means 5m.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; 0 means 8 MiB.
+	MaxBodyBytes int64
+	// MapWorkers is core.Options.Workers for every request; 0 means one
+	// per CPU (shared fairly by the admission limiter above).
+	MapWorkers int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Registry receives the server's and the mapper's metrics; nil means
+	// a fresh private registry (exposed at /metrics either way).
+	Registry *obs.Registry
+	// HazardCache is the cross-request hazard-analysis cache; nil means
+	// the process-wide hazcache.Shared(). Requests share it by design:
+	// one request's analyses warm the next one's matching filter.
+	HazardCache *hazcache.Cache
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Libraries) == 0 {
+		c.Libraries = append([]string(nil), library.BuiltinNames...)
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.HazardCache == nil {
+		c.HazardCache = hazcache.Shared()
+	}
+	return c
+}
+
+// Server metric names, published into the configured registry alongside
+// the mapper's own map_* metrics.
+const (
+	MetricRequests       = "server_requests_total"
+	MetricDesigns        = "server_designs_mapped_total"
+	MetricErrors         = "server_errors_total"
+	MetricRejected       = "server_rejected_total"
+	MetricTimeouts       = "server_timeouts_total"
+	MetricCanceled       = "server_canceled_total"
+	MetricPanics         = "server_panics_total"
+	MetricInflight       = "server_inflight"
+	MetricQueued         = "server_queued"
+	MetricRequestSeconds = "server_request_seconds"
+)
+
+// Server is the HTTP mapping service. Create one with New and mount
+// Handler on an http.Server.
+type Server struct {
+	cfg   Config
+	libs  map[string]*library.Library
+	order []string // library names in configured order (order[0] is the default)
+	reg   *obs.Registry
+	mux   *http.ServeMux
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	requests   *obs.Counter
+	designs    *obs.Counter
+	errorsC    *obs.Counter
+	rejected   *obs.Counter
+	timeouts   *obs.Counter
+	canceled   *obs.Counter
+	panics     *obs.Counter
+	reqSeconds *obs.Histogram
+}
+
+// New preloads and annotates the configured libraries and builds the
+// service. Annotation happens here, once — never on a request path.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		libs: make(map[string]*library.Library, len(cfg.Libraries)),
+		reg:  cfg.Registry,
+		sem:  make(chan struct{}, cfg.MaxConcurrent),
+	}
+	for _, name := range cfg.Libraries {
+		lib, err := library.Get(name) // cached + annotated
+		if err != nil {
+			return nil, fmt.Errorf("server: preload library %s: %w", name, err)
+		}
+		s.libs[name] = lib
+		s.order = append(s.order, name)
+	}
+	s.requests = s.reg.Counter(MetricRequests)
+	s.designs = s.reg.Counter(MetricDesigns)
+	s.errorsC = s.reg.Counter(MetricErrors)
+	s.rejected = s.reg.Counter(MetricRejected)
+	s.timeouts = s.reg.Counter(MetricTimeouts)
+	s.canceled = s.reg.Counter(MetricCanceled)
+	s.panics = s.reg.Counter(MetricPanics)
+	s.reqSeconds = s.reg.Histogram(MetricRequestSeconds, obs.ExpBuckets(1e-3, 4, 10))
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/map", s.protect(s.handleMap))
+	s.mux.HandleFunc("/map/batch", s.protect(s.handleBatch))
+	s.mux.HandleFunc("/healthz", s.protect(s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.protect(s.handleMetrics))
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the metrics registry the server publishes into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// protect wraps a handler with per-request panic isolation: a panic
+// answers 500 and is counted, and the process keeps serving.
+func (s *Server) protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Inc()
+				s.errorsC.Inc()
+				log.Printf("server: recovered panic in %s %s: %v\n%s",
+					r.Method, r.URL.Path, rec, debug.Stack())
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal panic: %v", rec))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// acquire admits a request into the mapping section, waiting for a free
+// slot up to the queue bound. It returns a release function, or an error
+// when the queue is full (errBusy) or the caller's context ended first.
+var errBusy = errors.New("server at capacity")
+
+func (s *Server) acquire(ctx context.Context) (func(), error) {
+	if q := s.queued.Add(1); q > int64(s.cfg.MaxConcurrent+s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, errBusy
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// MapRequest is one design to map. In a raw (non-JSON) POST to /map the
+// body is the design text and these fields come from query parameters.
+type MapRequest struct {
+	// Name labels the design in the response; defaults to the format's
+	// model name fallback.
+	Name string `json:"name,omitempty"`
+	// Format of Design: "blif" (default) or "eqn".
+	Format string `json:"format,omitempty"`
+	// Design is the design source text.
+	Design string `json:"design"`
+	// Library is a preloaded library name; default is the server's first
+	// configured library.
+	Library string `json:"library,omitempty"`
+	// Mode is "async" (default) or "sync".
+	Mode string `json:"mode,omitempty"`
+	// Objective is "area" (default) or "delay".
+	Objective string `json:"objective,omitempty"`
+	MaxDepth  int    `json:"max_depth,omitempty"`
+	MaxLeaves int    `json:"max_leaves,omitempty"`
+	MaxBurst  int    `json:"max_burst,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline,
+	// capped at the server's MaxTimeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Output selects the rendered payloads: "netlist" (default),
+	// "verilog", "both" or "none" (statistics only).
+	Output string `json:"output,omitempty"`
+}
+
+// MapResponse is the result of mapping one design.
+type MapResponse struct {
+	Name      string     `json:"name"`
+	Library   string     `json:"library"`
+	Mode      string     `json:"mode"`
+	Gates     int        `json:"gates"`
+	Area      float64    `json:"area"`
+	Delay     float64    `json:"delay"`
+	Netlist   string     `json:"netlist,omitempty"`
+	Verilog   string     `json:"verilog,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Stats     core.Stats `json:"stats"`
+}
+
+// BatchRequest maps several designs in one call. Defaults apply to every
+// design unless the design overrides the field itself.
+type BatchRequest struct {
+	Defaults MapRequest   `json:"defaults"`
+	Designs  []MapRequest `json:"designs"`
+}
+
+// BatchResult is one design's outcome inside a batch: a result or an
+// error, never both. Failures are isolated per design.
+type BatchResult struct {
+	*MapResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse preserves request order.
+type BatchResponse struct {
+	Results   []BatchResult `json:"results"`
+	Succeeded int           `json:"succeeded"`
+	Failed    int           `json:"failed"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// statusFor maps a mapping error to an HTTP status: deadline → 504,
+// client-side cancellation → 499 (nginx convention; the client is usually
+// gone), anything else → 422 (the design was understood but unmappable).
+func (s *Server) statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Inc()
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		s.canceled.Inc()
+		return 499
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	s.requests.Inc()
+	req, err := s.decodeMapRequest(r)
+	if err != nil {
+		s.errorsC.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, err := s.acquire(r.Context())
+	if err != nil {
+		s.errorsC.Inc()
+		if errors.Is(err, errBusy) {
+			s.rejected.Inc()
+			writeError(w, http.StatusServiceUnavailable, err)
+		} else {
+			writeError(w, 499, err)
+		}
+		return
+	}
+	defer release()
+	resp, err := s.mapOne(r.Context(), req)
+	if err != nil {
+		s.errorsC.Inc()
+		writeError(w, s.statusFor(err), err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	s.requests.Inc()
+	var breq BatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&breq); err != nil {
+		s.errorsC.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch request: %w", err))
+		return
+	}
+	if len(breq.Designs) == 0 {
+		s.errorsC.Inc()
+		writeError(w, http.StatusBadRequest, errors.New("batch has no designs"))
+		return
+	}
+	// One admission slot covers the whole batch: designs run serially,
+	// each under its own deadline, so a batch cannot starve single
+	// requests of more than one worker slot.
+	release, err := s.acquire(r.Context())
+	if err != nil {
+		s.errorsC.Inc()
+		if errors.Is(err, errBusy) {
+			s.rejected.Inc()
+			writeError(w, http.StatusServiceUnavailable, err)
+		} else {
+			writeError(w, 499, err)
+		}
+		return
+	}
+	defer release()
+	resp := BatchResponse{Results: make([]BatchResult, len(breq.Designs))}
+	for i, dreq := range breq.Designs {
+		merged := mergeRequest(breq.Defaults, dreq)
+		one, err := s.mapOne(r.Context(), merged)
+		if err != nil {
+			// Per-design isolation: record and continue — unless the
+			// whole request is gone, in which case finish fast.
+			resp.Results[i] = BatchResult{Error: err.Error()}
+			resp.Failed++
+			s.statusFor(err) // count timeout/cancel metrics
+			if r.Context().Err() != nil {
+				for j := i + 1; j < len(breq.Designs); j++ {
+					resp.Results[j] = BatchResult{Error: context.Canceled.Error()}
+					resp.Failed++
+				}
+				break
+			}
+			continue
+		}
+		resp.Results[i] = BatchResult{MapResponse: one}
+		resp.Succeeded++
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Status    string   `json:"status"`
+		Libraries []string `json:"libraries"`
+		Inflight  int64    `json:"inflight"`
+		Queued    int64    `json:"queued"`
+	}{"ok", s.order, s.inflight.Load(), s.queued.Load()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Gauge(MetricInflight).Set(float64(s.inflight.Load()))
+	s.reg.Gauge(MetricQueued).Set(float64(s.queued.Load()))
+	s.cfg.HazardCache.ExportMetrics(s.reg)
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, snap.Format(""))
+		return
+	}
+	writeJSON(w, snap)
+}
+
+// decodeMapRequest reads a /map body: JSON when the Content-Type says so,
+// otherwise the raw design text with options in query parameters.
+func (s *Server) decodeMapRequest(r *http.Request) (MapRequest, error) {
+	var req MapRequest
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			return req, fmt.Errorf("bad request JSON: %w", err)
+		}
+		return req, nil
+	}
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return req, fmt.Errorf("read body: %w", err)
+	}
+	q := r.URL.Query()
+	req = MapRequest{
+		Name:      q.Get("name"),
+		Format:    q.Get("format"),
+		Design:    string(raw),
+		Library:   q.Get("library"),
+		Mode:      q.Get("mode"),
+		Objective: q.Get("objective"),
+		Output:    q.Get("output"),
+	}
+	for _, f := range []struct {
+		key string
+		dst *int
+	}{
+		{"max_depth", &req.MaxDepth}, {"max_leaves", &req.MaxLeaves},
+		{"max_burst", &req.MaxBurst}, {"timeout_ms", &req.TimeoutMS},
+	} {
+		if v := q.Get(f.key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return req, fmt.Errorf("bad %s: %w", f.key, err)
+			}
+			*f.dst = n
+		}
+	}
+	return req, nil
+}
+
+// mergeRequest overlays a batch design over the batch defaults: any field
+// the design leaves at its zero value inherits the default.
+func mergeRequest(def, d MapRequest) MapRequest {
+	if d.Format == "" {
+		d.Format = def.Format
+	}
+	if d.Library == "" {
+		d.Library = def.Library
+	}
+	if d.Mode == "" {
+		d.Mode = def.Mode
+	}
+	if d.Objective == "" {
+		d.Objective = def.Objective
+	}
+	if d.Output == "" {
+		d.Output = def.Output
+	}
+	if d.MaxDepth == 0 {
+		d.MaxDepth = def.MaxDepth
+	}
+	if d.MaxLeaves == 0 {
+		d.MaxLeaves = def.MaxLeaves
+	}
+	if d.MaxBurst == 0 {
+		d.MaxBurst = def.MaxBurst
+	}
+	if d.TimeoutMS == 0 {
+		d.TimeoutMS = def.TimeoutMS
+	}
+	return d
+}
+
+// timeoutFor resolves a request's mapping deadline.
+func (s *Server) timeoutFor(req MapRequest) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// mapOne parses, maps and renders a single design under its deadline.
+// The caller must already hold an admission slot.
+func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, error) {
+	if strings.TrimSpace(req.Design) == "" {
+		return nil, errors.New("empty design")
+	}
+	libName := req.Library
+	if libName == "" {
+		libName = s.order[0]
+	}
+	lib, ok := s.libs[libName]
+	if !ok {
+		return nil, fmt.Errorf("unknown library %q (loaded: %s)", libName, strings.Join(s.order, ", "))
+	}
+	name := req.Name
+	if name == "" {
+		name = "design"
+	}
+	var (
+		net *network.Network
+		err error
+	)
+	switch req.Format {
+	case "", "blif":
+		net, err = blif.Parse(strings.NewReader(req.Design), name)
+	case "eqn":
+		net, err = eqn.ParseString(req.Design, name)
+	default:
+		return nil, fmt.Errorf("unknown design format %q (want blif or eqn)", req.Format)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("parse %s design: %w", orDefault(req.Format, "blif"), err)
+	}
+	opts := core.Options{
+		MaxDepth:    req.MaxDepth,
+		MaxLeaves:   req.MaxLeaves,
+		MaxBurst:    req.MaxBurst,
+		Workers:     s.cfg.MapWorkers,
+		HazardCache: s.cfg.HazardCache,
+		Metrics:     s.reg,
+	}
+	switch req.Mode {
+	case "", "async":
+		opts.Mode = core.Async
+	case "sync":
+		opts.Mode = core.Sync
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want async or sync)", req.Mode)
+	}
+	switch req.Objective {
+	case "", "area":
+		opts.Objective = core.MinArea
+	case "delay":
+		opts.Objective = core.MinDelay
+	default:
+		return nil, fmt.Errorf("unknown objective %q (want area or delay)", req.Objective)
+	}
+	output := req.Output
+	switch output {
+	case "", "netlist":
+		output = "netlist"
+	case "verilog", "both", "none":
+	default:
+		return nil, fmt.Errorf("unknown output %q (want netlist, verilog, both or none)", output)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, s.timeoutFor(req))
+	defer cancel()
+	start := time.Now()
+	res, err := core.MapContext(runCtx, net, lib, opts)
+	elapsed := time.Since(start)
+	s.reqSeconds.Observe(elapsed.Seconds())
+	if err != nil {
+		return nil, err
+	}
+	s.designs.Inc()
+	resp := &MapResponse{
+		Name:      net.Name,
+		Library:   libName,
+		Mode:      opts.Mode.String(),
+		Gates:     res.Netlist.GateCount(),
+		Area:      res.Area,
+		Delay:     res.Delay,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		Stats:     res.Stats,
+	}
+	if output == "netlist" || output == "both" {
+		resp.Netlist = res.Netlist.String()
+	}
+	if output == "verilog" || output == "both" {
+		v, err := res.Netlist.VerilogString()
+		if err != nil {
+			return nil, err
+		}
+		resp.Verilog = v
+	}
+	return resp, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,348 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gfmap/internal/hazcache"
+	"gfmap/internal/obs"
+)
+
+const (
+	// The paper's Figure 3 carry function, in both accepted formats.
+	fig3Eqn  = "INPUT(a,b,c)\nOUTPUT(f)\nf = a*b + a'*c + b*c;\n"
+	fig3Blif = ".model fig3\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n0-1 1\n-11 1\n.end\n"
+)
+
+// slowEqn builds a design with n structurally similar cones, big enough
+// (with a cold hazard cache) to outlive a millisecond-scale deadline.
+func slowEqn(n int) string {
+	var b strings.Builder
+	b.WriteString("INPUT(a,b,c,d,e,g,h,i)\nOUTPUT(")
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "f%d", k)
+	}
+	b.WriteString(")\n")
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&b, "f%d = (a*b + c*d)*(e + g') + (a'*c + b*d')*(h + i') + b*c*(e' + h');\n", k)
+	}
+	return b.String()
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if len(cfg.Libraries) == 0 {
+		cfg.Libraries = []string{"LSI9K", "CMOS3"}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(string(raw)))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decodeMapResponse(t *testing.T, w *httptest.ResponseRecorder) MapResponse {
+	t.Helper()
+	var resp MapResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, w.Body.String())
+	}
+	return resp
+}
+
+func TestMapEndpointJSON(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name string
+		req  MapRequest
+	}{
+		{"eqn", MapRequest{Name: "fig3", Format: "eqn", Design: fig3Eqn, Library: "LSI9K", Mode: "async"}},
+		{"blif", MapRequest{Format: "blif", Design: fig3Blif, Library: "LSI9K", Mode: "async", Output: "both"}},
+		{"sync-delay", MapRequest{Format: "eqn", Design: fig3Eqn, Mode: "sync", Objective: "delay"}},
+	} {
+		w := postJSON(t, s.Handler(), "/map", tc.req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tc.name, w.Code, w.Body.String())
+		}
+		resp := decodeMapResponse(t, w)
+		if resp.Gates == 0 || resp.Area <= 0 {
+			t.Errorf("%s: empty mapping: %+v", tc.name, resp)
+		}
+		if tc.req.Output == "both" && (resp.Netlist == "" || !strings.Contains(resp.Verilog, "module fig3(")) {
+			t.Errorf("%s: missing rendered outputs: %+v", tc.name, resp)
+		}
+		if tc.req.Output == "" && resp.Netlist == "" {
+			t.Errorf("%s: default output should include the netlist", tc.name)
+		}
+	}
+}
+
+// A raw (non-JSON) POST body is the design text; options ride in query
+// parameters. This is the curl-friendly path the CI smoke test uses.
+func TestMapEndpointRawBody(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodPost,
+		"/map?format=blif&library=LSI9K&mode=async&output=netlist",
+		strings.NewReader(fig3Blif))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeMapResponse(t, w)
+	if resp.Name != "fig3" || resp.Gates == 0 || resp.Netlist == "" {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+}
+
+func TestMapEndpointBadInputs(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	for _, tc := range []struct {
+		name string
+		do   func() *httptest.ResponseRecorder
+		want int
+	}{
+		{"method", func() *httptest.ResponseRecorder {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/map", nil))
+			return w
+		}, http.StatusMethodNotAllowed},
+		{"bad-json", func() *httptest.ResponseRecorder {
+			w := httptest.NewRecorder()
+			req := httptest.NewRequest(http.MethodPost, "/map", strings.NewReader("{not json"))
+			req.Header.Set("Content-Type", "application/json")
+			h.ServeHTTP(w, req)
+			return w
+		}, http.StatusBadRequest},
+		{"bad-int-param", func() *httptest.ResponseRecorder {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/map?timeout_ms=soon", strings.NewReader(fig3Blif)))
+			return w
+		}, http.StatusBadRequest},
+		{"empty-design", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/map", MapRequest{Format: "eqn"})
+		}, http.StatusUnprocessableEntity},
+		{"unknown-library", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/map", MapRequest{Format: "eqn", Design: fig3Eqn, Library: "TTL74"})
+		}, http.StatusUnprocessableEntity},
+		{"unknown-format", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/map", MapRequest{Format: "vhdl", Design: fig3Eqn})
+		}, http.StatusUnprocessableEntity},
+		{"parse-error", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/map", MapRequest{Format: "eqn", Design: "f = ((a;"})
+		}, http.StatusUnprocessableEntity},
+		{"bad-mode", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/map", MapRequest{Format: "eqn", Design: fig3Eqn, Mode: "psycho"})
+		}, http.StatusUnprocessableEntity},
+	} {
+		w := tc.do()
+		if w.Code != tc.want {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, w.Code, tc.want, w.Body.String())
+		}
+		var eb errorBody
+		if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", tc.name, w.Body.String())
+		}
+	}
+}
+
+// One failing design in a batch must not poison its neighbours.
+func TestBatchErrorIsolation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := postJSON(t, s.Handler(), "/map/batch", BatchRequest{
+		Defaults: MapRequest{Format: "eqn", Library: "LSI9K", Mode: "async"},
+		Designs: []MapRequest{
+			{Name: "ok1", Design: fig3Eqn},
+			{Name: "broken", Design: "f = ((a;"},
+			{Name: "ok2", Design: fig3Eqn, Library: "CMOS3"},
+		},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Succeeded != 2 || resp.Failed != 1 || len(resp.Results) != 3 {
+		t.Fatalf("succeeded=%d failed=%d results=%d", resp.Succeeded, resp.Failed, len(resp.Results))
+	}
+	if resp.Results[0].MapResponse == nil || resp.Results[0].Gates == 0 {
+		t.Errorf("first design should have mapped: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" || resp.Results[1].MapResponse != nil {
+		t.Errorf("second design should carry only an error: %+v", resp.Results[1])
+	}
+	if resp.Results[2].MapResponse == nil || resp.Results[2].Library != "CMOS3" {
+		t.Errorf("third design should have mapped on CMOS3: %+v", resp.Results[2])
+	}
+}
+
+// With every worker slot busy and the wait queue full, new requests are
+// rejected immediately with 503 — backpressure instead of pile-up.
+func TestBackpressure503(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+	// Occupy the only worker slot.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	// Fill the wait queue (MaxConcurrent+MaxQueue waiters are admitted)
+	// with requests that will sit in acquire until we cancel them.
+	waitCtx, cancelWaiters := context.WithCancel(context.Background())
+	done := make(chan *httptest.ResponseRecorder, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			req := httptest.NewRequest(http.MethodPost, "/map?format=eqn&library=LSI9K", strings.NewReader(fig3Eqn))
+			req = req.WithContext(waitCtx)
+			w := httptest.NewRecorder()
+			s.Handler().ServeHTTP(w, req)
+			done <- w
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never queued: %d", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The next request must bounce instantly.
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost,
+		"/map?format=eqn&library=LSI9K", strings.NewReader(fig3Eqn)))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if got := s.reg.Counter(MetricRejected).Value(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+
+	// Release the waiters; their contexts end before a slot frees up.
+	cancelWaiters()
+	for i := 0; i < 2; i++ {
+		select {
+		case w := <-done:
+			if w.Code != 499 {
+				t.Errorf("cancelled waiter got status %d", w.Code)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never finished after cancel")
+		}
+	}
+}
+
+// A request deadline must abort the covering DP and answer 504.
+func TestRequestTimeout504(t *testing.T) {
+	s := newTestServer(t, Config{
+		MaxTimeout:  time.Minute,
+		HazardCache: hazcache.New(0), // cold private cache: keep the run slow
+		Registry:    obs.NewRegistry(),
+	})
+	w := postJSON(t, s.Handler(), "/map", MapRequest{
+		Format: "eqn", Design: slowEqn(120), Library: "LSI9K", TimeoutMS: 3,
+	})
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
+	}
+	if got := s.reg.Counter(MetricTimeouts).Value(); got != 1 {
+		t.Errorf("timeout counter = %d, want 1", got)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	if w := postJSON(t, h, "/map", MapRequest{Format: "eqn", Design: fig3Eqn}); w.Code != http.StatusOK {
+		t.Fatalf("warm-up map failed: %d %s", w.Code, w.Body.String())
+	}
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "LSI9K") {
+		t.Errorf("healthz does not list libraries: %s", w.Body.String())
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, name := range []string{MetricRequests, MetricRequestSeconds, MetricInflight} {
+		if !strings.Contains(body, name) {
+			t.Errorf("metrics JSON missing %s:\n%s", name, body)
+		}
+	}
+	// The mapper's own metrics land in the same registry.
+	if !strings.Contains(body, "map_") {
+		t.Errorf("metrics JSON missing mapper metrics:\n%s", body)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics?format=text", nil))
+	if !strings.Contains(w.Body.String(), MetricRequests) {
+		t.Errorf("text metrics missing %s:\n%s", MetricRequests, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("text metrics content-type %q", ct)
+	}
+}
+
+// A panicking request answers 500 and leaves the server serving.
+func TestProtectIsolatesPanic(t *testing.T) {
+	s := newTestServer(t, Config{})
+	old := log.Writer()
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(old)
+	h := s.protect(func(w http.ResponseWriter, r *http.Request) { panic("kaboom") })
+	w := httptest.NewRecorder()
+	h(w, httptest.NewRequest(http.MethodGet, "/map", nil))
+	if w.Code != http.StatusInternalServerError || !strings.Contains(w.Body.String(), "kaboom") {
+		t.Fatalf("panic response: %d %s", w.Code, w.Body.String())
+	}
+	if got := s.reg.Counter(MetricPanics).Value(); got != 1 {
+		t.Errorf("panic counter = %d, want 1", got)
+	}
+	// The server still works.
+	if w := postJSON(t, s.Handler(), "/map", MapRequest{Format: "eqn", Design: fig3Eqn}); w.Code != http.StatusOK {
+		t.Fatalf("server dead after panic: %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestUnknownLibraryAtStartup(t *testing.T) {
+	if _, err := New(Config{Libraries: []string{"NOPE"}}); err == nil {
+		t.Fatal("New accepted an unknown library")
+	}
+}
