@@ -1,0 +1,196 @@
+// Command gfmfuzz is the differential fuzzing driver for the mapping
+// pipeline: it generates seeded random networks, maps each across the
+// full option matrix (cache on/off, match index on/off, worker counts,
+// context on/off) in both modes, and asserts the pipeline's invariants —
+// byte-identical netlists, deterministic stats, well-formed netlists,
+// functional equivalence, hazard non-introduction, parser round trips.
+//
+// Failing designs are shrunk to minimal reproducers and written to
+// -out (testdata/regressions by default). Exit status is non-zero when
+// any invariant is violated, so CI can run it as a gate:
+//
+//	gfmfuzz -seeds 200
+//	gfmfuzz -replay testdata/regressions   # re-check the corpus
+//
+// See docs/FUZZING.md for the full workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gfmap/internal/core"
+	"gfmap/internal/diffcheck"
+	"gfmap/internal/eqn"
+	"gfmap/internal/library"
+	"gfmap/internal/network"
+	"gfmap/internal/obs"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 200, "number of random designs to check")
+		seed0    = flag.Uint64("seed0", 1, "first seed (seeds are seed0..seed0+seeds-1)")
+		libName  = flag.String("lib", "LSI9K", "target cell library")
+		inputs   = flag.Int("inputs", 6, "primary inputs per generated design")
+		nodes    = flag.Int("nodes", 10, "internal nodes per generated design")
+		fanin    = flag.Int("fanin", 4, "max distinct fanins per node")
+		mode     = flag.String("mode", "both", "modes to check: both, sync or async")
+		outDir   = flag.String("out", "testdata/regressions", "directory for minimised reproducers")
+		minimize = flag.Bool("minimize", true, "shrink failing designs before writing them")
+		budget   = flag.Int("shrink-budget", 400, "max predicate evaluations per minimisation")
+		maxFail  = flag.Int("maxfail", 5, "stop after this many failing seeds (0 = never)")
+		replay   = flag.String("replay", "", "instead of generating, re-check every .eqn design in this directory")
+		metrics  = flag.Bool("metrics", false, "print the harness metrics snapshot at the end")
+		verbose  = flag.Bool("v", false, "log every seed")
+	)
+	flag.Parse()
+
+	lib, err := library.Get(*libName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := diffcheck.Options{Lib: lib, Modes: modesFor(*mode)}
+	reg := obs.NewRegistry()
+
+	if *replay != "" {
+		os.Exit(replayDir(*replay, opts, reg, *metrics))
+	}
+
+	cfg := diffcheck.GenConfig{Inputs: *inputs, Nodes: *nodes, MaxFanin: *fanin}
+	failures := 0
+	for i := 0; i < *seeds; i++ {
+		seed := *seed0 + uint64(i)
+		net := diffcheck.Generate(seed, cfg)
+		rep := diffcheck.Check(net, opts)
+		rep.Publish(reg)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "seed %d: %d nodes, mapped=%v, violations=%d\n",
+				seed, net.NumNodes(), rep.MappedModes, len(rep.Violations))
+		}
+		if !rep.Failed() {
+			continue
+		}
+		failures++
+		fmt.Fprintf(os.Stderr, "seed %d FAILED (%s):\n", seed, strings.Join(rep.Kinds(), ", "))
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", firstLine(v.String()))
+		}
+		final := rep
+		if *minimize {
+			kinds := rep.Kinds()
+			shrunk := diffcheck.Minimize(net, func(cand *network.Network) bool {
+				r := diffcheck.Check(cand, opts)
+				for _, k := range kinds {
+					if r.HasKind(k) {
+						return true
+					}
+				}
+				return false
+			}, *budget)
+			final = diffcheck.Check(shrunk, opts)
+			if !final.Failed() { // should not happen: Minimize preserves failure
+				final = rep
+			}
+		}
+		path, werr := diffcheck.WriteReproducer(*outDir, seed, final)
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "  write reproducer: %v\n", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "  reproducer: %s (%d nodes)\n", path, final.Design.NumNodes())
+		}
+		if *maxFail > 0 && failures >= *maxFail {
+			fmt.Fprintf(os.Stderr, "stopping after %d failing seeds\n", failures)
+			break
+		}
+	}
+
+	snap := reg.Snapshot()
+	if *metrics {
+		fmt.Print(snap.Format(""))
+	}
+	fmt.Printf("gfmfuzz: %d designs, %d mapped (design,mode) pairs, %d violations, %d failing seeds\n",
+		snap.Counters[diffcheck.MetricDesigns],
+		snap.Counters[diffcheck.MetricMappedModes],
+		snap.Counters[diffcheck.MetricViolations],
+		failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// replayDir re-checks every .eqn file of a reproducer corpus; all of them
+// must pass (their bugs are fixed) for exit status 0.
+func replayDir(dir string, opts diffcheck.Options, reg *obs.Registry, metrics bool) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.eqn"))
+	if err != nil {
+		fatal(err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		fmt.Printf("gfmfuzz: no .eqn designs under %s\n", dir)
+		return 0
+	}
+	bad := 0
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		net, err := eqn.ParseString(string(data), filepath.Base(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: parse: %v\n", p, err)
+			bad++
+			continue
+		}
+		rep := diffcheck.Check(net, opts)
+		rep.Publish(reg)
+		if rep.Failed() {
+			bad++
+			fmt.Fprintf(os.Stderr, "%s: %d violations (%s)\n", p, len(rep.Violations), strings.Join(rep.Kinds(), ", "))
+			for _, v := range rep.Violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", firstLine(v.String()))
+			}
+		} else {
+			fmt.Printf("%s: ok\n", p)
+		}
+	}
+	if metrics {
+		fmt.Print(reg.Snapshot().Format(""))
+	}
+	fmt.Printf("gfmfuzz: replayed %d reproducers, %d failing\n", len(paths), bad)
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func modesFor(s string) []core.Mode {
+	switch s {
+	case "both", "":
+		return nil
+	case "sync":
+		return []core.Mode{core.Sync}
+	case "async":
+		return []core.Mode{core.Async}
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (want both, sync or async)", s))
+		return nil
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " ..."
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gfmfuzz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,35 @@
+package bexpr
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression for the fuzzing issue: the recursive-descent parser had no
+// depth bound, so inputs of hundreds of thousands of '(' or '!' would
+// exhaust the goroutine stack — a fatal runtime crash no recover() can
+// catch. Deep nesting must now return an ordinary error.
+func TestParseDeepNestingReturnsError(t *testing.T) {
+	cases := []string{
+		strings.Repeat("(", 200000) + "a" + strings.Repeat(")", 200000),
+		strings.Repeat("(", 200000), // unbalanced: error must fire before the stack does
+		strings.Repeat("!", 200000) + "a",
+	}
+	for i, src := range cases {
+		if _, err := ParseExpr(src); err == nil {
+			t.Fatalf("case %d: want error for %d-deep nesting, got none", i, 200000)
+		}
+	}
+}
+
+// Nesting below the bound still parses.
+func TestParseModerateNestingOK(t *testing.T) {
+	src := strings.Repeat("(", 500) + "a" + strings.Repeat(")", 500)
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Op != OpVar || e.Name != "a" {
+		t.Fatalf("got %v", e)
+	}
+}

@@ -57,9 +57,19 @@ func MustParseExpr(s string) *Expr {
 	return e
 }
 
+// maxNesting bounds the recursion depth of the parser. The parser is
+// recursive-descent, so an adversarial input of many thousands of '(' or
+// '!' characters would otherwise exhaust the goroutine stack — a fatal,
+// unrecoverable crash rather than a returned error. The bound is far
+// above any legitimate factored form (library cells and decomposed
+// designs stay under depth ~100) while keeping worst-case stack use to a
+// few megabytes.
+const maxNesting = 10000
+
 type parser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
 
 func (p *parser) skipSpace() {
@@ -127,6 +137,11 @@ func (p *parser) parseAnd() (*Expr, error) {
 }
 
 func (p *parser) parseFactor() (*Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxNesting {
+		return nil, fmt.Errorf("bexpr: expression nesting deeper than %d", maxNesting)
+	}
 	if p.peek() == '!' {
 		p.pos++
 		f, err := p.parseFactor()
@@ -144,6 +159,23 @@ func (p *parser) parseFactor() (*Expr, error) {
 		p.pos++
 	}
 	return a, nil
+}
+
+// ValidIdent reports whether s is a legal signal/variable identifier:
+// [A-Za-z_][A-Za-z0-9_]*. Formats that admit richer names (BLIF allows
+// almost any byte) must reject non-identifiers at parse time — the
+// factored-form grammar, the eqn format and the netlist writers can only
+// represent identifiers, so anything else cannot round-trip.
+func ValidIdent(s string) bool {
+	if len(s) == 0 || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdent(s[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func isIdentStart(c byte) bool {

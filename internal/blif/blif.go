@@ -119,6 +119,34 @@ func ParseModel(r io.Reader, fallbackName string) (*Model, error) {
 		}
 	}
 
+	// Signal names must be identifiers: the factored-form layer, the eqn
+	// format and the netlist writers cannot represent anything else, so a
+	// richer name would silently change the design on the next round trip.
+	checkNames := func(kind string, names []string) error {
+		for _, n := range names {
+			if !bexpr.ValidIdent(n) {
+				return fmt.Errorf("blif: %s name %q is not an identifier ([A-Za-z_][A-Za-z0-9_]*)", kind, n)
+			}
+		}
+		return nil
+	}
+	if err := checkNames("input", inputs); err != nil {
+		return nil, err
+	}
+	if err := checkNames("output", outputs); err != nil {
+		return nil, err
+	}
+	for _, t := range tables {
+		if err := checkNames("signal", t.signals); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range model.Latches {
+		if err := checkNames("latch signal", []string{l.Input, l.Output}); err != nil {
+			return nil, err
+		}
+	}
+
 	net := network.New(name)
 	for _, in := range inputs {
 		if err := net.AddInput(in); err != nil {

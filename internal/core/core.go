@@ -21,9 +21,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -311,10 +313,28 @@ type Result struct {
 	Stats   Stats
 }
 
+// ErrInternal marks a mapper bug surfaced as an error: a panic anywhere
+// in the pipeline is recovered at the Map boundary and wrapped with this
+// sentinel, so long-lived callers (the CLIs, asyncmapd) degrade to an
+// error response instead of process death. Test with errors.Is.
+var ErrInternal = errors.New("core: internal error")
+
 // Map runs the technology mapper over a combinational network. When
 // Options.Ctx is set, a cancelled or expired context aborts the pipeline
 // promptly and Map returns ctx.Err(); see MapContext for the common case.
-func Map(net *network.Network, lib *library.Library, opts Options) (*Result, error) {
+//
+// Map never panics: a defect in the pipeline (or in a hostile input that
+// slips past validation) is returned as an error wrapping ErrInternal.
+func Map(net *network.Network, lib *library.Library, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: panic in mapping pipeline: %v\n%s", ErrInternal, r, debug.Stack())
+		}
+	}()
+	return mapPipeline(net, lib, opts)
+}
+
+func mapPipeline(net *network.Network, lib *library.Library, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, err

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gfmap/internal/library"
+)
+
+// Map must never let a panic escape: defects anywhere in the pipeline are
+// returned as errors wrapping ErrInternal so long-lived callers (CLIs,
+// asyncmapd) keep running. A nil network is the simplest guaranteed way
+// to make the pipeline fault.
+func TestMapRecoversPanicsAsErrInternal(t *testing.T) {
+	lib, err := library.Get("LSI9K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(nil, lib, Options{Workers: 1})
+	if err == nil {
+		t.Fatalf("Map(nil network) succeeded: %+v", res)
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("error does not wrap ErrInternal: %v", err)
+	}
+}

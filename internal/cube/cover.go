@@ -282,18 +282,27 @@ func (f Cover) Irredundant() Cover {
 	return out
 }
 
+// MaxMintermVars bounds explicit minterm enumeration: past 24 variables
+// the 2^N walk is no longer a reasonable amount of work, and support
+// widths that large reach this code only from user-supplied designs, so
+// the enumerators refuse with an error rather than crash or hang the
+// process.
+const MaxMintermVars = 24
+
 // Minterms appends all ON-set minterms of f over its N variables to dst.
-// Intended for small N (testing oracles, truth-table construction).
-func (f Cover) Minterms(dst []uint64) []uint64 {
-	if f.N > 24 {
-		panic("cube: Minterms requires N <= 24")
+// Intended for small N (testing oracles, truth-table construction); it
+// returns an error when N exceeds MaxMintermVars instead of attempting
+// the 2^N enumeration.
+func (f Cover) Minterms(dst []uint64) ([]uint64, error) {
+	if f.N > MaxMintermVars {
+		return dst, fmt.Errorf("cube: Minterms requires N <= %d, got %d", MaxMintermVars, f.N)
 	}
 	for p := uint64(0); p < uint64(1)<<uint(f.N); p++ {
 		if f.Eval(p) {
 			dst = append(dst, p)
 		}
 	}
-	return dst
+	return dst, nil
 }
 
 // OnSetSize counts ON-set minterms; intended for small N.

@@ -1,0 +1,45 @@
+package cube
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression for the fuzzing issue: Cover.Minterms used to panic on
+// covers wider than 24 variables, and such covers are reachable from
+// user-supplied designs (a single node with a 25-input support). It must
+// refuse with an error instead.
+func TestCoverMintermsWideSupportErrors(t *testing.T) {
+	wide := NewCover(25)
+	wide.Add(Minterm(25, VarMask(25))) // the all-ones product of 25 literals
+	if _, err := wide.Minterms(nil); err == nil {
+		t.Fatalf("Minterms on N=%d: want error, got none", wide.N)
+	} else if !strings.Contains(err.Error(), "Minterms") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+}
+
+func TestCoverMintermsSmall(t *testing.T) {
+	f, err := ParseCover("ab + c'", []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := f.Minterms(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]bool{}
+	for p := uint64(0); p < 8; p++ {
+		if f.Eval(p) {
+			want[p] = true
+		}
+	}
+	if len(ms) != len(want) {
+		t.Fatalf("got %d minterms, want %d", len(ms), len(want))
+	}
+	for _, m := range ms {
+		if !want[m] {
+			t.Fatalf("unexpected minterm %b", m)
+		}
+	}
+}

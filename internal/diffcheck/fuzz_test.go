@@ -1,0 +1,43 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/library"
+)
+
+func mustExpr(t *testing.T, s string) *bexpr.Expr {
+	t.Helper()
+	e, err := bexpr.ParseExpr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// FuzzDiff drives the differential matrix from a fuzzed seed: the
+// coverage-guided engine explores generator seeds and shapes, and any
+// invariant violation fails the target. The corpus under
+// testdata/fuzz/FuzzDiff replays deterministically in normal `go test`
+// runs.
+func FuzzDiff(f *testing.F) {
+	lib, err := library.Get("LSI9K")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint64(1), uint8(6), uint8(8))
+	f.Add(uint64(99), uint8(4), uint8(12))
+	f.Add(uint64(1234567), uint8(8), uint8(10))
+	f.Fuzz(func(t *testing.T, seed uint64, inputs, nodes uint8) {
+		cfg := GenConfig{
+			Inputs: 2 + int(inputs%8), // 2..9 — stays within exact verification bounds
+			Nodes:  1 + int(nodes%14), // 1..14
+		}
+		net := Generate(seed, cfg)
+		rep := Check(net, Options{Lib: lib})
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d cfg %+v: %s", seed, cfg, v)
+		}
+	})
+}

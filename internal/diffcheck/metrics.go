@@ -1,0 +1,95 @@
+package diffcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gfmap/internal/eqn"
+	"gfmap/internal/obs"
+)
+
+// Metric names the harness publishes into an obs.Registry, so paperbench
+// and CI can track violations-found over time alongside the mapper's own
+// map_* metrics.
+const (
+	// MetricDesigns counts designs pushed through Check.
+	MetricDesigns = "diffcheck_designs_total"
+	// MetricMappedModes counts (design, mode) pairs whose baseline run
+	// mapped successfully.
+	MetricMappedModes = "diffcheck_mapped_modes_total"
+	// MetricViolations counts invariant violations across all kinds;
+	// per-kind counters are MetricViolations + "_<kind>".
+	MetricViolations = "diffcheck_violations_total"
+)
+
+// Publish folds a report into the registry. Nil-safe on the registry.
+func (r *Report) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(MetricDesigns).Inc()
+	reg.Counter(MetricMappedModes).Add(uint64(len(r.MappedModes)))
+	if len(r.Violations) > 0 {
+		reg.Counter(MetricViolations).Add(uint64(len(r.Violations)))
+		for _, v := range r.Violations {
+			reg.Counter(MetricViolations + "_" + v.Kind).Inc()
+		}
+	}
+}
+
+// Kinds returns the sorted set of violation kinds in the report.
+func (r *Report) Kinds() []string {
+	set := map[string]bool{}
+	for _, v := range r.Violations {
+		set[v.Kind] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasKind reports whether the report contains a violation of the kind.
+func (r *Report) HasKind(kind string) bool {
+	for _, v := range r.Violations {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteReproducer writes a minimised failing design to dir as an eqn file
+// with a comment header describing the violation, returning the path. The
+// file is a complete reproducer: testdata/regressions is replayed by the
+// regression tests and by `gfmfuzz -replay`.
+func WriteReproducer(dir string, seed uint64, rep *Report) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	kinds := strings.Join(rep.Kinds(), "+")
+	if kinds == "" {
+		kinds = "unknown"
+	}
+	name := fmt.Sprintf("seed%d_%s.eqn", seed, strings.ReplaceAll(kinds, "-", ""))
+	path := filepath.Join(dir, name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# gfmfuzz reproducer: seed=%d kinds=%s\n", seed, kinds)
+	for _, v := range rep.Violations {
+		detail := v.Detail
+		if i := strings.IndexByte(detail, '\n'); i >= 0 {
+			detail = detail[:i] + " ..."
+		}
+		fmt.Fprintf(&b, "# %s\n", Violation{Kind: v.Kind, Mode: v.Mode, Variant: v.Variant, Detail: detail})
+	}
+	b.WriteString(eqn.WriteString(rep.Design))
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,180 @@
+package diffcheck
+
+import (
+	"gfmap/internal/bexpr"
+	"gfmap/internal/network"
+)
+
+// Predicate reports whether a candidate design still exhibits the failure
+// being minimised (typically: Check still reports a violation of the same
+// kind). Minimize only keeps reductions for which the predicate stays
+// true, so the final design is a 1-minimal reproducer with respect to the
+// reduction moves.
+type Predicate func(*network.Network) bool
+
+// Minimize shrinks a failing design while the predicate keeps failing.
+// Reduction moves, applied greedily to a fixed point:
+//
+//   - drop a primary output (and everything only it reaches),
+//   - replace a node's expression by one of its immediate subexpressions,
+//   - replace a node's expression by one of its fanin signals (bypass),
+//
+// budget bounds the number of predicate evaluations (each one typically
+// re-runs the full differential matrix); <= 0 means 400. The input
+// network is never modified; the returned network always satisfies the
+// predicate (at worst it is the input itself).
+func Minimize(net *network.Network, fails Predicate, budget int) *network.Network {
+	if budget <= 0 {
+		budget = 400
+	}
+	cur := net
+	evals := 0
+	try := func(cand *network.Network) bool {
+		if cand == nil || evals >= budget {
+			return false
+		}
+		evals++
+		if cand.Validate() != nil {
+			return false
+		}
+		return fails(cand)
+	}
+	for {
+		improved := false
+
+		// Drop outputs, largest reduction first.
+		if len(cur.Outputs) > 1 {
+			for i := 0; i < len(cur.Outputs); i++ {
+				cand := rebuildWithout(cur, cur.Outputs[i])
+				if try(cand) {
+					cur = cand
+					improved = true
+					break
+				}
+			}
+		}
+
+		// Simplify node expressions.
+		if !improved {
+		nodes:
+			for _, name := range cur.NodeNames() {
+				node := cur.Node(name)
+				for _, alt := range simplifications(node.Expr) {
+					cand := rebuildReplacing(cur, name, alt)
+					if try(cand) {
+						cur = cand
+						improved = true
+						break nodes
+					}
+				}
+			}
+		}
+
+		if !improved || evals >= budget {
+			return cur
+		}
+	}
+}
+
+// simplifications yields strictly smaller candidate replacements for an
+// expression, in decreasing aggressiveness: each distinct fanin variable
+// first (maximal shrink), then each immediate subexpression.
+func simplifications(e *bexpr.Expr) []*bexpr.Expr {
+	var out []*bexpr.Expr
+	if e.Op == bexpr.OpVar || e.Op == bexpr.OpConst {
+		return nil
+	}
+	for _, v := range e.CollectVars(nil) {
+		out = append(out, bexpr.Var(v))
+	}
+	for _, k := range e.Kids {
+		out = append(out, k.Clone())
+	}
+	return out
+}
+
+// rebuildWithout rebuilds the network without the given output, dropping
+// nodes and inputs nothing references any more.
+func rebuildWithout(net *network.Network, dropOut string) *network.Network {
+	outs := make([]string, 0, len(net.Outputs)-1)
+	for _, o := range net.Outputs {
+		if o != dropOut {
+			outs = append(outs, o)
+		}
+	}
+	return rebuild(net, outs, "", nil)
+}
+
+// rebuildReplacing rebuilds the network with one node's expression
+// replaced, then garbage-collects.
+func rebuildReplacing(net *network.Network, name string, expr *bexpr.Expr) *network.Network {
+	return rebuild(net, net.Outputs, name, expr)
+}
+
+// rebuild clones the live part of a network: only nodes (and inputs)
+// reachable from the kept outputs survive. replaceName/replaceExpr
+// optionally substitute one node's expression before the reachability
+// walk. Returns nil when nothing would remain.
+func rebuild(net *network.Network, outputs []string, replaceName string, replaceExpr *bexpr.Expr) *network.Network {
+	if len(outputs) == 0 {
+		return nil
+	}
+	exprOf := func(name string) *bexpr.Expr {
+		if name == replaceName {
+			return replaceExpr
+		}
+		node := net.Node(name)
+		if node == nil {
+			return nil
+		}
+		return node.Expr
+	}
+	// Reachability from the kept outputs.
+	live := make(map[string]bool)
+	var visit func(string)
+	visit = func(sig string) {
+		if live[sig] {
+			return
+		}
+		live[sig] = true
+		if e := exprOf(sig); e != nil {
+			for _, v := range e.CollectVars(nil) {
+				visit(v)
+			}
+		}
+	}
+	for _, o := range outputs {
+		visit(o)
+	}
+
+	out := network.New(net.Name)
+	for _, in := range net.Inputs {
+		if !live[in] {
+			continue
+		}
+		if err := out.AddInput(in); err != nil {
+			return nil
+		}
+	}
+	if len(out.Inputs) == 0 {
+		return nil
+	}
+	for _, name := range net.NodeNames() {
+		if !live[name] {
+			continue
+		}
+		e := exprOf(name)
+		if e == nil {
+			return nil
+		}
+		if err := out.AddNode(name, e.Clone()); err != nil {
+			return nil
+		}
+	}
+	for _, o := range outputs {
+		if err := out.MarkOutput(o); err != nil {
+			return nil
+		}
+	}
+	return out
+}

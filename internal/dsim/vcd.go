@@ -42,13 +42,17 @@ func (t *Trace) WriteVCD(w io.Writer, module string) error {
 		}
 	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].time < evs[j].time })
-	last := -1.0
+	// Deduplicate timestamps on the scaled integer value, not the raw
+	// float: distinct float times that truncate to the same picosecond
+	// (e.g. 0.0001 and 0.0002) must share one '#' record, or the stream
+	// contains duplicate timestamps that some viewers reject.
+	lastTS := int64(-1)
 	for _, e := range evs {
-		if e.time != last {
-			if _, err := fmt.Fprintf(w, "#%d\n", int64(e.time*1000)); err != nil {
+		if ts := int64(e.time * 1000); ts > lastTS {
+			if _, err := fmt.Fprintf(w, "#%d\n", ts); err != nil {
 				return err
 			}
-			last = e.time
+			lastTS = ts
 		}
 		v := 0
 		if e.value {

@@ -1,0 +1,57 @@
+package dsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression for the fuzzing issue: distinct float event times that
+// truncate to the same picosecond used to emit duplicate `#<ps>`
+// timestamp records, which waveform viewers reject as non-monotonic. The
+// writer must coalesce on the scaled integer time.
+func TestWriteVCDCoalescesSubPicosecondDeltas(t *testing.T) {
+	tr := &Trace{Waves: map[string]Waveform{
+		"a": {{Time: 0, Value: false}, {Time: 0.0001, Value: true}, {Time: 0.0002, Value: false}, {Time: 1.0, Value: true}},
+		"b": {{Time: 0.00005, Value: true}, {Time: 1.0004, Value: false}},
+	}}
+	var sb strings.Builder
+	if err := tr.WriteVCD(&sb, "m"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var stamps []int64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		var v int64
+		for _, c := range line[1:] {
+			if c < '0' || c > '9' {
+				t.Fatalf("malformed timestamp line %q", line)
+			}
+			v = v*10 + int64(c-'0')
+		}
+		stamps = append(stamps, v)
+	}
+	if len(stamps) == 0 {
+		t.Fatalf("no timestamps in output:\n%s", out)
+	}
+	seen := map[int64]bool{}
+	last := int64(-1)
+	for _, s := range stamps {
+		if seen[s] {
+			t.Fatalf("duplicate timestamp #%d in output:\n%s", s, out)
+		}
+		if s < last {
+			t.Fatalf("non-monotonic timestamp #%d after #%d:\n%s", s, last, out)
+		}
+		seen[s] = true
+		last = s
+	}
+	if stamps[0] != 0 || stamps[len(stamps)-1] != 1000 {
+		t.Fatalf("expected stamps #0..#1000, got %v", stamps)
+	}
+	if len(stamps) != 2 {
+		t.Fatalf("expected exactly 2 coalesced timestamps, got %v", stamps)
+	}
+}

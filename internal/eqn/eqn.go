@@ -43,6 +43,9 @@ func Parse(r io.Reader, name string) (*network.Network, error) {
 			return fmt.Errorf("eqn: line %d: statement %q has no '='", lineNo, stmt)
 		}
 		lhs := strings.TrimSpace(stmt[:eqIdx])
+		if !bexpr.ValidIdent(lhs) {
+			return fmt.Errorf("eqn: line %d: signal name %q is not an identifier", lineNo, lhs)
+		}
 		rhs := strings.TrimSpace(stmt[eqIdx+1:])
 		expr, err := bexpr.ParseExpr(rhs)
 		if err != nil {
@@ -64,6 +67,9 @@ func Parse(r io.Reader, name string) (*network.Network, error) {
 		switch {
 		case pending.Len() == 0 && strings.HasPrefix(upper, "INPUT(") && strings.HasSuffix(trimmed, ")"):
 			for _, in := range splitList(trimmed[6 : len(trimmed)-1]) {
+				if !bexpr.ValidIdent(in) {
+					return nil, fmt.Errorf("eqn: line %d: input name %q is not an identifier", lineNo, in)
+				}
 				if err := net.AddInput(in); err != nil {
 					return nil, fmt.Errorf("eqn: line %d: %w", lineNo, err)
 				}

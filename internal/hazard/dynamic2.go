@@ -1,6 +1,8 @@
 package hazard
 
 import (
+	"fmt"
+
 	"gfmap/internal/bexpr"
 	"gfmap/internal/cube"
 )
@@ -99,8 +101,14 @@ func constantOn(f cube.Cover, d cube.Cube) int {
 
 // ExpandDyn2 converts compact records into transition-level dynamic
 // hazards, keeping only function-hazard-free minterm pairs (condition 1 of
-// Theorem 4.1). It requires f.N ≤ MaxExhaustiveVars.
+// Theorem 4.1). It requires f.N ≤ MaxExhaustiveVars; wider covers return
+// nil rather than attempt the exponential minterm expansion (callers that
+// need an exact answer must stay within the bound, as the compact-record
+// algorithms do).
 func ExpandDyn2(f cube.Cover, recs []Dyn2Record) []Transition {
+	if f.N > MaxExhaustiveVars {
+		return nil
+	}
 	eval := func(p uint64) bool { return f.Eval(p) }
 	seen := make(map[Transition]struct{})
 	var out []Transition
@@ -148,6 +156,13 @@ func ExpandDyn2(f cube.Cover, recs []Dyn2Record) []Transition {
 // then examine the original multi-level structure on exactly the candidate
 // transitions and discard false hazards.
 func MicDynHazMultiLevel(f *bexpr.Function) ([]Transition, error) {
+	// Reject wide supports before any exponential work (SOP flattening,
+	// minterm expansion): the bound used to be enforced only deep inside
+	// cube enumeration, where user-derived support sizes turned into a
+	// panic or an unbounded allocation.
+	if n := f.NumVars(); n > MaxExhaustiveVars {
+		return nil, fmt.Errorf("hazard: multi-level dynamic analysis limited to %d variables, got %d", MaxExhaustiveVars, n)
+	}
 	cov, err := f.Cover()
 	if err != nil {
 		return nil, err

@@ -13,6 +13,38 @@ import (
 // error rather than a silently approximate answer.
 const MaxSkewPaths = 20
 
+// maxAnalyzeWork bounds the total number of interleaving states a full
+// Analyze enumeration may visit, summed over all transition pairs. An
+// expression with many repeated literals can be cheap per call but
+// astronomically expensive in aggregate (the per-pair state count is
+// exponential in the repeated-leaf count); past this budget Analyze
+// returns an error and callers treat the cone as too wide for exact
+// analysis, exactly like a support wider than MaxExhaustiveVars.
+const maxAnalyzeWork = 1 << 27
+
+// Node opcodes of the compiled expression program.
+const (
+	opConst = iota
+	opVar
+	opNot
+	opAnd
+	opOr
+)
+
+// simNode is one expression node of the compiled evaluator, stored in
+// postorder (kids before parents, root last). AND nodes count their false
+// kids, OR nodes their true kids, so toggling a leaf updates ancestors in
+// O(1) per level and propagation stops at the first node whose value is
+// unchanged.
+type simNode struct {
+	op     uint8
+	cval   bool  // opConst: the constant value
+	val    bool  // current value
+	parent int32 // postorder index of the parent; -1 at the root
+	aux    int32 // opVar: leaf index; opAnd/opOr: kid count
+	count  int32 // opAnd: false kids; opOr: true kids
+}
+
 // Simulator classifies input transitions of a multi-level expression under
 // the standard asynchronous delay model: every path from an input leaf to
 // the output has its own arbitrary delay, so during a multi-input change
@@ -37,6 +69,17 @@ type Simulator struct {
 	// Act2) select model of the paper's §6: in a transmission-gate mux
 	// tree the reconvergent select literals are not independent paths.
 	shared uint64
+	// multiPath marks variables that contribute more than one independent
+	// path group. A transition flipping none of them has its interleaving
+	// behaviour fully determined by the function's truth table, so the
+	// path analysis can be skipped.
+	multiPath uint64
+
+	nodes    []simNode
+	leafNode []int32 // postorder node index of each leaf
+	stack    []bool  // scratch for evalInit
+	vals     []bool  // scratch: root value per path subset
+	mc       []int8  // scratch: DP table over path subsets
 }
 
 // NewSimulator prepares a simulator for the expression. It requires at
@@ -54,96 +97,191 @@ func NewSimulatorShared(f *bexpr.Function, shared uint64) (*Simulator, error) {
 		return nil, fmt.Errorf("hazard: %d variables exceed the exact-analysis bound %d", n, MaxExhaustiveVars)
 	}
 	s := &Simulator{f: f, n: n, varPaths: make([]uint64, n), shared: shared}
-	var walk func(e *bexpr.Expr) error
-	walk = func(e *bexpr.Expr) error {
-		if e.Op == bexpr.OpVar {
+	var compile func(e *bexpr.Expr) (int32, error)
+	compile = func(e *bexpr.Expr) (int32, error) {
+		switch e.Op {
+		case bexpr.OpConst:
+			s.nodes = append(s.nodes, simNode{op: opConst, cval: e.Val})
+		case bexpr.OpVar:
 			idx := len(s.leafVar)
 			if idx >= 64 {
-				return fmt.Errorf("hazard: expression has more than 64 leaves")
+				return 0, fmt.Errorf("hazard: expression has more than 64 leaves")
 			}
-			v := f.VarIndex(e.Name)
+			v := s.f.VarIndex(e.Name)
 			s.leafVar = append(s.leafVar, v)
 			s.varPaths[v] |= 1 << uint(idx)
-			return nil
-		}
-		for _, k := range e.Kids {
-			if err := walk(k); err != nil {
-				return err
+			s.nodes = append(s.nodes, simNode{op: opVar, aux: int32(idx)})
+			s.leafNode = append(s.leafNode, 0) // patched below
+		case bexpr.OpNot, bexpr.OpAnd, bexpr.OpOr:
+			for _, k := range e.Kids {
+				if _, err := compile(k); err != nil {
+					return 0, err
+				}
 			}
+			op := uint8(opNot)
+			switch e.Op {
+			case bexpr.OpAnd:
+				op = opAnd
+			case bexpr.OpOr:
+				op = opOr
+			}
+			s.nodes = append(s.nodes, simNode{op: op, aux: int32(len(e.Kids))})
+		default:
+			return 0, fmt.Errorf("hazard: bad op %v", e.Op)
 		}
-		return nil
+		return int32(len(s.nodes) - 1), nil
 	}
-	if err := walk(f.Root); err != nil {
+	root, err := compile(f.Root)
+	if err != nil {
 		return nil, err
 	}
+	// Wire parents: walk the postorder again with an explicit stack of
+	// pending subtree roots.
+	s.nodes[root].parent = -1
+	var kids []int32
+	for i := range s.nodes {
+		nd := &s.nodes[i]
+		switch nd.op {
+		case opConst:
+			kids = append(kids, int32(i))
+		case opVar:
+			s.leafNode[nd.aux] = int32(i)
+			kids = append(kids, int32(i))
+		case opNot:
+			s.nodes[kids[len(kids)-1]].parent = int32(i)
+			kids = kids[:len(kids)-1]
+			kids = append(kids, int32(i))
+		case opAnd, opOr:
+			m := int(nd.aux)
+			for _, k := range kids[len(kids)-m:] {
+				s.nodes[k].parent = int32(i)
+			}
+			kids = kids[:len(kids)-m]
+			kids = append(kids, int32(i))
+		}
+	}
+	s.stack = make([]bool, 0, len(s.nodes))
 	size := uint64(1) << uint(n)
 	s.val = make([]bool, size)
 	for p := uint64(0); p < size; p++ {
 		s.val[p] = f.Eval(p)
 	}
+	for v := 0; v < n; v++ {
+		if s.groupCount(v) > 1 {
+			s.multiPath |= 1 << uint(v)
+		}
+	}
 	return s, nil
+}
+
+// groupCount returns the number of independently switching path groups of
+// a variable: one per leaf occurrence, or one in total if the variable's
+// paths are shared.
+func (s *Simulator) groupCount(v int) int {
+	if s.varPaths[v] == 0 {
+		return 0
+	}
+	if s.shared&(1<<uint(v)) != 0 {
+		return 1
+	}
+	return bits.OnesCount64(s.varPaths[v])
 }
 
 // Eval returns the cached static value of the function at a point.
 func (s *Simulator) Eval(p uint64) bool { return s.val[p] }
 
-// evalLeaves evaluates the expression with an explicit value per leaf,
-// given as a bitmask over DFS leaf indices.
-func (s *Simulator) evalLeaves(leafBits uint64) bool {
-	idx := 0
-	var rec func(e *bexpr.Expr) bool
-	rec = func(e *bexpr.Expr) bool {
-		switch e.Op {
-		case bexpr.OpConst:
-			return e.Val
-		case bexpr.OpVar:
-			v := leafBits&(1<<uint(idx)) != 0
-			idx++
-			return v
-		case bexpr.OpNot:
-			return !rec(e.Kids[0])
-		case bexpr.OpAnd:
-			out := true
-			for _, k := range e.Kids {
-				if !rec(k) {
-					out = false
+// evalInit initialises every node value (and the AND/OR kid counters) for
+// an explicit value per leaf, given as a bitmask over DFS leaf indices,
+// and returns the root value.
+func (s *Simulator) evalInit(leafBits uint64) bool {
+	st := s.stack[:0]
+	for i := range s.nodes {
+		nd := &s.nodes[i]
+		var v bool
+		switch nd.op {
+		case opConst:
+			v = nd.cval
+		case opVar:
+			v = leafBits&(1<<uint(nd.aux)) != 0
+		case opNot:
+			v = !st[len(st)-1]
+			st = st[:len(st)-1]
+		case opAnd:
+			m := int(nd.aux)
+			f := int32(0)
+			for _, kv := range st[len(st)-m:] {
+				if !kv {
+					f++
 				}
 			}
-			return out
-		case bexpr.OpOr:
-			out := false
-			for _, k := range e.Kids {
-				if rec(k) {
-					out = true
+			st = st[:len(st)-m]
+			nd.count = f
+			v = f == 0
+		case opOr:
+			m := int(nd.aux)
+			tc := int32(0)
+			for _, kv := range st[len(st)-m:] {
+				if kv {
+					tc++
 				}
 			}
-			return out
+			st = st[:len(st)-m]
+			nd.count = tc
+			v = tc > 0
 		}
-		panic("hazard: bad op")
+		nd.val = v
+		st = append(st, v)
 	}
-	return rec(s.f.Root)
+	s.stack = st[:0]
+	return st[len(st)-1]
 }
 
-// leafBitsAt returns the leaf-value bitmask corresponding to a static
-// input point.
-func (s *Simulator) leafBitsAt(p uint64) uint64 {
-	var out uint64
-	for i, v := range s.leafVar {
-		if p&(1<<uint(v)) != 0 {
-			out |= 1 << uint(i)
+// flipLeaf toggles one leaf and incrementally re-evaluates the ancestors,
+// stopping at the first node whose value does not change.
+func (s *Simulator) flipLeaf(leaf int) {
+	i := s.leafNode[leaf]
+	nd := &s.nodes[i]
+	nd.val = !nd.val
+	childVal := nd.val
+	p := nd.parent
+	for p >= 0 {
+		pn := &s.nodes[p]
+		var nv bool
+		switch pn.op {
+		case opNot:
+			nv = !pn.val
+		case opAnd:
+			if childVal {
+				pn.count--
+			} else {
+				pn.count++
+			}
+			nv = pn.count == 0
+		case opOr:
+			if childVal {
+				pn.count++
+			} else {
+				pn.count--
+			}
+			nv = pn.count > 0
 		}
+		if nv == pn.val {
+			return
+		}
+		pn.val = nv
+		childVal = nv
+		p = pn.parent
 	}
-	return out
 }
 
-// MaxOutputChanges returns the largest number of output value changes over
-// all interleavings of the changing paths for the transition a→b. Leaves
-// of shared variables switch together as one event.
-func (s *Simulator) MaxOutputChanges(a, b uint64) (int, error) {
+// rootVal returns the current incrementally maintained root value.
+func (s *Simulator) rootVal() bool { return s.nodes[len(s.nodes)-1].val }
+
+// changingGroups collects the independently switching groups of leaf
+// indices for the transition a→b: one group per leaf for ordinary
+// variables, one group per variable for shared ones.
+func (s *Simulator) changingGroups(a, b uint64) ([]uint64, error) {
 	changing := a ^ b
-	// Collect independently switching groups of leaf indices: one group
-	// per leaf for ordinary variables, one group per variable for shared
-	// ones.
 	var groups []uint64
 	for v := 0; v < s.n; v++ {
 		if changing&(1<<uint(v)) == 0 {
@@ -162,28 +300,64 @@ func (s *Simulator) MaxOutputChanges(a, b uint64) (int, error) {
 			groups = append(groups, bit)
 		}
 	}
+	if k := len(groups); k > MaxSkewPaths {
+		return nil, fmt.Errorf("hazard: transition flips %d paths, exceeding the %d-path bound", k, MaxSkewPaths)
+	}
+	return groups, nil
+}
+
+// fillVals enumerates every subset of the changing groups in Gray-code
+// order — each step toggles the leaves of exactly one group — and records
+// the root value per subset in s.vals. Since every group belongs to a
+// changing variable, its leaves differ between the endpoints, so toggling
+// is exactly the switch to the other endpoint's value.
+func (s *Simulator) fillVals(a uint64, groups []uint64) []bool {
 	k := len(groups)
-	if k > MaxSkewPaths {
-		return 0, fmt.Errorf("hazard: transition flips %d paths, exceeding the %d-path bound", k, MaxSkewPaths)
+	size := 1 << uint(k)
+	if cap(s.vals) < size {
+		s.vals = make([]bool, size)
 	}
-	base := s.leafBitsAt(a)
-	target := s.leafBitsAt(b)
-	// val[sub] = output with the groups of sub switched to their b values.
-	vals := make([]bool, 1<<uint(k))
-	for sub := 0; sub < 1<<uint(k); sub++ {
-		bitsMask := base
-		for j := 0; j < k; j++ {
-			if sub&(1<<uint(j)) != 0 {
-				leaves := groups[j]
-				bitsMask = (bitsMask &^ leaves) | (target & leaves)
-			}
+	vals := s.vals[:size]
+	vals[0] = s.evalInit(s.leafBitsAt(a))
+	gray := 0
+	for i := 1; i < size; i++ {
+		j := bits.TrailingZeros64(uint64(i))
+		for leaves := groups[j]; leaves != 0; {
+			bit := leaves & -leaves
+			leaves &^= bit
+			s.flipLeaf(bits.TrailingZeros64(bit))
 		}
-		vals[sub] = s.evalLeaves(bitsMask)
+		gray ^= 1 << uint(j)
+		vals[gray] = s.rootVal()
 	}
-	// DP over the subset lattice: mc[sub] = max changes along any monotone
-	// chain from the empty set to sub.
-	mc := make([]int8, 1<<uint(k))
-	for sub := 1; sub < 1<<uint(k); sub++ {
+	return vals
+}
+
+// leafBitsAt returns the leaf-value bitmask corresponding to a static
+// input point.
+func (s *Simulator) leafBitsAt(p uint64) uint64 {
+	var out uint64
+	for i, v := range s.leafVar {
+		if p&(1<<uint(v)) != 0 {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// maxChangesDP runs the subset-lattice dynamic program over the filled
+// vals table: mc[sub] = max changes along any monotone chain from the
+// empty set to sub. If limit >= 0 the scan returns early with limit+1 as
+// soon as any subset exceeds it (mc is monotone along the lattice, so the
+// full-set value can only be larger).
+func (s *Simulator) maxChangesDP(vals []bool, limit int) int {
+	size := len(vals)
+	if cap(s.mc) < size {
+		s.mc = make([]int8, size)
+	}
+	mc := s.mc[:size]
+	mc[0] = 0
+	for sub := 1; sub < size; sub++ {
 		best := int8(-1)
 		rest := sub
 		for rest != 0 {
@@ -199,8 +373,61 @@ func (s *Simulator) MaxOutputChanges(a, b uint64) (int, error) {
 			}
 		}
 		mc[sub] = best
+		if limit >= 0 && int(best) > limit {
+			return limit + 1
+		}
 	}
-	return int(mc[len(mc)-1]), nil
+	return int(mc[size-1])
+}
+
+// MaxOutputChanges returns the largest number of output value changes over
+// all interleavings of the changing paths for the transition a→b. Leaves
+// of shared variables switch together as one event.
+func (s *Simulator) MaxOutputChanges(a, b uint64) (int, error) {
+	groups, err := s.changingGroups(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return s.maxChangesDP(s.fillVals(a, groups), -1), nil
+}
+
+// staticPathHazard reports whether the static transition a→b (equal
+// endpoint values) glitches under some interleaving: true iff any path
+// subset yields a root value different from the endpoints' — every subset
+// lies on a monotone chain, so one deviation forces at least two output
+// changes.
+func (s *Simulator) staticPathHazard(a, b uint64) (bool, error) {
+	groups, err := s.changingGroups(a, b)
+	if err != nil {
+		return false, err
+	}
+	k := len(groups)
+	want := s.evalInit(s.leafBitsAt(a))
+	gray := 0
+	for i := 1; i < 1<<uint(k); i++ {
+		j := bits.TrailingZeros64(uint64(i))
+		for leaves := groups[j]; leaves != 0; {
+			bit := leaves & -leaves
+			leaves &^= bit
+			s.flipLeaf(bits.TrailingZeros64(bit))
+		}
+		gray ^= 1 << uint(j)
+		if s.rootVal() != want {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// dynamicPathHazard reports whether the function-hazard-free dynamic
+// transition a→b changes the output more than once under some
+// interleaving.
+func (s *Simulator) dynamicPathHazard(a, b uint64) (bool, error) {
+	groups, err := s.changingGroups(a, b)
+	if err != nil {
+		return false, err
+	}
+	return s.maxChangesDP(s.fillVals(a, groups), 1) > 1, nil
 }
 
 // Classify determines whether the transition between points a and b is
@@ -210,27 +437,41 @@ func (s *Simulator) MaxOutputChanges(a, b uint64) (int, error) {
 func (s *Simulator) Classify(a, b uint64) (kind Kind, hazardous bool, err error) {
 	fa, fb := s.val[a], s.val[b]
 	fmc := s.functionMaxChanges(a, b)
+	// When every changing variable contributes at most one independent
+	// path group, leaf-subset evaluation coincides with truth-table
+	// evaluation: the interleaving behaviour is exactly the function's, so
+	// a function-hazard-free transition cannot be logic-hazardous.
+	pure := (a^b)&s.multiPath == 0
 	if fa == fb {
 		if fmc > 0 {
 			return 0, false, nil // static function hazard
 		}
-		mc, err := s.MaxOutputChanges(a, b)
+		if pure {
+			if fa {
+				return KindStatic1, false, nil
+			}
+			return KindStatic0, false, nil
+		}
+		hz, err := s.staticPathHazard(a, b)
 		if err != nil {
 			return 0, false, err
 		}
 		if fa {
-			return KindStatic1, mc > 0, nil
+			return KindStatic1, hz, nil
 		}
-		return KindStatic0, mc > 0, nil
+		return KindStatic0, hz, nil
 	}
 	if fmc > 1 {
 		return 0, false, nil // dynamic function hazard
 	}
-	mc, err := s.MaxOutputChanges(a, b)
+	if pure {
+		return KindDynamic, false, nil
+	}
+	hz, err := s.dynamicPathHazard(a, b)
 	if err != nil {
 		return 0, false, err
 	}
-	return KindDynamic, mc > 1, nil
+	return KindDynamic, hz, nil
 }
 
 // functionMaxChanges returns the largest number of value changes of the
@@ -293,9 +534,25 @@ func AnalyzeShared(f *bexpr.Function, shared uint64) (*Set, error) {
 	return sim.Analyze()
 }
 
+// analyzeWorkEstimate bounds the total interleaving-state count of a full
+// pair enumeration: summed over all ordered endpoint pairs, each changing
+// variable multiplies the per-pair state count by 2^groups, so the total
+// is the product over variables of (2 + 2·2^groups) — halved for
+// unordered pairs. Floating point keeps wide cases from overflowing.
+func (s *Simulator) analyzeWorkEstimate() float64 {
+	est := 0.5
+	for v := 0; v < s.n; v++ {
+		est *= 2 + 2*float64(uint64(1)<<uint(s.groupCount(v)))
+	}
+	return est
+}
+
 // Analyze enumerates every unordered pair of input points and builds the
 // exact hazard set of the implementation.
 func (s *Simulator) Analyze() (*Set, error) {
+	if est := s.analyzeWorkEstimate(); est > maxAnalyzeWork {
+		return nil, fmt.Errorf("hazard: exact analysis needs ~%.2g interleaving states, exceeding the %d budget (expression repeats too many literals)", est, int64(maxAnalyzeWork))
+	}
 	set := NewSet(s.n)
 	size := uint64(1) << uint(s.n)
 	for a := uint64(0); a < size; a++ {
@@ -321,9 +578,10 @@ func (s *Simulator) Analyze() (*Set, error) {
 // function-hazard-free transition from the 0-point zero to the 1-point one
 // exhibits a dynamic logic hazard in this implementation.
 func (s *Simulator) DynamicTransitionHazardous(zero, one uint64) (bool, error) {
-	mc, err := s.MaxOutputChanges(zero, one)
-	if err != nil {
-		return false, err
+	if (zero^one)&s.multiPath == 0 {
+		// Single-path-per-variable: interleavings reproduce exactly the
+		// function's own behaviour.
+		return s.functionMaxChanges(zero, one) > 1, nil
 	}
-	return mc > 1, nil
+	return s.dynamicPathHazard(zero, one)
 }

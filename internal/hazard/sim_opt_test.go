@@ -1,0 +1,198 @@
+package hazard
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"gfmap/internal/bexpr"
+)
+
+// refMaxOutputChanges is the original, direct implementation of the
+// interleaving analysis: full recursive re-evaluation of the expression
+// per path subset, then the complete subset DP. The optimized simulator
+// (compiled program, counter-incremental evaluation, Gray-code
+// enumeration, early exits) must agree with it transition for transition.
+func refMaxOutputChanges(s *Simulator, a, b uint64) (int, error) {
+	groups, err := s.changingGroups(a, b)
+	if err != nil {
+		return 0, err
+	}
+	k := len(groups)
+	evalLeaves := func(leafBits uint64) bool {
+		idx := 0
+		var rec func(e *bexpr.Expr) bool
+		rec = func(e *bexpr.Expr) bool {
+			switch e.Op {
+			case bexpr.OpConst:
+				return e.Val
+			case bexpr.OpVar:
+				v := leafBits&(1<<uint(idx)) != 0
+				idx++
+				return v
+			case bexpr.OpNot:
+				return !rec(e.Kids[0])
+			case bexpr.OpAnd:
+				out := true
+				for _, kk := range e.Kids {
+					if !rec(kk) {
+						out = false
+					}
+				}
+				return out
+			case bexpr.OpOr:
+				out := false
+				for _, kk := range e.Kids {
+					if rec(kk) {
+						out = true
+					}
+				}
+				return out
+			}
+			panic("bad op")
+		}
+		return rec(s.f.Root)
+	}
+	base := s.leafBitsAt(a)
+	target := s.leafBitsAt(b)
+	vals := make([]bool, 1<<uint(k))
+	for sub := 0; sub < 1<<uint(k); sub++ {
+		bitsMask := base
+		for j := 0; j < k; j++ {
+			if sub&(1<<uint(j)) != 0 {
+				leaves := groups[j]
+				bitsMask = (bitsMask &^ leaves) | (target & leaves)
+			}
+		}
+		vals[sub] = evalLeaves(bitsMask)
+	}
+	mc := make([]int8, 1<<uint(k))
+	for sub := 1; sub < 1<<uint(k); sub++ {
+		best := int8(-1)
+		rest := sub
+		for rest != 0 {
+			j := bits.TrailingZeros64(uint64(rest))
+			rest &^= 1 << uint(j)
+			prev := sub &^ (1 << uint(j))
+			c := mc[prev]
+			if vals[sub] != vals[prev] {
+				c++
+			}
+			if c > best {
+				best = c
+			}
+		}
+		mc[sub] = best
+	}
+	return int(mc[len(mc)-1]), nil
+}
+
+// refClassify mirrors the original Classify on top of the reference
+// path analysis.
+func refClassify(s *Simulator, a, b uint64) (Kind, bool, error) {
+	fa, fb := s.val[a], s.val[b]
+	fmc := s.functionMaxChanges(a, b)
+	if fa == fb {
+		if fmc > 0 {
+			return 0, false, nil
+		}
+		mc, err := refMaxOutputChanges(s, a, b)
+		if err != nil {
+			return 0, false, err
+		}
+		if fa {
+			return KindStatic1, mc > 0, nil
+		}
+		return KindStatic0, mc > 0, nil
+	}
+	if fmc > 1 {
+		return 0, false, nil
+	}
+	mc, err := refMaxOutputChanges(s, a, b)
+	if err != nil {
+		return 0, false, err
+	}
+	return KindDynamic, mc > 1, nil
+}
+
+// randExprDup builds a random expression over nVars variables with
+// deliberately repeated literals, the structure that exercises the
+// multi-path machinery.
+func randExprDup(rng *rand.Rand, nVars, depth int) *bexpr.Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		e := bexpr.Var(fmt.Sprintf("v%d", rng.Intn(nVars)))
+		if rng.Intn(2) == 0 {
+			e = bexpr.Not(e)
+		}
+		return e
+	}
+	k := 2 + rng.Intn(2)
+	kids := make([]*bexpr.Expr, k)
+	for i := range kids {
+		kids[i] = randExprDup(rng, nVars, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return bexpr.And(kids...)
+	}
+	return bexpr.Or(kids...)
+}
+
+func TestSimulatorMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := 60
+	if testing.Short() {
+		cases = 15
+	}
+	for c := 0; c < cases; c++ {
+		nVars := 2 + rng.Intn(3)
+		expr := randExprDup(rng, nVars, 2+rng.Intn(2))
+		fn := bexpr.New(expr)
+		sim, err := NewSimulator(fn)
+		if err != nil {
+			t.Fatalf("case %d (%s): %v", c, expr, err)
+		}
+		n := uint(fn.NumVars())
+		for a := uint64(0); a < 1<<n; a++ {
+			for b := a + 1; b < 1<<n; b++ {
+				wantMC, err1 := refMaxOutputChanges(sim, a, b)
+				gotMC, err2 := sim.MaxOutputChanges(a, b)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("case %d (%s) %b->%b: error mismatch %v vs %v", c, expr, a, b, err1, err2)
+				}
+				if err1 == nil && wantMC != gotMC {
+					t.Fatalf("case %d (%s) %b->%b: MaxOutputChanges %d, reference %d", c, expr, a, b, gotMC, wantMC)
+				}
+				wantKind, wantHz, err1 := refClassify(sim, a, b)
+				gotKind, gotHz, err2 := sim.Classify(a, b)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("case %d (%s) %b->%b: classify error mismatch %v vs %v", c, expr, a, b, err1, err2)
+				}
+				if err1 == nil && (wantHz != gotHz || (wantHz && wantKind != gotKind)) {
+					t.Fatalf("case %d (%s) %b->%b: classify (%v,%v), reference (%v,%v)",
+						c, expr, a, b, gotKind, gotHz, wantKind, wantHz)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeWorkBudget: an expression whose repeated literals make the
+// full enumeration astronomically expensive must be rejected up front,
+// not ground through.
+func TestAnalyzeWorkBudget(t *testing.T) {
+	// 10 variables, each appearing 4 times: the pair enumeration would
+	// need ~(2+2*16)^10/2 ≈ 1e15 interleaving states.
+	var terms []*bexpr.Expr
+	for rep := 0; rep < 4; rep++ {
+		var lits []*bexpr.Expr
+		for v := 0; v < 10; v++ {
+			lits = append(lits, bexpr.Var(fmt.Sprintf("v%d", v)))
+		}
+		terms = append(terms, bexpr.And(lits...))
+	}
+	fn := bexpr.New(bexpr.Or(terms...))
+	if _, err := Analyze(fn); err == nil {
+		t.Fatal("expected a work-budget error for a massively repeated expression")
+	}
+}

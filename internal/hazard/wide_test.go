@@ -1,0 +1,69 @@
+package hazard
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/cube"
+)
+
+// wideFunction builds an n-input function (an AND of all variables OR'd
+// with a product of the first two), wide enough to exceed every exact
+// bound while staying cheap to flatten.
+func wideFunction(t *testing.T, n int) *bexpr.Function {
+	t.Helper()
+	terms := make([]string, n)
+	for i := range terms {
+		terms[i] = "x" + strconv.Itoa(i)
+	}
+	src := strings.Join(terms, "*") + " + " + terms[0] + "*" + terms[1]
+	f, err := bexpr.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// Regression for the fuzzing issue: a 25-input node used to reach
+// cube/hazard minterm enumeration and panic (or allocate without bound).
+// The wide paths must now degrade gracefully: the full report completes
+// using the compact algorithms, and the exact-only entry points return
+// errors.
+func TestWideSupportDoesNotPanic(t *testing.T) {
+	f := wideFunction(t, 25)
+
+	rep, err := AnalyzeFunction(f)
+	if err != nil {
+		t.Fatalf("AnalyzeFunction on 25 vars: %v", err)
+	}
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+
+	if _, err := MicDynHazMultiLevel(f); err == nil {
+		t.Fatal("MicDynHazMultiLevel on 25 vars: want error, got none")
+	}
+
+	if _, err := Analyze(f); err == nil {
+		t.Fatal("Analyze on 25 vars: want error (exceeds exact bound), got none")
+	}
+}
+
+// ExpandDyn2 documents an f.N ≤ MaxExhaustiveVars requirement but used to
+// enumerate minterms of arbitrarily wide covers when called directly; it
+// must now return nil for wide covers instead.
+func TestExpandDyn2WideCoverReturnsNil(t *testing.T) {
+	n := MaxExhaustiveVars + 15
+	f := cube.NewCover(n)
+	f.Add(cube.Minterm(n, 0))
+	recs := []Dyn2Record{{
+		Intersection: cube.Universal,
+		Alpha:        []cube.Cube{cube.Universal}, // would expand to 2^25 minterms
+		Beta:         []cube.Cube{cube.Universal},
+	}}
+	if got := ExpandDyn2(f, recs); got != nil {
+		t.Fatalf("ExpandDyn2 on N=%d: want nil, got %d transitions", n, len(got))
+	}
+}

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestBadInputStatuses is the malformed-input suite of the fuzzing issue:
+// every way a client can hand us garbage must answer 400 (never 422,
+// never process death), while a well-formed design still maps.
+func TestBadInputStatuses(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	cases := []struct {
+		name string
+		req  MapRequest
+		want int
+	}{
+		{"good eqn", MapRequest{Design: fig3Eqn, Format: "eqn"}, http.StatusOK},
+		{"good blif", MapRequest{Design: fig3Blif, Format: "blif"}, http.StatusOK},
+		{"empty design", MapRequest{Design: "   \n"}, http.StatusBadRequest},
+		{"malformed eqn", MapRequest{Design: "INPUT(a)\nOUTPUT(f)\nf = a *;\n", Format: "eqn"}, http.StatusBadRequest},
+		{"eqn undefined output", MapRequest{Design: "INPUT(a)\nOUTPUT(zz)\nf = a;\n", Format: "eqn"}, http.StatusBadRequest},
+		{"malformed blif", MapRequest{Design: ".model x\n.inputs a\n.outputs f\n.names a f\n2 1\n.end\n", Format: "blif"}, http.StatusBadRequest},
+		{"deeply nested eqn", MapRequest{
+			Design: "INPUT(a)\nOUTPUT(f)\nf = " + strings.Repeat("(", 50000) + "a" + strings.Repeat(")", 50000) + ";\n",
+			Format: "eqn"}, http.StatusBadRequest},
+		{"unknown format", MapRequest{Design: fig3Eqn, Format: "vhdl"}, http.StatusBadRequest},
+		{"unknown mode", MapRequest{Design: fig3Eqn, Format: "eqn", Mode: "turbo"}, http.StatusBadRequest},
+		{"unknown objective", MapRequest{Design: fig3Eqn, Format: "eqn", Objective: "power"}, http.StatusBadRequest},
+		{"unknown library", MapRequest{Design: fig3Eqn, Format: "eqn", Library: "NOPE"}, http.StatusBadRequest},
+		{"unknown output", MapRequest{Design: fig3Eqn, Format: "eqn", Output: "pdf"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postJSON(t, h, "/map", tc.req)
+			if w.Code != tc.want {
+				t.Fatalf("status = %d, want %d; body: %s", w.Code, tc.want, w.Body.String())
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,7 +27,6 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
-	"context"
 	"sync/atomic"
 	"time"
 
@@ -308,9 +308,19 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// errBadInput marks request errors the client can fix: malformed design
+// text, unknown enum values, unknown libraries. statusFor maps them to
+// 400 rather than 422 — the design was never understood at all.
+var errBadInput = errors.New("bad request")
+
+func badInput(err error) error {
+	return fmt.Errorf("%w: %w", errBadInput, err)
+}
+
 // statusFor maps a mapping error to an HTTP status: deadline → 504,
 // client-side cancellation → 499 (nginx convention; the client is usually
-// gone), anything else → 422 (the design was understood but unmappable).
+// gone), malformed input → 400, a recovered mapper panic → 500, anything
+// else → 422 (the design was understood but unmappable).
 func (s *Server) statusFor(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -319,6 +329,10 @@ func (s *Server) statusFor(err error) int {
 	case errors.Is(err, context.Canceled):
 		s.canceled.Inc()
 		return 499
+	case errors.Is(err, errBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrInternal):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusUnprocessableEntity
 	}
@@ -530,7 +544,7 @@ func (s *Server) timeoutFor(req MapRequest) time.Duration {
 // The caller must already hold an admission slot.
 func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, error) {
 	if strings.TrimSpace(req.Design) == "" {
-		return nil, errors.New("empty design")
+		return nil, badInput(errors.New("empty design"))
 	}
 	libName := req.Library
 	if libName == "" {
@@ -538,7 +552,7 @@ func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, erro
 	}
 	lib, ok := s.libs[libName]
 	if !ok {
-		return nil, fmt.Errorf("unknown library %q (loaded: %s)", libName, strings.Join(s.order, ", "))
+		return nil, badInput(fmt.Errorf("unknown library %q (loaded: %s)", libName, strings.Join(s.order, ", ")))
 	}
 	name := req.Name
 	if name == "" {
@@ -554,10 +568,10 @@ func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, erro
 	case "eqn":
 		net, err = eqn.ParseString(req.Design, name)
 	default:
-		return nil, fmt.Errorf("unknown design format %q (want blif or eqn)", req.Format)
+		return nil, badInput(fmt.Errorf("unknown design format %q (want blif or eqn)", req.Format))
 	}
 	if err != nil {
-		return nil, fmt.Errorf("parse %s design: %w", orDefault(req.Format, "blif"), err)
+		return nil, badInput(fmt.Errorf("parse %s design: %w", orDefault(req.Format, "blif"), err))
 	}
 	opts := core.Options{
 		MaxDepth:    req.MaxDepth,
@@ -573,7 +587,7 @@ func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, erro
 	case "sync":
 		opts.Mode = core.Sync
 	default:
-		return nil, fmt.Errorf("unknown mode %q (want async or sync)", req.Mode)
+		return nil, badInput(fmt.Errorf("unknown mode %q (want async or sync)", req.Mode))
 	}
 	switch req.Objective {
 	case "", "area":
@@ -581,7 +595,7 @@ func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, erro
 	case "delay":
 		opts.Objective = core.MinDelay
 	default:
-		return nil, fmt.Errorf("unknown objective %q (want area or delay)", req.Objective)
+		return nil, badInput(fmt.Errorf("unknown objective %q (want area or delay)", req.Objective))
 	}
 	output := req.Output
 	switch output {
@@ -589,7 +603,7 @@ func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, erro
 		output = "netlist"
 	case "verilog", "both", "none":
 	default:
-		return nil, fmt.Errorf("unknown output %q (want netlist, verilog, both or none)", output)
+		return nil, badInput(fmt.Errorf("unknown output %q (want netlist, verilog, both or none)", output))
 	}
 
 	runCtx, cancel := context.WithTimeout(ctx, s.timeoutFor(req))

@@ -146,19 +146,19 @@ func TestMapEndpointBadInputs(t *testing.T) {
 		}, http.StatusBadRequest},
 		{"empty-design", func() *httptest.ResponseRecorder {
 			return postJSON(t, h, "/map", MapRequest{Format: "eqn"})
-		}, http.StatusUnprocessableEntity},
+		}, http.StatusBadRequest},
 		{"unknown-library", func() *httptest.ResponseRecorder {
 			return postJSON(t, h, "/map", MapRequest{Format: "eqn", Design: fig3Eqn, Library: "TTL74"})
-		}, http.StatusUnprocessableEntity},
+		}, http.StatusBadRequest},
 		{"unknown-format", func() *httptest.ResponseRecorder {
 			return postJSON(t, h, "/map", MapRequest{Format: "vhdl", Design: fig3Eqn})
-		}, http.StatusUnprocessableEntity},
+		}, http.StatusBadRequest},
 		{"parse-error", func() *httptest.ResponseRecorder {
 			return postJSON(t, h, "/map", MapRequest{Format: "eqn", Design: "f = ((a;"})
-		}, http.StatusUnprocessableEntity},
+		}, http.StatusBadRequest},
 		{"bad-mode", func() *httptest.ResponseRecorder {
 			return postJSON(t, h, "/map", MapRequest{Format: "eqn", Design: fig3Eqn, Mode: "psycho"})
-		}, http.StatusUnprocessableEntity},
+		}, http.StatusBadRequest},
 	} {
 		w := tc.do()
 		if w.Code != tc.want {
