@@ -46,6 +46,7 @@ import (
 	"gfmap/internal/core"
 	"gfmap/internal/eqn"
 	"gfmap/internal/library"
+	"gfmap/internal/mapstore"
 	"gfmap/internal/network"
 	"gfmap/internal/obs"
 )
@@ -70,6 +71,7 @@ func main() {
 	eventsOut := flag.String("events", "", "write the span/event log as JSONL to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) and label DP workers")
 	hist := flag.Bool("hist", false, "print metric histograms (hazard latency, cuts/node, cluster widths) as comment lines")
+	storePath := flag.String("store", "", "persistent cone-solution store file; a warm store skips the covering DP for unchanged cones (results are byte-identical)")
 	flag.Parse()
 
 	if *statsFmt != "text" && *statsFmt != "json" {
@@ -106,6 +108,14 @@ func main() {
 	}
 	if *hist {
 		opts.Metrics = obs.NewRegistry()
+	}
+	if *storePath != "" {
+		store, err := mapstore.Open(*storePath, mapstore.Options{})
+		if err != nil {
+			fatal(fmt.Errorf("open store %s: %w", *storePath, err))
+		}
+		defer store.Close()
+		opts.Store = store
 	}
 	if *pprofAddr != "" {
 		opts.ProfileLabels = true
@@ -213,6 +223,10 @@ func printStatsText(mode, libName string, res *core.Result) {
 	fmt.Printf("# hazard analyses=%d cache: local=%d shared=%d fresh=%d hit-rate=%.1f%% evictions=%d\n",
 		st.HazardAnalyses(), st.HazCacheLocalHits, st.HazCacheHits,
 		st.HazCacheMisses, 100*st.HazCacheHitRate(), st.HazCacheEvictions)
+	if st.StoreHits+st.StoreMisses > 0 {
+		fmt.Printf("# store: hits=%d misses=%d (cones whose covering DP was replayed from the store)\n",
+			st.StoreHits, st.StoreMisses)
+	}
 	fmt.Printf("# phases: decompose=%s partition=%s cover=%s emit=%s\n",
 		st.DecomposeTime.Round(time.Microsecond), st.PartitionTime.Round(time.Microsecond),
 		st.CoverTime.Round(time.Microsecond), st.EmitTime.Round(time.Microsecond))

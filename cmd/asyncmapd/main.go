@@ -9,6 +9,12 @@
 // a bounded queue; excess load is rejected with 503 rather than piling up.
 //
 //	asyncmapd -addr :8931 -libs LSI9K,CMOS3 -timeout 30s
+//	asyncmapd -store cones.mapstore   # persist cone solutions across restarts
+//
+// With -store, per-cone covering solutions persist in a crash-safe
+// content-addressed store file: a restarted (or concurrently running)
+// server replays them and answers byte-identically with a warm hit rate
+// from the first request. See docs/CACHING.md.
 //
 // Endpoints: POST /map, POST /map/batch, GET /healthz, GET /metrics
 // (add ?format=text for a flat text dump), and /debug/pprof/ with -pprof.
@@ -29,21 +35,24 @@ import (
 	"time"
 
 	"gfmap/internal/library"
+	"gfmap/internal/mapstore"
 	"gfmap/internal/server"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8931", "listen address")
-		libs    = flag.String("libs", "", "comma-separated libraries to preload (default: all built-ins)")
-		maxConc = flag.Int("maxconcurrent", 4, "mapping requests running at once")
-		queue   = flag.Int("queue", 8, "admitted requests allowed to wait beyond -maxconcurrent")
-		timeout = flag.Duration("timeout", 30*time.Second, "default per-request mapping deadline")
-		maxTO   = flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested deadlines")
-		maxBody = flag.Int64("maxbody", 8<<20, "request body size limit in bytes")
-		workers = flag.Int("workers", 0, "DP worker goroutines per request (0 = one per CPU)")
-		pprofOn = flag.Bool("pprof", false, "serve /debug/pprof/")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		addr     = flag.String("addr", "127.0.0.1:8931", "listen address")
+		libs     = flag.String("libs", "", "comma-separated libraries to preload (default: all built-ins)")
+		maxConc  = flag.Int("maxconcurrent", 4, "mapping requests running at once")
+		queue    = flag.Int("queue", 8, "admitted requests allowed to wait beyond -maxconcurrent")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-request mapping deadline")
+		maxTO    = flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested deadlines")
+		maxBody  = flag.Int64("maxbody", 8<<20, "request body size limit in bytes")
+		workers  = flag.Int("workers", 0, "DP worker goroutines per request (0 = one per CPU)")
+		pprofOn  = flag.Bool("pprof", false, "serve /debug/pprof/")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		storeTo  = flag.String("store", "", "path of the persistent cone-solution store (empty = disabled); created if missing, shared across restarts")
+		storeMem = flag.Int("store-mem", 0, "in-memory entries the store may hold (0 = default)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -53,6 +62,16 @@ func main() {
 	}
 	flag.Parse()
 
+	var store *mapstore.Store
+	if *storeTo != "" {
+		var err error
+		store, err = mapstore.Open(*storeTo, mapstore.Options{MaxMemEntries: *storeMem})
+		if err != nil {
+			log.Fatalf("asyncmapd: open store %s: %v", *storeTo, err)
+		}
+		defer store.Close()
+	}
+
 	cfg := server.Config{
 		MaxConcurrent:  *maxConc,
 		MaxQueue:       *queue,
@@ -61,6 +80,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MapWorkers:     *workers,
 		EnablePprof:    *pprofOn,
+		Store:          store,
 	}
 	if *libs != "" {
 		for _, name := range strings.Split(*libs, ",") {

@@ -46,6 +46,7 @@ func main() {
 		maxFail  = flag.Int("maxfail", 5, "stop after this many failing seeds (0 = never)")
 		replay   = flag.String("replay", "", "instead of generating, re-check every .eqn design in this directory")
 		metrics  = flag.Bool("metrics", false, "print the harness metrics snapshot at the end")
+		nostore  = flag.Bool("nostore", false, "skip the persistent-store and delta axes of the option matrix")
 		verbose  = flag.Bool("v", false, "log every seed")
 	)
 	flag.Parse()
@@ -54,7 +55,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := diffcheck.Options{Lib: lib, Modes: modesFor(*mode)}
+	opts := diffcheck.Options{Lib: lib, Modes: modesFor(*mode), SkipStoreAxes: *nostore}
 	reg := obs.NewRegistry()
 
 	if *replay != "" {

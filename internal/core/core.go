@@ -31,6 +31,7 @@ import (
 
 	"gfmap/internal/hazcache"
 	"gfmap/internal/library"
+	"gfmap/internal/mapstore"
 	"gfmap/internal/network"
 	"gfmap/internal/obs"
 )
@@ -131,6 +132,18 @@ type Options struct {
 	// bit-identical either way — so this exists for A/B measurement and
 	// bit-identity smoke tests only.
 	DisableMatchIndex bool
+
+	// Store, when non-nil, memoizes per-cone covering solutions in a
+	// content-addressed mapstore keyed by canonical cone signature ×
+	// library fingerprint × option hash, so structurally repeated cones —
+	// within a design, across designs, across restarts and across
+	// processes sharing the store file — skip the covering DP entirely.
+	// The store is semantically transparent: a warm-store run's netlist
+	// and Stats.Deterministic() view are byte-identical to a cold run's
+	// (solutions carry the DP's deterministic work counters and replay
+	// them on a hit). A corrupt or stale entry decode-fails into a miss
+	// and is repaired in place; it can never change the output.
+	Store *mapstore.Store
 
 	// Tracer receives pipeline spans and events: phase spans on the
 	// pipeline track, per-cone covering spans on one track per DP worker.
@@ -247,6 +260,15 @@ type Stats struct {
 	// while this run was in flight (approximate under concurrent runs).
 	HazCacheEvictions int
 
+	// Mapstore accounting: cones whose covering solution was served by
+	// Options.Store (hits) versus solved by the DP (misses), and cones a
+	// MapDelta call reused from the previous result's solutions. All three
+	// depend on store warmth / the seed, not on the input alone, so they
+	// are excluded from the Deterministic view.
+	StoreHits        int
+	StoreMisses      int
+	DeltaReusedCones int
+
 	// Per-phase wall times of the pipeline: technology decomposition,
 	// cone partitioning, the covering DP (including matching and hazard
 	// analysis), and netlist emission.
@@ -272,6 +294,9 @@ func (s *Stats) merge(o Stats) {
 	s.HazCacheLocalHits += o.HazCacheLocalHits
 	s.HazCacheHits += o.HazCacheHits
 	s.HazCacheMisses += o.HazCacheMisses
+	s.StoreHits += o.StoreHits
+	s.StoreMisses += o.StoreMisses
+	s.DeltaReusedCones += o.DeltaReusedCones
 }
 
 // Deterministic returns the counters that are invariant across worker
@@ -282,6 +307,9 @@ func (s Stats) Deterministic() Stats {
 	s.HazCacheHits = 0
 	s.HazCacheMisses = 0
 	s.HazCacheEvictions = 0
+	s.StoreHits = 0
+	s.StoreMisses = 0
+	s.DeltaReusedCones = 0
 	s.DecomposeTime = 0
 	s.PartitionTime = 0
 	s.CoverTime = 0
@@ -311,6 +339,20 @@ type Result struct {
 	Area    float64
 	Delay   float64
 	Stats   Stats
+
+	// delta retains every cone's solved covering solution, keyed by
+	// canonical cone signature, so a follow-up MapDelta call can re-map
+	// only the cones an edit actually changed. The solutions are tagged
+	// with the library fingerprint and option hash they were computed
+	// under; MapDelta ignores them wholesale on any mismatch.
+	delta *deltaState
+}
+
+// deltaState is the incremental-remap seed carried inside a Result.
+type deltaState struct {
+	libFP     string
+	optHash   string
+	solutions map[string][]byte // ConeKey -> encoded solution
 }
 
 // ErrInternal marks a mapper bug surfaced as an error: a panic anywhere
@@ -331,10 +373,49 @@ func Map(net *network.Network, lib *library.Library, opts Options) (res *Result,
 			res, err = nil, fmt.Errorf("%w: panic in mapping pipeline: %v\n%s", ErrInternal, r, debug.Stack())
 		}
 	}()
-	return mapPipeline(net, lib, opts)
+	return mapPipeline(net, lib, opts, nil)
 }
 
-func mapPipeline(net *network.Network, lib *library.Library, opts Options) (*Result, error) {
+// MapDelta re-maps a network after an edit, reusing the per-cone covering
+// solutions retained in a previous Result for every cone whose canonical
+// signature is unchanged — the incremental (ECO) path of the pipeline.
+// Only structurally new or changed cones go through cut enumeration,
+// matching and hazard analysis; everything else replays its recorded
+// solution. Emission always runs in full over the new network, so the
+// returned netlist is byte-identical to a cold Map of the edited network.
+//
+// The previous solutions are used only if they were computed under the
+// same library fingerprint and the same semantically relevant options; on
+// any mismatch — or when prev is nil — MapDelta degrades to a plain Map.
+// Stats.DeltaReusedCones reports how many cones were reused.
+func MapDelta(prev *Result, net *network.Network, lib *library.Library, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: panic in mapping pipeline: %v\n%s", ErrInternal, r, debug.Stack())
+		}
+	}()
+	var seed *deltaState
+	if prev != nil {
+		seed = prev.delta
+	}
+	return mapPipeline(net, lib, opts, seed)
+}
+
+// optionHash digests the Options fields that can change a mapping result
+// or its deterministic work counters; it is the option component of a
+// mapstore entry key and of a delta seed's compatibility tag. Fields that
+// are semantically transparent (Workers, hazard-cache selection, tracing,
+// metrics, context) are deliberately excluded so runs differing only in
+// them share entries. DisableMatchIndex does not change the netlist but
+// does change the deterministic matching counters replayed from a
+// solution, so it must fork the key space. opts must already have
+// defaults applied, so explicit defaults and zero values hash alike.
+func optionHash(o Options) string {
+	return fmt.Sprintf("mode=%d;obj=%d;depth=%d;leaves=%d;bindings=%d;burst=%d;noindex=%t",
+		o.Mode, o.Objective, o.MaxDepth, o.MaxLeaves, o.MaxBindings, o.MaxBurst, o.DisableMatchIndex)
+}
+
+func mapPipeline(net *network.Network, lib *library.Library, opts Options, seed *deltaState) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, err
@@ -373,6 +454,18 @@ func mapPipeline(net *network.Network, lib *library.Library, opts Options) (*Res
 	}
 	nl := NewNetlist(net.Name, net.Inputs, net.Outputs)
 	m := &mapper{lib: lib, opts: opts, netlist: nl, tid: 1, met: newMetricSet(opts.Metrics)}
+	// Solution-reuse identity: the library fingerprint is taken *after*
+	// annotation (annotation changes matching behaviour, so pre- and
+	// post-annotation runs must not share solutions). A delta seed
+	// computed under a different fingerprint or option hash is discarded
+	// wholesale — stale solutions must not be addressable, let alone
+	// replayed.
+	m.libFP = lib.Fingerprint()
+	m.optHash = optionHash(opts)
+	m.store = opts.Store
+	if seed != nil && seed.libFP == m.libFP && seed.optHash == m.optHash {
+		m.seed = seed.solutions
+	}
 	// Reserve every signal name of the decomposed network up front, so
 	// generated names (match signals, inverter outputs) can never collide
 	// with a design signal that has not been emitted yet.
@@ -429,8 +522,17 @@ func mapPipeline(net *network.Network, lib *library.Library, opts Options) (*Res
 	if reg := opts.Metrics; reg != nil {
 		publishStats(reg, m.stats, nl.GateCount(), area, delay)
 		opts.HazardCache.ExportMetrics(reg)
+		m.store.ExportMetrics(reg)
 	}
-	return &Result{Netlist: nl, Area: area, Delay: delay, Stats: m.stats}, nil
+	// Retain every cone's solution so the caller can MapDelta a later
+	// edit against this result. Duplicate signatures collapse onto one
+	// entry; their solutions are identical by construction.
+	ds := &deltaState{libFP: m.libFP, optHash: m.optHash,
+		solutions: make(map[string][]byte, len(prepared))}
+	for _, pc := range prepared {
+		ds.solutions[pc.coneKey] = pc.encoded
+	}
+	return &Result{Netlist: nl, Area: area, Delay: delay, Stats: m.stats, delta: ds}, nil
 }
 
 // publishStats mirrors the run's deterministic summary into the metrics
@@ -450,6 +552,9 @@ func publishStats(reg *obs.Registry, st Stats, gates int, area, delay float64) {
 	reg.Counter("map_haz_local_hits").Add(uint64(st.HazCacheLocalHits))
 	reg.Counter("map_haz_shared_hits").Add(uint64(st.HazCacheHits))
 	reg.Counter("map_haz_misses").Add(uint64(st.HazCacheMisses))
+	reg.Counter("map_store_hits").Add(uint64(st.StoreHits))
+	reg.Counter("map_store_misses").Add(uint64(st.StoreMisses))
+	reg.Counter("map_delta_reused_cones").Add(uint64(st.DeltaReusedCones))
 	reg.Gauge("map_gates").Set(float64(gates))
 	reg.Gauge("map_area").Set(area)
 	reg.Gauge("map_delay").Set(delay)

@@ -11,6 +11,7 @@ import (
 	"gfmap/internal/eqn"
 	"gfmap/internal/hazcache"
 	"gfmap/internal/library"
+	"gfmap/internal/mapstore"
 	"gfmap/internal/network"
 )
 
@@ -37,6 +38,10 @@ const (
 	KindHazard = "hazard"
 	// KindRoundTrip: eqn/BLIF write→parse does not preserve the design.
 	KindRoundTrip = "round-trip"
+	// KindStore: the persistent mapping store or the delta path violated
+	// its coherence contract — a warm run missed entries its own cold run
+	// just wrote, or a delta run of the identical design re-solved cones.
+	KindStore = "store"
 )
 
 // Violation is one failed invariant.
@@ -69,6 +74,11 @@ type Options struct {
 	// safety, round trips), keeping only the differential and
 	// well-formedness checks. Used by tight fuzz loops on large designs.
 	SkipVerify bool
+	// SkipStoreAxes drops the storecold/storewarm/delta variants from the
+	// matrix, reverting to the pre-store matrix. For A/B measurement of
+	// the fuzz budget; the axes are on by default because stale-key and
+	// invalidation bugs are exactly what differential fuzzing flushes out.
+	SkipStoreAxes bool
 	// MaxBurst and Objective are forwarded to every variant.
 	MaxBurst  int
 	Objective core.Objective
@@ -101,10 +111,13 @@ type variant struct {
 	comparableStats bool
 	opts            func(core.Options) core.Options
 	ctx             context.Context
+	// delta maps through core.MapDelta seeded with the serial baseline's
+	// result instead of core.Map.
+	delta bool
 }
 
-func matrix(workers int) []variant {
-	return []variant{
+func matrix(workers int, store *mapstore.Store) []variant {
+	vars := []variant{
 		{name: "serial", comparableStats: true,
 			opts: func(o core.Options) core.Options { o.Workers = 1; return o }},
 		{name: "workers", comparableStats: true,
@@ -118,6 +131,22 @@ func matrix(workers int) []variant {
 		{name: "ctx", comparableStats: true, ctx: context.Background(),
 			opts: func(o core.Options) core.Options { o.Workers = 1; return o }},
 	}
+	if store != nil {
+		// The persistent-store and delta axes. storecold populates the
+		// (private, empty) store; storewarm re-maps against the entries it
+		// wrote; delta re-maps the identical design seeded with the serial
+		// baseline's solutions. All three must be byte-identical to the
+		// baseline with identical deterministic stats — this is exactly the
+		// harness shape that flushes out stale-key and invalidation bugs.
+		withStore := func(o core.Options) core.Options { o.Workers = 1; o.Store = store; return o }
+		vars = append(vars,
+			variant{name: "storecold", comparableStats: true, opts: withStore},
+			variant{name: "storewarm", comparableStats: true, opts: withStore},
+			variant{name: "delta", comparableStats: true, delta: true,
+				opts: func(o core.Options) core.Options { o.Workers = 1; return o }},
+		)
+	}
+	return vars
 }
 
 // outcome is one variant's mapping result.
@@ -169,11 +198,21 @@ func checkMode(net *network.Network, mode core.Mode, workers int, opts Options, 
 		MaxBurst:    opts.MaxBurst,
 		HazardCache: cache,
 	}
-	vars := matrix(workers)
+	// Each mode gets a private, empty store so the cold/warm split is
+	// controlled by the matrix, not by whatever ran before.
+	var store *mapstore.Store
+	if !opts.SkipStoreAxes {
+		store = mapstore.NewMemory(0)
+	}
+	vars := matrix(workers, store)
 	outs := make([]outcome, 0, len(vars))
 	for _, v := range vars {
 		o := v.opts(base)
-		res, err := safeMap(v.ctx, net, opts.Lib, o)
+		var prev *core.Result
+		if v.delta && len(outs) > 0 {
+			prev = outs[0].res // serial baseline's retained solutions
+		}
+		res, err := safeMap(v.ctx, v.delta, prev, net, opts.Lib, o)
 		if err != nil && errors.Is(err, core.ErrInternal) {
 			rep.add(KindPanic, ms, v.name, err.Error())
 		}
@@ -215,6 +254,22 @@ func checkMode(net *network.Network, mode core.Mode, workers int, opts Options, 
 					fmt.Sprintf("deterministic stats differ: %+v vs baseline %+v", st, baseStats))
 			}
 		}
+		// Store coherence: a warm run over the very store its cold twin
+		// filled must hit on every cone, and a delta run of the identical
+		// design must reuse every cone. A shortfall is a key-derivation or
+		// invalidation bug even when the netlist happens to match.
+		switch o.variant.name {
+		case "storewarm":
+			if st := o.res.Stats; st.StoreHits != st.Cones {
+				rep.add(KindStore, ms, o.variant.name,
+					fmt.Sprintf("warm store hit %d of %d cones", st.StoreHits, st.Cones))
+			}
+		case "delta":
+			if st := o.res.Stats; st.DeltaReusedCones != st.Cones {
+				rep.add(KindStore, ms, o.variant.name,
+					fmt.Sprintf("identity delta reused %d of %d cones", st.DeltaReusedCones, st.Cones))
+			}
+		}
 	}
 
 	checkWellFormed(baseline.res, net, ms, rep)
@@ -237,12 +292,15 @@ func checkMode(net *network.Network, mode core.Mode, workers int, opts Options, 
 // safeMap invokes the mapper with a harness-level panic backstop. Map
 // already converts pipeline panics to ErrInternal; anything the backstop
 // catches is a bug in that boundary itself.
-func safeMap(ctx context.Context, net *network.Network, lib *library.Library, o core.Options) (res *core.Result, err error) {
+func safeMap(ctx context.Context, delta bool, prev *core.Result, net *network.Network, lib *library.Library, o core.Options) (res *core.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("%w: panic escaped core.Map: %v", core.ErrInternal, r)
 		}
 	}()
+	if delta {
+		return core.MapDelta(prev, net, lib, o)
+	}
 	if ctx != nil {
 		return core.MapContext(ctx, net, lib, o)
 	}

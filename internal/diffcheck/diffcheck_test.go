@@ -9,6 +9,7 @@ import (
 	"gfmap/internal/blif"
 	"gfmap/internal/eqn"
 	"gfmap/internal/library"
+	"gfmap/internal/mapstore"
 	"gfmap/internal/network"
 	"gfmap/internal/obs"
 )
@@ -246,5 +247,35 @@ func TestCheckRejectsBadConfig(t *testing.T) {
 	rep = Check(bad, Options{Lib: testLib(t)})
 	if !rep.Failed() {
 		t.Fatal("invalid network accepted")
+	}
+}
+
+// TestStoreAxes: the matrix carries the persistent-store and delta
+// variants unless explicitly skipped, and a skipped matrix still passes.
+func TestStoreAxes(t *testing.T) {
+	names := func(vars []variant) map[string]bool {
+		m := make(map[string]bool, len(vars))
+		for _, v := range vars {
+			m[v.name] = true
+		}
+		return m
+	}
+	withStore := names(matrix(4, mapstore.NewMemory(0)))
+	for _, want := range []string{"storecold", "storewarm", "delta"} {
+		if !withStore[want] {
+			t.Errorf("matrix missing %s axis", want)
+		}
+	}
+	without := names(matrix(4, nil))
+	for _, skip := range []string{"storecold", "storewarm", "delta"} {
+		if without[skip] {
+			t.Errorf("nil-store matrix still contains %s axis", skip)
+		}
+	}
+
+	lib := testLib(t)
+	rep := Check(Generate(7, GenConfig{}), Options{Lib: lib, SkipStoreAxes: true})
+	for _, v := range rep.Violations {
+		t.Errorf("SkipStoreAxes run: %s", v)
 	}
 }

@@ -1,0 +1,56 @@
+package library
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"gfmap/internal/hazard"
+)
+
+// Fingerprint digests every field of the library that can influence a
+// mapping result: cell order and names, Boolean factored forms (structure,
+// not just function — the BFF determines hazard behaviour), pin order,
+// area, delay, shared-pin declarations, and — critically — the hazard
+// annotation state and the exact hazard set of every annotated cell.
+//
+// The fingerprint is the library component of a mapstore entry key, so it
+// must change whenever a result computed against the old library could
+// differ under the new one. Covering only names and areas is the classic
+// stale-cache bug: editing a cell's delay or its hazard annotation between
+// runs would silently serve results mapped against the old library. The
+// digest is recomputed on every call, never memoized, so in-place field
+// mutations are always observed.
+func (l *Library) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "lib:%s\ncells:%d\nannotated:%v\n", l.Name, len(l.Cells), l.annotated)
+	for _, c := range l.Cells {
+		fmt.Fprintf(h, "cell:%s\nbff:%s\npins:%s\narea:%g\ndelay:%g\nshared:%s\n",
+			c.Name, c.Fn.Root.String(), strings.Join(c.Fn.Vars, ","),
+			c.Area, c.Delay, strings.Join(c.SharedPins, ","))
+		writeHazards(h, c)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeHazards digests a cell's hazard annotation: the full transition
+// sets, not a summary — two cells with equal hazard *counts* but different
+// transitions filter differently in the subset check. The three states
+// (unannotated, annotated-but-unbounded, annotated) are kept distinct.
+func writeHazards(h interface{ Write([]byte) (int, error) }, c *Cell) {
+	switch {
+	case c.Report == nil:
+		fmt.Fprint(h, "hazards:unannotated\n")
+	case c.Hazards == nil:
+		// Past the exact-analysis bound: treated as hazard-unknown.
+		fmt.Fprint(h, "hazards:nil\n")
+	default:
+		fmt.Fprintf(h, "hazards:n=%d\n", c.Hazards.N)
+		for _, k := range []hazard.Kind{hazard.KindStatic1, hazard.KindStatic0, hazard.KindDynamic} {
+			for _, tr := range c.Hazards.Transitions(k) {
+				fmt.Fprintf(h, "%d:%d>%d\n", int(k), tr.From, tr.To)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package library
+
+import (
+	"testing"
+
+	"gfmap/internal/hazard"
+)
+
+func fpTestLib(t *testing.T) *Library {
+	t.Helper()
+	l := New("fp-test")
+	l.MustAdd("INV", "a'", 1)
+	l.MustAdd("NAND2", "(ab)'", 1)
+	l.MustAdd("AND2", "ab", 1.5)
+	l.MustAdd("AO21", "ab+c", 2)
+	return l
+}
+
+// TestFingerprintStable: the same construction yields the same
+// fingerprint, and annotation changes it (annotation changes matching
+// behaviour, so pre- and post-annotation results must not share keys).
+func TestFingerprintStable(t *testing.T) {
+	a, b := fpTestLib(t), fpTestLib(t)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical libraries fingerprint differently")
+	}
+	pre := a.Fingerprint()
+	if err := a.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == pre {
+		t.Fatal("annotation did not change the fingerprint")
+	}
+	if err := b.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identically annotated libraries fingerprint differently")
+	}
+}
+
+// TestFingerprintCoversMutations is the stale-cache regression test: every
+// option-relevant cell field — including delay and the hazard annotation,
+// which a name/area-only fingerprint would miss — must perturb the digest,
+// so a mutated library can never address the old library's entries.
+func TestFingerprintCoversMutations(t *testing.T) {
+	base := fpTestLib(t)
+	if err := base.Annotate(); err != nil {
+		t.Fatal(err)
+	}
+	baseFP := base.Fingerprint()
+
+	mutations := []struct {
+		name string
+		mut  func(l *Library)
+	}{
+		{"cell name", func(l *Library) { l.Cells[1].Name = "NAND2X" }},
+		{"area", func(l *Library) { l.Cells[1].Area += 0.5 }},
+		{"delay", func(l *Library) { l.Cells[1].Delay += 0.1 }},
+		{"shared pins", func(l *Library) { l.Cells[3].SharedPins = []string{"a"} }},
+		{"library name", func(l *Library) { l.Name = "other" }},
+		{"hazard annotation", func(l *Library) {
+			// Hand-edit one cell's hazard set: add a spurious static-1
+			// transition. Counts stay similar; the transition content must
+			// still be covered.
+			l.Cells[3].Hazards.Static1[hazard.Transition{From: 0, To: 3}] = struct{}{}
+		}},
+		{"hazard annotation dropped", func(l *Library) {
+			l.Cells[3].Hazards = nil
+		}},
+		{"extra cell", func(l *Library) { l.MustAdd("OR2", "a+b", 1) }},
+	}
+	for _, m := range mutations {
+		l := fpTestLib(t)
+		if err := l.Annotate(); err != nil {
+			t.Fatal(err)
+		}
+		m.mut(l)
+		if l.Fingerprint() == baseFP {
+			t.Errorf("mutating %s did not change the fingerprint", m.name)
+		}
+	}
+}
+
+// TestFingerprintNotMemoized: an in-place mutation after a Fingerprint
+// call must be observed by the next call.
+func TestFingerprintNotMemoized(t *testing.T) {
+	l := fpTestLib(t)
+	fp1 := l.Fingerprint()
+	l.Cells[0].Delay = 99
+	if l.Fingerprint() == fp1 {
+		t.Fatal("fingerprint memoized across a field mutation")
+	}
+}

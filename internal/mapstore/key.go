@@ -1,0 +1,52 @@
+package mapstore
+
+import (
+	"crypto/sha256"
+	"strconv"
+
+	"gfmap/internal/bexpr"
+)
+
+// ConeKey renders a cone function as a canonical signature: the expression
+// with every leaf renamed positionally (v0, v1, … in first-appearance
+// order within the expression). Two cones with the
+// same tree structure and the same leaf-equality pattern — regardless of
+// what their signals are called or where in a design they sit — get the
+// same signature, which is exactly the condition under which the covering
+// DP produces the same solution for both: leaf costs are context-free and
+// cluster functions are already positional.
+//
+// Deliberately NOT canonicalized further: operand order is preserved. The
+// DP breaks cost ties by first match found, so commutatively-sorted
+// operands could replay a solution whose tie-breaks differ from what a
+// cold run of this exact tree would choose, breaking byte-identity.
+func ConeKey(fn *bexpr.Function) string {
+	names := make(map[string]string, len(fn.Vars))
+	renamed := bexpr.Rename(fn.Root, func(s string) string {
+		n, ok := names[s]
+		if !ok {
+			n = "v" + strconv.Itoa(len(names))
+			names[s] = n
+		}
+		return n
+	})
+	return strconv.Itoa(len(names)) + ":" + renamed.String()
+}
+
+// EntryKey derives the content address of a cone's mapping result from
+// the full identity triple. Any change to the cone structure, to any
+// option-relevant library field (including hazard annotations — see
+// library.Fingerprint), or to any semantically relevant mapping option
+// changes the key, so a stale entry can never be served; it simply stops
+// being addressed.
+func EntryKey(coneKey, libFingerprint, optionHash string) Key {
+	h := sha256.New()
+	h.Write([]byte(coneKey))
+	h.Write([]byte{0})
+	h.Write([]byte(libFingerprint))
+	h.Write([]byte{0})
+	h.Write([]byte(optionHash))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}

@@ -1,0 +1,654 @@
+// Package mapstore is a persistent, content-addressed store of memoized
+// mapping results: per-cone covering solutions keyed by canonical cone
+// signature × library fingerprint × option hash.
+//
+// The paper's cone-by-cone matching/covering structure makes every mapped
+// cone a pure function of that triple, so a result computed once can be
+// replayed by any later run — in the same process, after an asyncmapd
+// restart, or in another process sharing the store file. Hazard analysis
+// dominates per-cone cost (hazard detection is NP-hard in general), so
+// serving a cone from the store skips the expensive part of the pipeline
+// entirely while producing byte-identical output: the store holds the DP's
+// *decisions*, and emission is recomputed from them deterministically.
+//
+// The store is two-tiered:
+//
+//   - an in-process LRU of entry values, bounding memory;
+//   - an on-disk append-only log of checksummed records, crash-safe by
+//     construction: every record carries a CRC over its header, key and
+//     value, a torn or truncated tail fails the checksum and is dropped
+//     (and healed away by truncation) at Open instead of being
+//     deserialized as garbage.
+//
+// Records are appended with a single O_APPEND write each, so two handles —
+// in one process or several — can interleave writes without corrupting one
+// another; readers pick up foreign appends by re-scanning the grown tail
+// on demand. Entries are content-addressed (the key is a SHA-256 of the
+// identity triple) and the value for a key is deterministic, so duplicate
+// appends are benign and the log can be compacted to live records at any
+// time. The design follows the crash-safe build-database idiom: append
+// for durability, checksum for integrity, compact for hygiene.
+package mapstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"gfmap/internal/obs"
+)
+
+// KeySize is the byte length of a store key (SHA-256).
+const KeySize = 32
+
+// Key addresses one entry: the SHA-256 of the entry's identity triple
+// (canonical cone signature, library fingerprint, option hash). See
+// EntryKey.
+type Key [KeySize]byte
+
+const (
+	// fileMagic opens every store file; a file without it is not a store.
+	fileMagic = "gfmaps01"
+	// recMagic opens every record.
+	recMagic = 0x3152534d // "MSR1" little-endian
+	// recHeaderSize is magic + value length.
+	recHeaderSize = 4 + 4
+	// maxValueSize bounds a single record's value — a sanity check that
+	// stops a corrupt length field from allocating gigabytes.
+	maxValueSize = 1 << 28
+	// DefaultMaxMemEntries bounds the in-process LRU tier.
+	DefaultMaxMemEntries = 4096
+)
+
+// Options configures a store.
+type Options struct {
+	// MaxMemEntries bounds the in-process LRU tier; 0 means
+	// DefaultMaxMemEntries.
+	MaxMemEntries int
+}
+
+// recref locates a record in the log file.
+type recref struct {
+	off    int64 // record start (the record magic)
+	vallen int   // value byte count
+}
+
+// lruEntry is one element of the memory tier.
+type lruEntry struct {
+	key        Key
+	val        []byte
+	prev, next *lruEntry // doubly linked, most-recent first
+}
+
+// Stats is a point-in-time snapshot of the store counters.
+type Stats struct {
+	// Hits counts Gets served from the memory tier, DiskHits those served
+	// by reading (and re-verifying) a log record. Misses counts Gets that
+	// found nothing in either tier.
+	Hits     uint64
+	DiskHits uint64
+	Misses   uint64
+	// Puts counts records appended to the log (or, for a memory-only
+	// store, entries newly inserted).
+	Puts uint64
+	// Evictions counts entries dropped from the memory LRU tier. Evicted
+	// entries with a disk record remain retrievable.
+	Evictions uint64
+	// Corrupt counts records rejected by checksum/structure validation —
+	// at Open (torn tail healed away), at read time (record rot), or
+	// flagged by the caller via MarkCorrupt (a record whose payload failed
+	// semantic validation).
+	Corrupt uint64
+	// Entries is the number of distinct keys reachable (disk index for a
+	// persistent store, memory tier for a memory-only one); MemEntries is
+	// the LRU occupancy; DiskBytes the log size in bytes.
+	Entries    int
+	MemEntries int
+	DiskBytes  int64
+}
+
+// Store is a two-tier content-addressed entry store. A nil *Store is valid
+// and inert: Get always misses and Put is a no-op, so callers can thread
+// an optional store without nil checks.
+type Store struct {
+	mu sync.Mutex
+
+	path string
+	f    *os.File // nil for a memory-only store
+
+	index   map[Key]recref // disk tier index (nil for memory-only)
+	scanned int64          // log offset up to which records were indexed
+
+	lru    map[Key]*lruEntry
+	head   *lruEntry // most recent
+	tail   *lruEntry // least recent
+	maxMem int
+
+	hits, diskHits, misses, puts, evictions, corrupt uint64
+}
+
+// NewMemory returns a store with no disk tier: entries live only in the
+// LRU (maxMemEntries, 0 = DefaultMaxMemEntries) and die with the process.
+// Used for tests and for the diffcheck store axes.
+func NewMemory(maxMemEntries int) *Store {
+	if maxMemEntries <= 0 {
+		maxMemEntries = DefaultMaxMemEntries
+	}
+	return &Store{lru: make(map[Key]*lruEntry), maxMem: maxMemEntries}
+}
+
+// Open opens (creating if absent) the store log at path and indexes its
+// records. A torn or corrupt tail — a crash mid-append — is detected by
+// checksum, counted, and healed by truncating the file back to the last
+// intact record, so the next append extends a clean log.
+func Open(path string, opts Options) (*Store, error) {
+	if opts.MaxMemEntries <= 0 {
+		opts.MaxMemEntries = DefaultMaxMemEntries
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("mapstore: open %s: %w", path, err)
+	}
+	s := &Store{
+		path:   path,
+		f:      f,
+		index:  make(map[Key]recref),
+		lru:    make(map[Key]*lruEntry),
+		maxMem: opts.MaxMemEntries,
+	}
+	if err := s.initFile(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// initFile validates the header (writing one into an empty file) and
+// indexes every intact record, healing a corrupt tail by truncation.
+func (s *Store) initFile() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("mapstore: stat %s: %w", s.path, err)
+	}
+	if fi.Size() == 0 {
+		if _, err := s.f.Write([]byte(fileMagic)); err != nil {
+			return fmt.Errorf("mapstore: write header: %w", err)
+		}
+		s.scanned = int64(len(fileMagic))
+		return nil
+	}
+	hdr := make([]byte, len(fileMagic))
+	if _, err := s.f.ReadAt(hdr, 0); err != nil || string(hdr) != fileMagic {
+		return fmt.Errorf("mapstore: %s is not a mapstore log (bad header)", s.path)
+	}
+	good, dropped, err := s.scanFrom(int64(len(fileMagic)), fi.Size())
+	if err != nil {
+		return err
+	}
+	s.scanned = good
+	s.corrupt += dropped
+	if good < fi.Size() {
+		// Heal: drop the bad tail so future appends start from an intact
+		// log. Only Open truncates — a live refresh may be observing
+		// another process's append in flight and must leave it alone.
+		if err := s.f.Truncate(good); err != nil {
+			return fmt.Errorf("mapstore: heal %s: truncate to %d: %w", s.path, good, err)
+		}
+	}
+	return nil
+}
+
+// scanFrom indexes records in [from, end), returning the offset just past
+// the last intact record and the number of record-shaped byte runs it had
+// to reject. Later records for a key supersede earlier ones (last wins),
+// so a Replace appended after a poisoned record takes effect on rescan.
+func (s *Store) scanFrom(from, end int64) (good int64, dropped uint64, err error) {
+	r := io.NewSectionReader(s.f, from, end-from)
+	br := newCountingReader(r)
+	good = from
+	var hdr [recHeaderSize]byte
+	var key Key
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return good, dropped, nil // clean end of log
+			}
+			return good, dropped + 1, nil // truncated header
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != recMagic {
+			return good, dropped + 1, nil
+		}
+		vallen := binary.LittleEndian.Uint32(hdr[4:8])
+		if vallen > maxValueSize {
+			return good, dropped + 1, nil
+		}
+		if _, err := io.ReadFull(br, key[:]); err != nil {
+			return good, dropped + 1, nil
+		}
+		val := make([]byte, vallen)
+		if _, err := io.ReadFull(br, val); err != nil {
+			return good, dropped + 1, nil
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return good, dropped + 1, nil
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[:])
+		crc.Write(key[:])
+		crc.Write(val)
+		if binary.LittleEndian.Uint32(crcBuf[:]) != crc.Sum32() {
+			return good, dropped + 1, nil
+		}
+		s.index[key] = recref{off: good, vallen: int(vallen)}
+		good = from + br.n
+	}
+}
+
+// countingReader tracks how many bytes have been consumed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func newCountingReader(r io.Reader) *countingReader { return &countingReader{r: r} }
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// recordSize returns the full on-disk size of a record with the given
+// value length.
+func recordSize(vallen int) int64 {
+	return int64(recHeaderSize + KeySize + vallen + 4)
+}
+
+// encodeRecord renders one record into a fresh buffer.
+func encodeRecord(key Key, val []byte) []byte {
+	buf := make([]byte, recordSize(len(val)))
+	binary.LittleEndian.PutUint32(buf[0:4], recMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(val)))
+	copy(buf[8:8+KeySize], key[:])
+	copy(buf[8+KeySize:], val)
+	crc := crc32.ChecksumIEEE(buf[:8+KeySize+len(val)])
+	binary.LittleEndian.PutUint32(buf[8+KeySize+len(val):], crc)
+	return buf
+}
+
+// Get returns the value stored under key. The returned slice is shared —
+// callers must treat it as read-only. The memory tier is consulted first,
+// then the disk index; on an index miss the log tail is re-scanned once,
+// so appends made by another process (or another handle) become visible
+// without reopening.
+func (s *Store) Get(key Key) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.lru[key]; ok {
+		s.moveToFront(e)
+		s.hits++
+		return e.val, true
+	}
+	if s.f == nil {
+		s.misses++
+		return nil, false
+	}
+	if val, ok := s.readDisk(key); ok {
+		s.diskHits++
+		s.insertLRU(key, val)
+		return val, true
+	}
+	// Pick up records appended since the last scan (possibly by another
+	// process) and retry once.
+	s.refreshLocked()
+	if val, ok := s.readDisk(key); ok {
+		s.diskHits++
+		s.insertLRU(key, val)
+		return val, true
+	}
+	s.misses++
+	return nil, false
+}
+
+// readDisk fetches and re-verifies the indexed record for key, dropping
+// the index entry if the bytes no longer check out.
+func (s *Store) readDisk(key Key) ([]byte, bool) {
+	ref, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	buf := make([]byte, recordSize(ref.vallen))
+	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
+		s.corrupt++
+		delete(s.index, key)
+		return nil, false
+	}
+	crc := crc32.ChecksumIEEE(buf[:len(buf)-4])
+	if binary.LittleEndian.Uint32(buf[len(buf)-4:]) != crc ||
+		binary.LittleEndian.Uint32(buf[0:4]) != recMagic {
+		s.corrupt++
+		delete(s.index, key)
+		return nil, false
+	}
+	var k Key
+	copy(k[:], buf[8:8+KeySize])
+	if k != key {
+		s.corrupt++
+		delete(s.index, key)
+		return nil, false
+	}
+	val := buf[8+KeySize : 8+KeySize+ref.vallen]
+	return val, true
+}
+
+// refreshLocked indexes any records appended past the scanned offset.
+// Unlike Open it never truncates: an incomplete tail may be another
+// process's append in flight, so scanning simply stops before it and the
+// next refresh retries.
+func (s *Store) refreshLocked() {
+	fi, err := s.f.Stat()
+	if err != nil || fi.Size() <= s.scanned {
+		return
+	}
+	good, _, _ := s.scanFrom(s.scanned, fi.Size())
+	s.scanned = good
+}
+
+// Put stores val under key if the key is not already present. Entries are
+// content-addressed — the value for a key is deterministic — so an
+// existing entry is left in place and only promoted in the memory tier.
+// The append is a single write, atomic with respect to concurrent
+// O_APPEND writers.
+func (s *Store) Put(key Key, val []byte) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.lru[key]; ok {
+		return nil
+	}
+	if s.f == nil {
+		s.puts++
+		s.insertLRU(key, val)
+		return nil
+	}
+	if _, ok := s.index[key]; ok {
+		s.insertLRU(key, val)
+		return nil
+	}
+	return s.appendLocked(key, val)
+}
+
+// Replace stores val under key unconditionally, superseding any existing
+// record (last record wins on scan). Used to repair an entry whose stored
+// payload failed semantic validation.
+func (s *Store) Replace(key Key, val []byte) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		s.puts++
+		if e, ok := s.lru[key]; ok {
+			e.val = val
+			s.moveToFront(e)
+			return nil
+		}
+		s.insertLRU(key, val)
+		return nil
+	}
+	return s.appendLocked(key, val)
+}
+
+// appendLocked writes one record and indexes it.
+func (s *Store) appendLocked(key Key, val []byte) error {
+	rec := encodeRecord(key, val)
+	// O_APPEND: the kernel seeks to the end and writes atomically, so
+	// records from concurrent handles never interleave. The offset the
+	// record actually landed at is only discoverable by re-scanning, so
+	// advance our own view first if another writer got in ahead.
+	s.refreshLocked()
+	off := s.scanned
+	if _, err := s.f.Write(rec); err != nil {
+		return fmt.Errorf("mapstore: append: %w", err)
+	}
+	// Verify the record landed where we believed the log ended; if a
+	// concurrent writer appended between refresh and write, rescan to
+	// index both correctly.
+	if fi, err := s.f.Stat(); err == nil && fi.Size() != off+int64(len(rec)) {
+		s.refreshLocked()
+	} else {
+		s.index[key] = recref{off: off, vallen: len(val)}
+		s.scanned = off + int64(len(rec))
+	}
+	s.puts++
+	s.insertLRU(key, val)
+	return nil
+}
+
+// MarkCorrupt records that a caller found an entry's payload semantically
+// invalid (the record checksum passed, but the decoded value did not).
+// The caller is expected to recompute and Replace the entry.
+func (s *Store) MarkCorrupt() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.corrupt++
+	s.mu.Unlock()
+}
+
+// insertLRU adds (or refreshes) a memory-tier entry, evicting from the
+// cold end past the cap.
+func (s *Store) insertLRU(key Key, val []byte) {
+	if e, ok := s.lru[key]; ok {
+		e.val = val
+		s.moveToFront(e)
+		return
+	}
+	e := &lruEntry{key: key, val: val}
+	s.lru[key] = e
+	s.pushFront(e)
+	for len(s.lru) > s.maxMem {
+		cold := s.tail
+		s.unlink(cold)
+		delete(s.lru, cold.key)
+		s.evictions++
+	}
+}
+
+func (s *Store) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *Store) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *Store) moveToFront(e *lruEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// Sync flushes appended records to stable storage.
+func (s *Store) Sync() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// Close syncs and closes the log. The store must not be used afterwards.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// Compact rewrites the log to contain exactly the live records (one per
+// key, in log order), dropping duplicates and superseded versions, then
+// atomically replaces the log file. Compaction is a maintenance operation
+// for a single owner: another process holding the old file keeps appending
+// to the replaced inode and its appends are lost to this store.
+func (s *Store) Compact() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	s.refreshLocked()
+	// Live records in log order, for temporal stability.
+	type kv struct {
+		key Key
+		ref recref
+	}
+	live := make([]kv, 0, len(s.index))
+	for k, ref := range s.index {
+		live = append(live, kv{k, ref})
+	}
+	for i := 1; i < len(live); i++ {
+		for j := i; j > 0 && live[j].ref.off < live[j-1].ref.off; j-- {
+			live[j], live[j-1] = live[j-1], live[j]
+		}
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("mapstore: compact: %w", err)
+	}
+	defer os.Remove(tmpPath)
+	if _, err := tmp.Write([]byte(fileMagic)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("mapstore: compact: %w", err)
+	}
+	newIndex := make(map[Key]recref, len(live))
+	off := int64(len(fileMagic))
+	for _, e := range live {
+		val, ok := s.readDisk(e.key)
+		if !ok {
+			continue // rotted record: drop it (already counted)
+		}
+		rec := encodeRecord(e.key, val)
+		if _, err := tmp.Write(rec); err != nil {
+			tmp.Close()
+			return fmt.Errorf("mapstore: compact: %w", err)
+		}
+		newIndex[e.key] = recref{off: off, vallen: len(val)}
+		off += int64(len(rec))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("mapstore: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("mapstore: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return fmt.Errorf("mapstore: compact: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("mapstore: compact: reopen: %w", err)
+	}
+	s.f.Close()
+	s.f = f
+	s.index = newIndex
+	s.scanned = off
+	return nil
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Hits:       s.hits,
+		DiskHits:   s.diskHits,
+		Misses:     s.misses,
+		Puts:       s.puts,
+		Evictions:  s.evictions,
+		Corrupt:    s.corrupt,
+		MemEntries: len(s.lru),
+	}
+	if s.f != nil {
+		st.Entries = len(s.index)
+		if fi, err := s.f.Stat(); err == nil {
+			st.DiskBytes = fi.Size()
+		}
+	} else {
+		st.Entries = len(s.lru)
+	}
+	return st
+}
+
+// ExportMetrics publishes the store counters as gauges into a metrics
+// registry. Safe to call repeatedly (gauges are set, not accumulated); a
+// nil store or registry is a no-op.
+func (s *Store) ExportMetrics(r *obs.Registry) {
+	if s == nil || r == nil {
+		return
+	}
+	st := s.Stats()
+	r.Gauge("mapstore_hits").Set(float64(st.Hits))
+	r.Gauge("mapstore_disk_hits").Set(float64(st.DiskHits))
+	r.Gauge("mapstore_misses").Set(float64(st.Misses))
+	r.Gauge("mapstore_puts").Set(float64(st.Puts))
+	r.Gauge("mapstore_evictions").Set(float64(st.Evictions))
+	r.Gauge("mapstore_corrupt").Set(float64(st.Corrupt))
+	r.Gauge("mapstore_entries").Set(float64(st.Entries))
+	r.Gauge("mapstore_mem_entries").Set(float64(st.MemEntries))
+	r.Gauge("mapstore_disk_bytes").Set(float64(st.DiskBytes))
+}

@@ -35,6 +35,7 @@ import (
 	"gfmap/internal/eqn"
 	"gfmap/internal/hazcache"
 	"gfmap/internal/library"
+	"gfmap/internal/mapstore"
 	"gfmap/internal/network"
 	"gfmap/internal/obs"
 )
@@ -70,6 +71,11 @@ type Config struct {
 	// the process-wide hazcache.Shared(). Requests share it by design:
 	// one request's analyses warm the next one's matching filter.
 	HazardCache *hazcache.Cache
+	// Store is the persistent content-addressed cone-solution store
+	// shared by every request; nil disables it. The store is owned by
+	// the caller (typically opened from a -store path in cmd/asyncmapd
+	// and closed on shutdown); its counters appear under /metrics.
+	Store *mapstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -442,6 +448,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge(MetricInflight).Set(float64(s.inflight.Load()))
 	s.reg.Gauge(MetricQueued).Set(float64(s.queued.Load()))
 	s.cfg.HazardCache.ExportMetrics(s.reg)
+	s.cfg.Store.ExportMetrics(s.reg)
 	snap := s.reg.Snapshot()
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -579,6 +586,7 @@ func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, erro
 		MaxBurst:    req.MaxBurst,
 		Workers:     s.cfg.MapWorkers,
 		HazardCache: s.cfg.HazardCache,
+		Store:       s.cfg.Store,
 		Metrics:     s.reg,
 	}
 	switch req.Mode {

@@ -8,11 +8,13 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"gfmap/internal/hazcache"
+	"gfmap/internal/mapstore"
 	"gfmap/internal/obs"
 )
 
@@ -344,5 +346,66 @@ func TestProtectIsolatesPanic(t *testing.T) {
 func TestUnknownLibraryAtStartup(t *testing.T) {
 	if _, err := New(Config{Libraries: []string{"NOPE"}}); err == nil {
 		t.Fatal("New accepted an unknown library")
+	}
+}
+
+// A server restarted onto the same store file serves byte-identical
+// responses with a warm-start hit rate > 0: the second process replays
+// every cone's covering solution from disk instead of re-running the DP.
+func TestStoreWarmRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "solutions.mapstore")
+	req := MapRequest{Name: "warm", Format: "eqn", Design: slowEqn(4), Library: "LSI9K", Mode: "async"}
+
+	st1, err := mapstore.Open(path, mapstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newTestServer(t, Config{Store: st1})
+	w := postJSON(t, s1.Handler(), "/map", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("first server: status %d: %s", w.Code, w.Body.String())
+	}
+	cold := decodeMapResponse(t, w)
+	if cold.Stats.StoreMisses == 0 {
+		t.Fatalf("cold server reported no store misses: %+v", cold.Stats)
+	}
+	if err := st1.Close(); err != nil { // "process" one exits
+		t.Fatal(err)
+	}
+
+	st2, err := mapstore.Open(path, mapstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2 := newTestServer(t, Config{Store: st2})
+	w = postJSON(t, s2.Handler(), "/map", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("restarted server: status %d: %s", w.Code, w.Body.String())
+	}
+	warm := decodeMapResponse(t, w)
+
+	if warm.Netlist != cold.Netlist {
+		t.Errorf("restart changed the netlist:\ncold:\n%s\nwarm:\n%s", cold.Netlist, warm.Netlist)
+	}
+	if warm.Gates != cold.Gates || warm.Area != cold.Area || warm.Delay != cold.Delay {
+		t.Errorf("restart changed the summary: cold=%+v warm=%+v", cold, warm)
+	}
+	if cd, wd := cold.Stats.Deterministic(), warm.Stats.Deterministic(); cd != wd {
+		t.Errorf("restart changed deterministic stats:\ncold %+v\nwarm %+v", cd, wd)
+	}
+	if warm.Stats.StoreHits == 0 {
+		t.Errorf("restarted server had no warm hits: %+v", warm.Stats)
+	}
+	if warm.Stats.StoreHits != warm.Stats.Cones || warm.Stats.StoreMisses != 0 {
+		t.Errorf("warm restart: hits=%d misses=%d, want %d hits 0 misses",
+			warm.Stats.StoreHits, warm.Stats.StoreMisses, warm.Stats.Cones)
+	}
+
+	// The store's counters are visible on the restarted server's /metrics.
+	mw := httptest.NewRecorder()
+	s2.Handler().ServeHTTP(mw, httptest.NewRequest(http.MethodGet, "/metrics?format=text", nil))
+	if !strings.Contains(mw.Body.String(), "mapstore_hits") {
+		t.Errorf("/metrics missing mapstore gauges:\n%s", mw.Body.String())
 	}
 }
