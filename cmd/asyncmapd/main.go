@@ -16,9 +16,13 @@
 // server replays them and answers byte-identically with a warm hit rate
 // from the first request. See docs/CACHING.md.
 //
-// Endpoints: POST /map, POST /map/batch, GET /healthz, GET /metrics
-// (add ?format=text for a flat text dump), and /debug/pprof/ with -pprof.
-// See docs/SERVING.md for the request/response schema.
+// Endpoints: POST /map, POST /map/batch, GET /healthz (readiness
+// detail), GET /statusz (rolling per-stage latency, in-flight requests),
+// GET /metrics (Prometheus text with ?format=prom or Accept: text/plain;
+// ?format=text for a flat dump; JSON otherwise), and /debug/pprof/ with
+// -pprof. Every log line — startup, access, panic, drain — is one
+// structured JSON object on stderr. See docs/SERVING.md for the
+// request/response schema.
 package main
 
 import (
@@ -26,7 +30,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,6 +39,7 @@ import (
 
 	"gfmap/internal/library"
 	"gfmap/internal/mapstore"
+	"gfmap/internal/obs"
 	"gfmap/internal/server"
 )
 
@@ -62,12 +66,18 @@ func main() {
 	}
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr)
+	fatal := func(msg string, err error) {
+		logger.Error(msg).Str("error", err.Error()).Send()
+		os.Exit(1)
+	}
+
 	var store *mapstore.Store
 	if *storeTo != "" {
 		var err error
 		store, err = mapstore.Open(*storeTo, mapstore.Options{MaxMemEntries: *storeMem})
 		if err != nil {
-			log.Fatalf("asyncmapd: open store %s: %v", *storeTo, err)
+			fatal("open store", err)
 		}
 		defer store.Close()
 	}
@@ -91,7 +101,7 @@ func main() {
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
-		log.Fatalf("asyncmapd: %v", err)
+		fatal("startup", err)
 	}
 
 	httpSrv := &http.Server{
@@ -109,17 +119,23 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("asyncmapd: serving on %s (libraries: %s)", *addr, strings.Join(loaded, ", "))
+		logger.Info("serving").
+			Str("addr", *addr).
+			Str("libraries", strings.Join(loaded, ",")).
+			Bool("store", store != nil).
+			Int("max_concurrent", int64(*maxConc)).
+			Int("queue", int64(*queue)).
+			Send()
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		log.Fatalf("asyncmapd: %v", err)
+		fatal("serve", err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("asyncmapd: shutting down (drain budget %s)", *drain)
+	logger.Info("shutting down").Str("drain_budget", drain.String()).Send()
 	// Shutdown stops accepting and waits for in-flight requests; their
 	// mapping contexts are children of the request contexts, which the
 	// server cancels when the drain budget runs out.
@@ -127,9 +143,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("asyncmapd: drain budget exhausted, aborting in-flight requests")
+			logger.Warn("drain budget exhausted, aborting in-flight requests").Send()
 		}
 		httpSrv.Close()
 	}
-	log.Printf("asyncmapd: stopped")
+	logger.Info("stopped").Send()
 }

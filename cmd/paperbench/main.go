@@ -30,6 +30,8 @@ func main() {
 	figures := flag.Bool("figures", false, "also regenerate the conceptual figures")
 	jsonOut := flag.String("json", "", "write a fingerprinted JSON benchmark report to this file (\"-\" for stdout) instead of the text tables")
 	jsonLib := flag.String("lib", "LSI9K", "cell library for the -json report")
+	runs := flag.Int("runs", 1, "map each design this many times in the -json report, keeping the fastest wall time")
+	noSynth := flag.Bool("nosynth", false, "restrict the -json report to the paper suite (no synthetic scaling corpus)")
 	flag.Parse()
 
 	want := func(n string) bool { return *only == "" || *only == n }
@@ -39,7 +41,7 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		if err := writeJSONReport(*jsonOut, *jsonLib); err != nil {
+		if err := writeJSONReport(*jsonOut, *jsonLib, bench.ReportOptions{Runs: *runs, NoSynthetic: *noSynth}); err != nil {
 			fail(err)
 		}
 		return
@@ -101,10 +103,10 @@ func main() {
 	fmt.Println("All requested tables regenerated.")
 }
 
-// writeJSONReport runs the benchmark suite with metrics enabled and
+// writeJSONReport runs the benchmark corpus with metrics enabled and
 // writes the fingerprinted report to path ("-" = stdout).
-func writeJSONReport(path, libName string) error {
-	rep, err := bench.JSONReport(libName)
+func writeJSONReport(path, libName string, opts bench.ReportOptions) error {
+	rep, err := bench.JSONReport(libName, opts)
 	if err != nil {
 		return err
 	}

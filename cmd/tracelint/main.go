@@ -1,11 +1,14 @@
-// Command tracelint validates the observability artifacts emitted by
-// asyncmap: a Chrome trace-event JSON file (-trace) and, optionally, a
-// JSONL event log (-events). It is the schema checker the CI trace smoke
-// test runs, and a quick sanity gate before loading a trace in Perfetto.
+// Command tracelint validates the observability artifacts the system
+// emits: Chrome trace-event JSON files, JSONL event logs, the server's
+// structured JSON access logs, and BENCH_*.json benchmark trajectory
+// reports. It is the schema checker CI runs over every artifact, and a
+// quick sanity gate before loading a trace in Perfetto.
 //
 // Usage:
 //
 //	tracelint [-require name,name,...] trace.json [events.jsonl]
+//	tracelint -accesslog access.log
+//	tracelint -benchjson BENCH_rev.json
 //
 // Checks performed on the Chrome trace:
 //   - the file is a JSON object with a traceEvents array (or a bare
@@ -20,6 +23,15 @@
 // Checks performed on the JSONL log: every non-empty line is a JSON
 // object with "name", "ts_us" and "ph" fields.
 //
+// Checks performed on the access log (-accesslog): every non-empty line
+// is a JSON object with a parseable RFC3339 "ts", a known "level" and a
+// nonempty "msg"; "request" lines additionally carry request_id, method,
+// path, a numeric status and a nonnegative elapsed_ms.
+//
+// Checks performed on the bench report (-benchjson): a complete
+// environment fingerprint, a parseable created_at stamp, and per design
+// a name, a nonempty mapping (gates/area) and nonnegative perf columns.
+//
 // Exit status 0 if every check passes, 1 otherwise.
 package main
 
@@ -30,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 )
 
 // event mirrors the subset of the Chrome trace-event schema we validate.
@@ -45,21 +58,35 @@ type event struct {
 func main() {
 	require := flag.String("require", "decompose,partition,cuts,match,cover,emit",
 		"comma-separated span names that must appear in the trace")
+	accessLog := flag.String("accesslog", "", "validate a structured JSON access-log file")
+	benchJSON := flag.String("benchjson", "", "validate a BENCH_*.json benchmark trajectory report")
 	flag.Parse()
-	if flag.NArg() < 1 || flag.NArg() > 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracelint [-require names] trace.json [events.jsonl]")
+	if (flag.NArg() < 1 && *accessLog == "" && *benchJSON == "") || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint [-require names] [-accesslog FILE] [-benchjson FILE] [trace.json [events.jsonl]]")
 		os.Exit(1)
 	}
 	var problems []string
-	spans, tracks, total, perr := lintChromeTrace(flag.Arg(0), strings.Split(*require, ","))
-	problems = append(problems, perr...)
+	if flag.NArg() >= 1 {
+		spans, tracks, total, perr := lintChromeTrace(flag.Arg(0), strings.Split(*require, ","))
+		problems = append(problems, perr...)
+		fmt.Printf("tracelint: %s: %d events, %d tracks, %d distinct span names\n",
+			flag.Arg(0), total, tracks, spans)
+	}
 	if flag.NArg() == 2 {
 		lines, perr := lintJSONL(flag.Arg(1))
 		problems = append(problems, perr...)
 		fmt.Printf("tracelint: %s: %d lines ok\n", flag.Arg(1), lines)
 	}
-	fmt.Printf("tracelint: %s: %d events, %d tracks, %d distinct span names\n",
-		flag.Arg(0), total, tracks, spans)
+	if *accessLog != "" {
+		lines, perr := lintAccessLog(*accessLog)
+		problems = append(problems, perr...)
+		fmt.Printf("tracelint: %s: %d access-log lines ok\n", *accessLog, lines)
+	}
+	if *benchJSON != "" {
+		designs, perr := lintBenchJSON(*benchJSON)
+		problems = append(problems, perr...)
+		fmt.Printf("tracelint: %s: %d design rows ok\n", *benchJSON, designs)
+	}
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, "tracelint:", p)
@@ -67,6 +94,132 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("tracelint: OK")
+}
+
+// lintAccessLog validates the server's structured JSON access log: the
+// shared line envelope (ts/level/msg) on every line, plus the request
+// schema on "request" lines.
+func lintAccessLog(path string) (lines int, problems []string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, []string{err.Error()}
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	no := 0
+	levels := map[string]bool{"info": true, "warn": true, "error": true}
+	for sc.Scan() {
+		no++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			problems = append(problems, fmt.Sprintf("%s:%d: invalid JSON: %v", path, no, err))
+			continue
+		}
+		bad := false
+		ts, _ := rec["ts"].(string)
+		if _, err := time.Parse(time.RFC3339Nano, ts); err != nil {
+			problems = append(problems, fmt.Sprintf("%s:%d: ts %q not RFC3339", path, no, ts))
+			bad = true
+		}
+		if lv, _ := rec["level"].(string); !levels[lv] {
+			problems = append(problems, fmt.Sprintf("%s:%d: unknown level %q", path, no, rec["level"]))
+			bad = true
+		}
+		msg, _ := rec["msg"].(string)
+		if msg == "" {
+			problems = append(problems, fmt.Sprintf("%s:%d: missing msg", path, no))
+			bad = true
+		}
+		if msg == "request" {
+			for _, key := range []string{"request_id", "method", "path"} {
+				if v, _ := rec[key].(string); v == "" {
+					problems = append(problems, fmt.Sprintf("%s:%d: request line missing %s", path, no, key))
+					bad = true
+				}
+			}
+			if st, ok := rec["status"].(float64); !ok || st < 100 || st > 599 {
+				problems = append(problems, fmt.Sprintf("%s:%d: request line status %v out of range", path, no, rec["status"]))
+				bad = true
+			}
+			if ms, ok := rec["elapsed_ms"].(float64); !ok || ms < 0 {
+				problems = append(problems, fmt.Sprintf("%s:%d: request line elapsed_ms %v invalid", path, no, rec["elapsed_ms"]))
+				bad = true
+			}
+		}
+		if !bad {
+			lines++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+	}
+	return lines, problems
+}
+
+// lintBenchJSON validates a BENCH_*.json trajectory report's schema.
+func lintBenchJSON(path string) (designs int, problems []string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, []string{err.Error()}
+	}
+	var rep struct {
+		Fingerprint struct {
+			GoVersion string `json:"go_version"`
+			GOOS      string `json:"goos"`
+			GOARCH    string `json:"goarch"`
+			NumCPU    int    `json:"num_cpu"`
+			Library   string `json:"library"`
+		} `json:"fingerprint"`
+		CreatedAt string `json:"created_at"`
+		Mode      string `json:"mode"`
+		Runs      int    `json:"runs"`
+		Designs   []struct {
+			Design      string  `json:"design"`
+			Gates       int     `json:"gates"`
+			Area        float64 `json:"area"`
+			Delay       float64 `json:"delay"`
+			WallMS      float64 `json:"wall_ms"`
+			AllocsPerOp uint64  `json:"allocs_per_op"`
+		} `json:"designs"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return 0, []string{fmt.Sprintf("%s: invalid JSON: %v", path, err)}
+	}
+	fp := rep.Fingerprint
+	if fp.GoVersion == "" || fp.GOOS == "" || fp.GOARCH == "" || fp.NumCPU < 1 || fp.Library == "" {
+		problems = append(problems, fmt.Sprintf("%s: incomplete fingerprint: %+v", path, fp))
+	}
+	if _, err := time.Parse(time.RFC3339, rep.CreatedAt); err != nil {
+		problems = append(problems, fmt.Sprintf("%s: created_at %q not RFC3339", path, rep.CreatedAt))
+	}
+	if rep.Mode == "" || rep.Runs < 1 {
+		problems = append(problems, fmt.Sprintf("%s: missing mode/runs (%q, %d)", path, rep.Mode, rep.Runs))
+	}
+	if len(rep.Designs) == 0 {
+		problems = append(problems, fmt.Sprintf("%s: no design rows", path))
+	}
+	seen := map[string]bool{}
+	for i, d := range rep.Designs {
+		switch {
+		case d.Design == "":
+			problems = append(problems, fmt.Sprintf("%s: design %d has no name", path, i))
+		case seen[d.Design]:
+			problems = append(problems, fmt.Sprintf("%s: duplicate design %q", path, d.Design))
+		case d.Gates <= 0 || d.Area <= 0:
+			problems = append(problems, fmt.Sprintf("%s: %s: empty mapping (gates=%d area=%g)", path, d.Design, d.Gates, d.Area))
+		case d.WallMS < 0 || d.Delay < 0:
+			problems = append(problems, fmt.Sprintf("%s: %s: negative perf columns", path, d.Design))
+		default:
+			seen[d.Design] = true
+			designs++
+		}
+	}
+	return designs, problems
 }
 
 // lintChromeTrace validates one Chrome trace file, returning the distinct

@@ -1,0 +1,214 @@
+package bench
+
+// The benchmark regression gate: compares a fresh report against the
+// newest checked-in trajectory file (benchdata/BENCH_*.json) and flags
+// designs whose wall time, allocation count or mapping quality regressed
+// past the thresholds. Quality (area/delay/gates) and allocation counts
+// are deterministic, so they gate unconditionally; wall time is gated
+// only between reports whose environment fingerprints are comparable —
+// a baseline recorded on different hardware says nothing about speed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// GateThresholds bounds how much worse a fresh report may be before the
+// gate fails. Ratios are fresh/baseline; zero fields get the defaults.
+type GateThresholds struct {
+	// MaxWallRatio gates best-of-runs wall time; 0 means 1.5 (noise from
+	// shared CI runners needs generous headroom).
+	MaxWallRatio float64
+	// WallFloorMS exempts designs from the wall gate while both sides
+	// map in under this many milliseconds — scheduler noise dominates
+	// sub-floor timings and a ratio on them is meaningless; 0 means 10.
+	WallFloorMS float64
+	// MaxAllocRatio gates allocations per mapping; 0 means 1.3.
+	MaxAllocRatio float64
+	// MaxAreaRatio and MaxDelayRatio gate mapped QoR. The mapper is
+	// deterministic, so these are tight: 0 means 1.02 and 1.05.
+	MaxAreaRatio  float64
+	MaxDelayRatio float64
+}
+
+func (t GateThresholds) withDefaults() GateThresholds {
+	if t.MaxWallRatio <= 0 {
+		t.MaxWallRatio = 1.5
+	}
+	if t.WallFloorMS <= 0 {
+		t.WallFloorMS = 10
+	}
+	if t.MaxAllocRatio <= 0 {
+		t.MaxAllocRatio = 1.3
+	}
+	if t.MaxAreaRatio <= 0 {
+		t.MaxAreaRatio = 1.02
+	}
+	if t.MaxDelayRatio <= 0 {
+		t.MaxDelayRatio = 1.05
+	}
+	return t
+}
+
+// Regression is one gated metric that got worse than its threshold
+// allows on one design.
+type Regression struct {
+	Design string  `json:"design"`
+	Metric string  `json:"metric"` // "wall_ms", "allocs_per_op", "area", "delay"
+	Base   float64 `json:"base"`
+	Fresh  float64 `json:"fresh"`
+	Ratio  float64 `json:"ratio"`
+	Limit  float64 `json:"limit"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx, limit %.2fx)",
+		r.Design, r.Metric, r.Base, r.Fresh, r.Ratio, r.Limit)
+}
+
+// Comparable reports whether wall times from two fingerprints can be
+// meaningfully compared: same platform and CPU count. Go version and
+// git revision may differ — that is exactly what the trajectory tracks.
+func Comparable(a, b Fingerprint) bool {
+	return a.GOOS == b.GOOS && a.GOARCH == b.GOARCH && a.NumCPU == b.NumCPU
+}
+
+// CompareReports gates fresh against base, returning the regressions
+// past threshold and human-readable notes on what was (and was not)
+// compared. An empty regression list means the gate passes.
+func CompareReports(base, fresh *Report, th GateThresholds) ([]Regression, []string) {
+	th = th.withDefaults()
+	var regs []Regression
+	var notes []string
+
+	if base.Fingerprint.Library != fresh.Fingerprint.Library {
+		notes = append(notes, fmt.Sprintf(
+			"libraries differ (%s vs %s): only wall/alloc trends are meaningless, skipping all gates",
+			base.Fingerprint.Library, fresh.Fingerprint.Library))
+		return nil, notes
+	}
+	wallOK := Comparable(base.Fingerprint, fresh.Fingerprint)
+	if !wallOK {
+		notes = append(notes, fmt.Sprintf(
+			"fingerprints not comparable (%s/%s %d-cpu vs %s/%s %d-cpu): wall-time gate skipped",
+			base.Fingerprint.GOOS, base.Fingerprint.GOARCH, base.Fingerprint.NumCPU,
+			fresh.Fingerprint.GOOS, fresh.Fingerprint.GOARCH, fresh.Fingerprint.NumCPU))
+	}
+
+	baseBy := make(map[string]DesignReport, len(base.Designs))
+	for _, d := range base.Designs {
+		baseBy[d.Design] = d
+	}
+	compared := 0
+	for _, f := range fresh.Designs {
+		b, ok := baseBy[f.Design]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: new design, no baseline (skipped)", f.Design))
+			continue
+		}
+		delete(baseBy, f.Design)
+		compared++
+		check := func(metric string, bv, fv, limit float64) {
+			if bv <= 0 {
+				return // nothing to ratio against
+			}
+			if ratio := fv / bv; ratio > limit {
+				regs = append(regs, Regression{
+					Design: f.Design, Metric: metric,
+					Base: bv, Fresh: fv, Ratio: ratio, Limit: limit,
+				})
+			}
+		}
+		check("area", b.Area, f.Area, th.MaxAreaRatio)
+		check("delay", b.Delay, f.Delay, th.MaxDelayRatio)
+		check("allocs_per_op", float64(b.AllocsPerOp), float64(f.AllocsPerOp), th.MaxAllocRatio)
+		if wallOK && (b.WallMS >= th.WallFloorMS || f.WallMS >= th.WallFloorMS) {
+			check("wall_ms", b.WallMS, f.WallMS, th.MaxWallRatio)
+		}
+	}
+	for name := range baseBy {
+		notes = append(notes, fmt.Sprintf("%s: in baseline but not in fresh report", name))
+	}
+	if compared == 0 {
+		notes = append(notes, "no common designs: nothing was gated")
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Design != regs[j].Design {
+			return regs[i].Design < regs[j].Design
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	sort.Strings(notes)
+	return regs, notes
+}
+
+// LoadReport reads one BENCH_*.json trajectory file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if len(rep.Designs) == 0 {
+		return nil, fmt.Errorf("bench: %s has no designs", path)
+	}
+	return &rep, nil
+}
+
+// NewestBenchFile finds the most recent BENCH_*.json in dir, ordered by
+// the reports' CreatedAt stamps (file modification time breaks ties and
+// covers reports that predate the stamp).
+func NewestBenchFile(dir string) (string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(paths) == 0 {
+		return "", fmt.Errorf("bench: no BENCH_*.json files in %s", dir)
+	}
+	type cand struct {
+		path    string
+		created string
+		mod     int64
+	}
+	cands := make([]cand, 0, len(paths))
+	for _, p := range paths {
+		c := cand{path: p}
+		if fi, err := os.Stat(p); err == nil {
+			c.mod = fi.ModTime().UnixNano()
+		}
+		if rep, err := LoadReport(p); err == nil {
+			c.created = rep.CreatedAt
+		}
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].created != cands[j].created {
+			return cands[i].created > cands[j].created // RFC3339 sorts lexically
+		}
+		if cands[i].mod != cands[j].mod {
+			return cands[i].mod > cands[j].mod
+		}
+		return cands[i].path > cands[j].path
+	})
+	return cands[0].path, nil
+}
+
+// BenchFileName names a trajectory file for a report: BENCH_<rev>.json,
+// where rev is the git describe string (path-safe) or the created-at
+// stamp when the revision is unknown.
+func BenchFileName(rep *Report) string {
+	rev := rep.Fingerprint.GitDescribe
+	if rev == "" {
+		rev = strings.NewReplacer(":", "", "-", "", "+", "").Replace(rep.CreatedAt)
+	}
+	rev = strings.NewReplacer("/", "_", " ", "_").Replace(rev)
+	return "BENCH_" + rev + ".json"
+}

@@ -28,21 +28,30 @@ func TestJSONReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("maps the whole suite")
 	}
-	rep, err := JSONReport("Actel")
+	rep, err := JSONReport("Actel", ReportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	names := DesignNames()
-	if len(rep.Designs) != len(names) {
-		t.Fatalf("report has %d designs, want %d", len(rep.Designs), len(names))
+	want := len(DesignNames()) + len(SynthDesignNames())
+	if len(rep.Designs) != want {
+		t.Fatalf("report has %d designs, want %d (paper suite + synthetic corpus)", len(rep.Designs), want)
 	}
 	if rep.Mode != "async" {
 		t.Errorf("mode = %q", rep.Mode)
+	}
+	if !rep.Synthetic || rep.Runs != 1 {
+		t.Errorf("corpus flags: synthetic=%v runs=%d", rep.Synthetic, rep.Runs)
+	}
+	if rep.CreatedAt == "" {
+		t.Error("report missing created_at stamp")
 	}
 	var sawHazard bool
 	for _, d := range rep.Designs {
 		if d.Gates == 0 || d.Area == 0 {
 			t.Errorf("%s: empty mapping in report", d.Design)
+		}
+		if d.WallMS <= 0 || d.AllocsPerOp == 0 {
+			t.Errorf("%s: missing perf columns: wall=%g allocs=%d", d.Design, d.WallMS, d.AllocsPerOp)
 		}
 		h, ok := d.Histograms[core.MetricCutsPerNode]
 		if !ok || h.Count == 0 {

@@ -1,0 +1,65 @@
+package bench
+
+// Synthetic benchmark corpus: deterministic random networks from the
+// diffcheck generator at roughly ten times the paper suite's node count.
+// The paper's controllers are small (tens of literals per slice); these
+// designs stress the mapper's scaling behaviour — cut enumeration over
+// reconvergent fanout, the hazard filter on wide supports, DP sizing —
+// so the perf trajectory catches regressions the paper-scale suite is
+// too small to feel. Fixed seeds make every corpus build byte-identical.
+
+import (
+	"fmt"
+	"sync"
+
+	"gfmap/internal/diffcheck"
+)
+
+// synthSpecs fixes the synthetic corpus. Seeds and configs are part of
+// the benchmark contract: changing either invalidates wall-time and
+// allocation comparisons against older BENCH_*.json files.
+var synthSpecs = []struct {
+	name string
+	seed uint64
+	cfg  diffcheck.GenConfig
+}{
+	// Dense reconvergence, default fanin: the common shape.
+	{"synth-recon-100", 9001, diffcheck.GenConfig{Inputs: 10, Nodes: 100, MaxFanin: 4, WidePeriod: 7}},
+	// Wider nodes every 5th: stresses the exact hazard analysis bounds.
+	{"synth-wide-110", 9002, diffcheck.GenConfig{Inputs: 10, Nodes: 110, MaxFanin: 4, WidePeriod: 5}},
+	// No wide nodes, deeper chains: stresses cut enumeration depth.
+	{"synth-deep-120", 9003, diffcheck.GenConfig{Inputs: 12, Nodes: 120, MaxFanin: 4, WidePeriod: -1}},
+	// Higher fanin: bigger clusters, more matches per cone.
+	{"synth-fanin-100", 9004, diffcheck.GenConfig{Inputs: 10, Nodes: 100, MaxFanin: 5, WidePeriod: -1}},
+}
+
+var (
+	synthOnce sync.Once
+	synthDs   []*Design
+	synthErr  error
+)
+
+// SynthDesigns returns the synthetic corpus (generated once, cached).
+func SynthDesigns() ([]*Design, error) {
+	synthOnce.Do(func() {
+		for _, spec := range synthSpecs {
+			net := diffcheck.Generate(spec.seed, spec.cfg)
+			if err := net.Validate(); err != nil {
+				synthErr = fmt.Errorf("bench: synthetic design %s: %w", spec.name, err)
+				return
+			}
+			net.Name = spec.name
+			synthDs = append(synthDs, &Design{Name: spec.name, Net: net, Slices: 1})
+		}
+	})
+	return synthDs, synthErr
+}
+
+// SynthDesignNames lists the synthetic corpus in declaration order.
+func SynthDesignNames() []string {
+	names := make([]string, len(synthSpecs))
+	for i, s := range synthSpecs {
+		names[i] = s.name
+	}
+	return names
+}

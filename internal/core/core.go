@@ -159,6 +159,14 @@ type Options struct {
 	// the per-cone covering work, so CPU profiles taken during a run can
 	// be sliced by worker goroutine and by cone.
 	ProfileLabels bool
+	// RequestID, when non-empty, correlates this run with a service
+	// request: every pipeline phase span carries it as a request_id
+	// attribute and (with ProfileLabels) the per-cone work is labelled
+	// "request" in CPU profiles, so one request can be followed from the
+	// server's access log into traces and profiles. Semantically
+	// transparent — it never changes the mapping and is excluded from the
+	// store/delta option hash.
+	RequestID string
 }
 
 func (o Options) withDefaults() Options {
@@ -405,8 +413,8 @@ func MapDelta(prev *Result, net *network.Network, lib *library.Library, opts Opt
 // or its deterministic work counters; it is the option component of a
 // mapstore entry key and of a delta seed's compatibility tag. Fields that
 // are semantically transparent (Workers, hazard-cache selection, tracing,
-// metrics, context) are deliberately excluded so runs differing only in
-// them share entries. DisableMatchIndex does not change the netlist but
+// metrics, context, RequestID) are deliberately excluded so runs differing
+// only in them share entries. DisableMatchIndex does not change the netlist but
 // does change the deterministic matching counters replayed from a
 // solution, so it must fork the key space. opts must already have
 // defaults applied, so explicit defaults and zero values hash alike.
@@ -431,8 +439,16 @@ func mapPipeline(net *network.Network, lib *library.Library, opts Options, seed 
 		evictions0 = opts.HazardCache.Stats().Evictions
 	}
 	tr := opts.Tracer
+	// stamp correlates a phase span with the service request that owns
+	// this run (no-op when RequestID is empty or tracing is off).
+	stamp := func(sp *obs.Span) {
+		if opts.RequestID != "" {
+			sp.SetStr("request_id", opts.RequestID)
+		}
+	}
 	phase := time.Now()
 	dsp := tr.StartSpan("decompose")
+	stamp(&dsp)
 	decomposed, err := network.AsyncTechDecomp(net)
 	dsp.End()
 	if err != nil {
@@ -441,6 +457,7 @@ func mapPipeline(net *network.Network, lib *library.Library, opts Options, seed 
 	decomposeTime := time.Since(phase)
 	phase = time.Now()
 	psp := tr.StartSpan("partition")
+	stamp(&psp)
 	cones, err := network.Partition(decomposed)
 	if err != nil {
 		psp.End()
@@ -481,6 +498,7 @@ func mapPipeline(net *network.Network, lib *library.Library, opts Options, seed 
 	}
 	phase = time.Now()
 	csp := tr.StartSpan("cover")
+	stamp(&csp)
 	csp.SetInt("workers", int64(opts.Workers))
 	csp.SetInt("cones", int64(len(cones)))
 	prepared, err := m.prepareCones(cones)
@@ -494,6 +512,7 @@ func mapPipeline(net *network.Network, lib *library.Library, opts Options, seed 
 	m.stats.CoverTime = time.Since(phase)
 	phase = time.Now()
 	esp := tr.StartSpan("emit")
+	stamp(&esp)
 	for i, pc := range prepared {
 		if err := ctxErr(opts.Ctx); err != nil {
 			esp.End()

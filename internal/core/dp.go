@@ -288,13 +288,19 @@ func (m *mapper) prepareCone(cone network.Cone) (*preparedCone, error) {
 }
 
 // prepareConeProfiled runs prepareCone, attaching runtime/pprof labels
-// ("worker", "cone") when Options.ProfileLabels is set so CPU profiles
-// can be sliced per worker goroutine and per cone.
+// ("worker", "cone" — plus "request" when the run carries a request ID)
+// when Options.ProfileLabels is set so CPU profiles can be sliced per
+// worker goroutine, per cone, and per in-flight service request.
 func (m *mapper) prepareConeProfiled(cone network.Cone) (pc *preparedCone, err error) {
 	if !m.opts.ProfileLabels {
 		return m.prepareCone(cone)
 	}
-	labels := pprof.Labels("worker", strconv.Itoa(m.tid), "cone", cone.Root)
+	var labels pprof.LabelSet
+	if m.opts.RequestID != "" {
+		labels = pprof.Labels("worker", strconv.Itoa(m.tid), "cone", cone.Root, "request", m.opts.RequestID)
+	} else {
+		labels = pprof.Labels("worker", strconv.Itoa(m.tid), "cone", cone.Root)
+	}
 	pprof.Do(context.Background(), labels, func(context.Context) {
 		pc, err = m.prepareCone(cone)
 	})

@@ -1,0 +1,166 @@
+package obs
+
+// Structured JSON logging for the serving layer. Every line is one JSON
+// object — {"ts":...,"level":...,"msg":...,<fields>} — so server output
+// is machine-parseable end to end (the access-log schema cmd/tracelint
+// validates). The fast path reuses pooled line buffers: emitting a line
+// with string/int/float fields is allocation-free in steady state, which
+// the package benchmarks assert. A nil *Logger is valid and fully
+// disabled; every method on it (and on the nil *LogLine it hands out)
+// is a no-op, matching the tracer's nil-off discipline.
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Logger writes one JSON object per line to w, serialised by an internal
+// mutex so concurrent requests never interleave bytes.
+type Logger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	pool sync.Pool
+	// now is replaceable in tests for stable timestamps.
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing to w; a nil w yields a nil (fully
+// disabled) logger.
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	l := &Logger{w: w, now: time.Now}
+	l.pool.New = func() any { return &LogLine{buf: make([]byte, 0, 512)} }
+	return l
+}
+
+// LogLine is one structured line under construction. Append fields with
+// Str/Int/Float/Bool and finish with Send. A nil *LogLine (from a nil
+// logger) is inert.
+type LogLine struct {
+	lg  *Logger
+	buf []byte
+}
+
+func (l *Logger) line(level, msg string) *LogLine {
+	if l == nil {
+		return nil
+	}
+	e := l.pool.Get().(*LogLine)
+	e.lg = l
+	e.buf = append(e.buf[:0], `{"ts":"`...)
+	e.buf = l.now().UTC().AppendFormat(e.buf, time.RFC3339Nano)
+	e.buf = append(e.buf, `","level":"`...)
+	e.buf = append(e.buf, level...)
+	e.buf = append(e.buf, `","msg":`...)
+	e.buf = appendJSONString(e.buf, msg)
+	return e
+}
+
+// Info opens an info-level line.
+func (l *Logger) Info(msg string) *LogLine { return l.line("info", msg) }
+
+// Warn opens a warn-level line.
+func (l *Logger) Warn(msg string) *LogLine { return l.line("warn", msg) }
+
+// Error opens an error-level line.
+func (l *Logger) Error(msg string) *LogLine { return l.line("error", msg) }
+
+// Str appends a string field.
+func (e *LogLine) Str(key, v string) *LogLine {
+	if e == nil {
+		return nil
+	}
+	e.key(key)
+	e.buf = appendJSONString(e.buf, v)
+	return e
+}
+
+// Int appends an integer field.
+func (e *LogLine) Int(key string, v int64) *LogLine {
+	if e == nil {
+		return nil
+	}
+	e.key(key)
+	e.buf = strconv.AppendInt(e.buf, v, 10)
+	return e
+}
+
+// Float appends a float field (JSON number; NaN/Inf become null, which
+// JSON cannot carry as numbers).
+func (e *LogLine) Float(key string, v float64) *LogLine {
+	if e == nil {
+		return nil
+	}
+	e.key(key)
+	if v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308 {
+		e.buf = append(e.buf, "null"...)
+		return e
+	}
+	e.buf = strconv.AppendFloat(e.buf, v, 'g', -1, 64)
+	return e
+}
+
+// Bool appends a boolean field.
+func (e *LogLine) Bool(key string, v bool) *LogLine {
+	if e == nil {
+		return nil
+	}
+	e.key(key)
+	e.buf = strconv.AppendBool(e.buf, v)
+	return e
+}
+
+func (e *LogLine) key(k string) {
+	e.buf = append(e.buf, ',')
+	e.buf = appendJSONString(e.buf, k)
+	e.buf = append(e.buf, ':')
+}
+
+// Send terminates and writes the line, returning the LogLine to the pool.
+// The line must not be used after Send.
+func (e *LogLine) Send() {
+	if e == nil {
+		return
+	}
+	e.buf = append(e.buf, '}', '\n')
+	l := e.lg
+	l.mu.Lock()
+	_, _ = l.w.Write(e.buf)
+	l.mu.Unlock()
+	e.lg = nil
+	l.pool.Put(e)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends a JSON-quoted, escaped string without
+// allocating.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			buf = append(buf, '\\', '"')
+		case c == '\\':
+			buf = append(buf, '\\', '\\')
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\r':
+			buf = append(buf, '\\', 'r')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c < 0x20:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			// Multi-byte UTF-8 passes through byte-wise; JSON strings may
+			// carry raw UTF-8.
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}

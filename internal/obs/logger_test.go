@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoggerLineSchema(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.now = func() time.Time { return time.Date(2026, 8, 7, 12, 0, 0, 123456789, time.UTC) }
+	l.Info("request").
+		Str("request_id", "req-42").
+		Str("method", "POST").
+		Int("status", 200).
+		Float("elapsed_ms", 1.25).
+		Bool("cached", true).
+		Send()
+
+	line := strings.TrimSpace(buf.String())
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("line is not JSON: %v\n%s", err, line)
+	}
+	if m["ts"] != "2026-08-07T12:00:00.123456789Z" {
+		t.Errorf("ts = %v", m["ts"])
+	}
+	if m["level"] != "info" || m["msg"] != "request" {
+		t.Errorf("level/msg = %v/%v", m["level"], m["msg"])
+	}
+	if m["request_id"] != "req-42" || m["status"] != float64(200) ||
+		m["elapsed_ms"] != 1.25 || m["cached"] != true {
+		t.Errorf("fields wrong: %v", m)
+	}
+}
+
+func TestLoggerEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.Error("boom\n\"quoted\"\tpath\\x").Str("detail", "\x01controlé").Send()
+	var m map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &m); err != nil {
+		t.Fatalf("escaped line is not JSON: %v\n%s", err, buf.String())
+	}
+	if m["msg"] != "boom\n\"quoted\"\tpath\\x" {
+		t.Errorf("msg round-trip: %q", m["msg"])
+	}
+	if m["detail"] != "\x01controlé" {
+		t.Errorf("detail round-trip: %q", m["detail"])
+	}
+}
+
+func TestLoggerNaNFloat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	nan := 0.0
+	nan /= nan
+	l.Info("x").Float("v", nan).Send()
+	if !json.Valid(bytes.TrimSpace(buf.Bytes())) {
+		t.Fatalf("NaN float broke JSON: %s", buf.String())
+	}
+}
+
+func TestLoggerNilSafety(t *testing.T) {
+	var l *Logger
+	l.Info("nothing").Str("k", "v").Int("i", 1).Float("f", 1).Bool("b", true).Send()
+	l.Warn("w").Send()
+	l.Error("e").Send()
+	if NewLogger(nil) != nil {
+		t.Error("NewLogger(nil) should be a nil logger")
+	}
+}
+
+func TestLoggerConcurrentLinesDoNotInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&syncWriter{w: &buf})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Info("line").Int("worker", int64(i)).Int("seq", int64(j)).Send()
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved/corrupt line: %q", line)
+		}
+	}
+}
+
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// The access-log fast path must not allocate in steady state: the line
+// buffer is pooled and every append writes into it in place.
+func TestLoggerZeroAllocs(t *testing.T) {
+	l := NewLogger(io.Discard)
+	// Warm the pool.
+	l.Info("warm").Str("k", "v").Send()
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Info("request").
+			Str("request_id", "r-123456").
+			Str("method", "POST").
+			Str("path", "/map").
+			Int("status", 200).
+			Int("bytes", 4096).
+			Float("elapsed_ms", 12.5).
+			Send()
+	})
+	if allocs != 0 {
+		t.Fatalf("access-log fast path allocates: %v allocs/op", allocs)
+	}
+}
+
+func BenchmarkLoggerLine(b *testing.B) {
+	l := NewLogger(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Info("request").
+			Str("request_id", "r-123456").
+			Str("method", "POST").
+			Str("path", "/map").
+			Int("status", 200).
+			Float("elapsed_ms", 12.5).
+			Send()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric. A nil *Counter is valid
@@ -128,12 +129,21 @@ func (s HistSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
-// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
-// reporting the upper bound of the bucket containing the quantile; +Inf
-// observations report the largest finite bound.
+// Quantile estimates the q-quantile from the bucket counts, reporting the
+// upper bound of the bucket containing the quantile; observations in the
+// +Inf overflow bucket report the largest finite bound (so an all-overflow
+// histogram reports its largest bound at every quantile). q is clamped to
+// [0, 1]; NaN is treated as 0. q=0 reports the smallest bucket holding any
+// mass, q=1 the largest. An empty snapshot — or one recorded with no
+// finite bounds at all — reports 0.
 func (s HistSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 || len(s.Bounds) == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := uint64(math.Ceil(q * float64(s.Count)))
 	if rank == 0 {
@@ -193,6 +203,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	rollings map[string]*RollingHistogram
 }
 
 // NewRegistry returns an empty, enabled registry.
@@ -201,6 +212,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		rollings: make(map[string]*RollingHistogram),
 	}
 }
 
@@ -253,11 +265,32 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Rolling returns the named rolling (sliding-window) histogram, creating
+// it with the given bucket bounds, window width and slot count on first
+// use (later calls reuse the first configuration). Returns nil (an inert
+// handle) on a nil registry.
+func (r *Registry) Rolling(name string, bounds []float64, window time.Duration, slots int) *RollingHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.rollings[name]
+	if !ok {
+		h = NewRollingHistogram(bounds, window, slots)
+		r.rollings[name] = h
+	}
+	return h
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry.
 type Snapshot struct {
 	Counters   map[string]uint64       `json:"counters,omitempty"`
 	Gauges     map[string]float64      `json:"gauges,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	// Rolling holds the sliding-window histograms, merged over their
+	// current window — unlike Histograms these shrink as samples age out.
+	Rolling map[string]HistSnapshot `json:"rolling,omitempty"`
 }
 
 // Snapshot copies out every metric. A nil registry yields a zero
@@ -281,6 +314,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
+	}
+	if len(r.rollings) > 0 {
+		s.Rolling = make(map[string]HistSnapshot, len(r.rollings))
+		for name, h := range r.rollings {
+			s.Rolling[name] = h.Snapshot()
+		}
 	}
 	return s
 }
@@ -312,6 +351,14 @@ func (s Snapshot) Format(prefix string) string {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Fprintf(&b, "%shist %s: %s\n", prefix, n, s.Histograms[n])
+	}
+	names = names[:0]
+	for n := range s.Rolling {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%srolling %s: %s\n", prefix, n, s.Rolling[n])
 	}
 	return b.String()
 }

@@ -1,0 +1,389 @@
+package obs
+
+// Prometheus text exposition (format 0.0.4) for a registry snapshot, plus
+// a promtool-style linter used by the tests and cmd/tracelint so the
+// /metrics contract is checked without importing the Prometheus client.
+//
+// Mapping: counters and gauges export one sample each; cumulative
+// histograms export the classic _bucket{le=...}/_sum/_count triplet with
+// cumulative bucket counts; rolling (sliding-window) histograms export as
+// summaries with quantile labels — their values can go down as samples
+// age out, which the summary type permits and the histogram type does
+// not.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromName sanitizes an internal metric name into a legal Prometheus
+// metric name ([a-zA-Z_:][a-zA-Z0-9_:]*).
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+		default:
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, metrics sorted by name so output is diff-stable.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(n)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(n)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[n]))
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writePromHistogram(bw, PromName(n), s.Histograms[n])
+	}
+
+	names = names[:0]
+	for n := range s.Rolling {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writePromSummary(bw, PromName(n), s.Rolling[n])
+	}
+	return bw.Flush()
+}
+
+func writePromHistogram(w io.Writer, pn string, h HistSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+	var cum uint64
+	for i, b := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+}
+
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+func writePromSummary(w io.Writer, pn string, h HistSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+	for _, q := range summaryQuantiles {
+		fmt.Fprintf(w, "%s{quantile=%q} %s\n", pn, promFloat(q), promFloat(h.Quantile(q)))
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+}
+
+// LintPrometheus checks a text-exposition payload the way promtool's
+// `check metrics` does at the syntax level, returning a list of problems
+// (empty means the payload is clean):
+//
+//   - every sample line parses as name[{labels}] value [timestamp];
+//   - metric and label names are legal; label values are quoted with
+//     closed quotes; sample values parse as Go floats (+Inf/-Inf/NaN ok);
+//   - # TYPE lines name a known type and precede the samples they type;
+//     a metric is TYPEd at most once;
+//   - histogram buckets carry an le label, are cumulative
+//     (non-decreasing in le order), include an le="+Inf" bucket, and the
+//     +Inf bucket equals the _count sample;
+//   - counter sample values are non-negative.
+func LintPrometheus(data []byte) []string {
+	var problems []string
+	types := map[string]string{}
+	sampleSeen := map[string]bool{}
+	// histogram accounting: base name -> buckets / count
+	type histState struct {
+		buckets map[float64]float64
+		count   float64
+		hasCnt  bool
+	}
+	hists := map[string]*histState{}
+
+	lineNo := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		lineNo++
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					problems = append(problems, fmt.Sprintf("line %d: malformed TYPE line: %q", lineNo, line))
+					continue
+				}
+				name, typ := fields[2], fields[3]
+				if !validPromName(name) {
+					problems = append(problems, fmt.Sprintf("line %d: invalid metric name %q in TYPE", lineNo, name))
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					problems = append(problems, fmt.Sprintf("line %d: unknown metric type %q", lineNo, typ))
+				}
+				if _, dup := types[name]; dup {
+					problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE for %s", lineNo, name))
+				}
+				if sampleSeen[name] {
+					problems = append(problems, fmt.Sprintf("line %d: TYPE for %s after its samples", lineNo, name))
+				}
+				types[name] = typ
+			}
+			continue // other comments (HELP, ...) are fine
+		}
+		name, labels, value, perr := parsePromSample(line)
+		if perr != "" {
+			problems = append(problems, fmt.Sprintf("line %d: %s", lineNo, perr))
+			continue
+		}
+		base := histBaseName(name)
+		sampleSeen[base] = true
+		sampleSeen[name] = true
+		if types[base] == "counter" && value < 0 {
+			problems = append(problems, fmt.Sprintf("line %d: counter %s has negative value %g", lineNo, name, value))
+		}
+		if types[base] == "histogram" {
+			st := hists[base]
+			if st == nil {
+				st = &histState{buckets: map[float64]float64{}}
+				hists[base] = st
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labels["le"]
+				if !ok {
+					problems = append(problems, fmt.Sprintf("line %d: histogram bucket %s without le label", lineNo, name))
+					continue
+				}
+				b, err := parsePromFloat(le)
+				if err != nil {
+					problems = append(problems, fmt.Sprintf("line %d: unparseable le=%q", lineNo, le))
+					continue
+				}
+				st.buckets[b] = value
+			case strings.HasSuffix(name, "_count"):
+				st.count, st.hasCnt = value, true
+			}
+		}
+	}
+	for base, st := range hists {
+		les := make([]float64, 0, len(st.buckets))
+		for le := range st.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		if len(les) == 0 || !math.IsInf(les[len(les)-1], 1) {
+			problems = append(problems, fmt.Sprintf("histogram %s: no le=\"+Inf\" bucket", base))
+			continue
+		}
+		last := 0.0
+		for _, le := range les {
+			if st.buckets[le] < last {
+				problems = append(problems, fmt.Sprintf("histogram %s: buckets not cumulative at le=%g", base, le))
+			}
+			last = st.buckets[le]
+		}
+		if st.hasCnt && st.buckets[math.Inf(1)] != st.count {
+			problems = append(problems, fmt.Sprintf("histogram %s: +Inf bucket %g != count %g",
+				base, st.buckets[math.Inf(1)], st.count))
+		}
+	}
+	return problems
+}
+
+// histBaseName strips the _bucket/_sum/_count suffix so samples attach to
+// their TYPEd family name.
+func histBaseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validPromLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parsePromSample parses `name[{labels}] value [timestamp]`, returning a
+// problem description in perr on failure.
+func parsePromSample(line string) (name string, labels map[string]string, value float64, perr string) {
+	rest := line
+	i := strings.IndexAny(rest, "{ \t")
+	if i < 0 {
+		return "", nil, 0, fmt.Sprintf("sample without value: %q", line)
+	}
+	name = rest[:i]
+	if !validPromName(name) {
+		return "", nil, 0, fmt.Sprintf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	labels = map[string]string{}
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Sprintf("unclosed label block: %q", line)
+		}
+		for _, pair := range splitLabels(rest[1:end]) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Sprintf("malformed label %q", pair)
+			}
+			ln := strings.TrimSpace(pair[:eq])
+			lv := strings.TrimSpace(pair[eq+1:])
+			if !validPromLabelName(ln) {
+				return "", nil, 0, fmt.Sprintf("invalid label name %q", ln)
+			}
+			if len(lv) < 2 || lv[0] != '"' || lv[len(lv)-1] != '"' {
+				return "", nil, 0, fmt.Sprintf("unquoted label value %q", lv)
+			}
+			unq, err := strconv.Unquote(lv)
+			if err != nil {
+				return "", nil, 0, fmt.Sprintf("bad label value %s: %v", lv, err)
+			}
+			labels[ln] = unq
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Sprintf("expected value [timestamp] after %q, got %q", name, rest)
+	}
+	v, err := parsePromFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Sprintf("unparseable sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Sprintf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, v, ""
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	start := 0
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == ',':
+			if p := strings.TrimSpace(s[start:i]); p != "" {
+				out = append(out, p)
+			}
+			start = i + 1
+		}
+	}
+	if p := strings.TrimSpace(s[start:]); p != "" {
+		out = append(out, p)
+	}
+	return out
+}

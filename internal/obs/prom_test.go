@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusLintsClean(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("server_requests_total").Add(7)
+	reg.Gauge("map_area").Set(123.5)
+	h := reg.Histogram("server_request_seconds", ExpBuckets(1e-3, 4, 6))
+	for _, v := range []float64{0.002, 0.01, 0.5, 3} {
+		h.Observe(v)
+	}
+	r := reg.Rolling("rolling_request_seconds", ExpBuckets(1e-3, 4, 6), time.Minute, 6)
+	r.Observe(0.25)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if problems := LintPrometheus(buf.Bytes()); len(problems) > 0 {
+		t.Fatalf("our own exposition fails lint: %v\n%s", problems, out)
+	}
+	for _, want := range []string{
+		"# TYPE server_requests_total counter",
+		"server_requests_total 7",
+		"# TYPE map_area gauge",
+		"# TYPE server_request_seconds histogram",
+		`server_request_seconds_bucket{le="+Inf"} 4`,
+		"server_request_seconds_count 4",
+		"# TYPE rolling_request_seconds summary",
+		`rolling_request_seconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Prometheus histogram buckets are cumulative; ours are stored per-bucket,
+// so the writer must convert.
+func TestWritePrometheusCumulativeBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5) // bucket le=1
+	h.Observe(5)   // bucket le=10
+	h.Observe(50)  // overflow
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="10"} 2`,
+		`lat_bucket{le="+Inf"} 3`,
+		"lat_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"server_requests_total": "server_requests_total",
+		"weird-name.with/chars": "weird_name_with_chars",
+		"9starts_with_digit":    "_9starts_with_digit",
+		"":                      "_",
+	} {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLintPrometheusCatchesProblems(t *testing.T) {
+	for name, tc := range map[string]struct {
+		payload string
+		wantSub string
+	}{
+		"bad-name": {
+			payload: "bad-metric 1\n",
+			wantSub: "invalid metric name",
+		},
+		"bad-value": {
+			payload: "m okay\n",
+			wantSub: "unparseable sample value",
+		},
+		"unclosed-labels": {
+			payload: "m{a=\"x\" 1\n",
+			wantSub: "unclosed label block",
+		},
+		"unquoted-label": {
+			payload: "m{a=x} 1\n",
+			wantSub: "unquoted label value",
+		},
+		"bad-type": {
+			payload: "# TYPE m sideways\nm 1\n",
+			wantSub: "unknown metric type",
+		},
+		"type-after-sample": {
+			payload: "m 1\n# TYPE m counter\n",
+			wantSub: "after its samples",
+		},
+		"duplicate-type": {
+			payload: "# TYPE m counter\n# TYPE m counter\nm 1\n",
+			wantSub: "duplicate TYPE",
+		},
+		"negative-counter": {
+			payload: "# TYPE m counter\nm -4\n",
+			wantSub: "negative value",
+		},
+		"histogram-no-inf": {
+			payload: "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			wantSub: "no le=\"+Inf\" bucket",
+		},
+		"histogram-not-cumulative": {
+			payload: "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			wantSub: "not cumulative",
+		},
+		"histogram-count-mismatch": {
+			payload: "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n",
+			wantSub: "!= count",
+		},
+		"bucket-without-le": {
+			payload: "# TYPE h histogram\nh_bucket{x=\"1\"} 5\nh_count 5\n",
+			wantSub: "without le label",
+		},
+	} {
+		problems := LintPrometheus([]byte(tc.payload))
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, tc.wantSub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: problems %v do not mention %q", name, problems, tc.wantSub)
+		}
+	}
+
+	if problems := LintPrometheus([]byte("# HELP m something\n# TYPE m gauge\nm{l=\"a,b\\\"c\"} 1.5 1712345678\n\n")); len(problems) > 0 {
+		t.Errorf("clean payload flagged: %v", problems)
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases of the bucket-quantile estimator: empty snapshots, all mass
+// in the +Inf overflow bucket, q at and beyond the [0, 1] boundaries, and
+// histograms recorded with no finite bounds at all.
+func TestHistSnapshotQuantileEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var s HistSnapshot
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := s.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+			}
+		}
+		if s.Mean() != 0 || s.String() != "count=0" {
+			t.Errorf("empty mean/string: %g %q", s.Mean(), s.String())
+		}
+	})
+
+	t.Run("all-mass-in-overflow", func(t *testing.T) {
+		h := newHistogram([]float64{1, 10})
+		h.Observe(1e6)
+		h.Observe(1e9)
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := s.Quantile(q); got != 10 {
+				t.Errorf("overflow-only Quantile(%g) = %g, want largest finite bound 10", q, got)
+			}
+		}
+	})
+
+	t.Run("q-boundaries", func(t *testing.T) {
+		h := newHistogram([]float64{1, 2, 3})
+		h.Observe(0.5) // bucket ≤1
+		h.Observe(1.5) // bucket ≤2
+		h.Observe(2.5) // bucket ≤3
+		s := h.Snapshot()
+		if got := s.Quantile(0); got != 1 {
+			t.Errorf("Quantile(0) = %g, want smallest occupied bound 1", got)
+		}
+		if got := s.Quantile(1); got != 3 {
+			t.Errorf("Quantile(1) = %g, want largest occupied bound 3", got)
+		}
+	})
+
+	t.Run("q-out-of-range-clamped", func(t *testing.T) {
+		h := newHistogram([]float64{1, 2})
+		h.Observe(0.5)
+		h.Observe(1.5)
+		s := h.Snapshot()
+		if got := s.Quantile(-3); got != s.Quantile(0) {
+			t.Errorf("Quantile(-3) = %g, want Quantile(0) = %g", got, s.Quantile(0))
+		}
+		if got := s.Quantile(7); got != s.Quantile(1) {
+			t.Errorf("Quantile(7) = %g, want Quantile(1) = %g", got, s.Quantile(1))
+		}
+		if got := s.Quantile(math.NaN()); got != s.Quantile(0) {
+			t.Errorf("Quantile(NaN) = %g, want Quantile(0) = %g", got, s.Quantile(0))
+		}
+	})
+
+	t.Run("no-finite-bounds", func(t *testing.T) {
+		h := newHistogram(nil)
+		h.Observe(5)
+		s := h.Snapshot()
+		if got := s.Quantile(0.5); got != 0 {
+			t.Errorf("boundless Quantile(0.5) = %g, want 0 (no finite bound to report)", got)
+		}
+		if s.Count != 1 || s.Sum != 5 {
+			t.Errorf("boundless snapshot = %+v", s)
+		}
+	})
+
+	t.Run("monotone-in-q", func(t *testing.T) {
+		h := newHistogram(ExpBuckets(1, 2, 10))
+		for i := 0; i < 100; i++ {
+			h.Observe(float64(i * 7 % 500))
+		}
+		s := h.Snapshot()
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("Quantile not monotone: Quantile(%g) = %g < %g", q, v, prev)
+			}
+			prev = v
+		}
+	})
+}

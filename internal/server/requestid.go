@@ -1,0 +1,79 @@
+package server
+
+// Request identity: every request is assigned an ID at admission (or
+// keeps a well-formed client-supplied one), which is echoed in the
+// X-Request-ID response header, carried in every access-log line and
+// error body, stamped onto the mapper's trace spans, and attached as a
+// pprof label — one handle to follow a request through every layer.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the request/response header carrying the request ID.
+const RequestIDHeader = "X-Request-ID"
+
+// ridPrefix makes IDs from concurrently running processes distinct; the
+// counter makes them unique and ordered within one process.
+var (
+	ridPrefix  = newRIDPrefix()
+	ridCounter atomic.Uint64
+)
+
+func newRIDPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// newRequestID mints a process-unique request ID.
+func newRequestID() string {
+	return "r-" + ridPrefix + "-" + strconv.FormatUint(ridCounter.Add(1), 16)
+}
+
+// validRequestID accepts client-supplied IDs that are short and safe to
+// echo into headers and JSON logs.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// requestIDFor keeps a valid client-supplied X-Request-ID (so upstream
+// proxies can pre-assign correlation IDs) and mints one otherwise.
+func requestIDFor(r *http.Request) string {
+	if id := r.Header.Get(RequestIDHeader); validRequestID(id) {
+		return id
+	}
+	return newRequestID()
+}
+
+type ridKey struct{}
+
+// withRequestID stores the request ID in the context.
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID assigned at admission, or
+// "" outside a request.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}

@@ -21,12 +21,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -76,6 +77,16 @@ type Config struct {
 	// the caller (typically opened from a -store path in cmd/asyncmapd
 	// and closed on shutdown); its counters appear under /metrics.
 	Store *mapstore.Store
+	// AccessLog receives one structured JSON line per request (and the
+	// server's panic logs); nil means os.Stderr. Pass io.Discard to
+	// silence.
+	AccessLog io.Writer
+	// Tracer, when non-nil, receives the mapper's per-phase spans for
+	// every request, each stamped with the request's ID.
+	Tracer *obs.Tracer
+	// StatusWindow is the rolling window behind /statusz's per-stage
+	// latency digests; 0 means 60s.
+	StatusWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +114,12 @@ func (c Config) withDefaults() Config {
 	if c.HazardCache == nil {
 		c.HazardCache = hazcache.Shared()
 	}
+	if c.AccessLog == nil {
+		c.AccessLog = os.Stderr
+	}
+	if c.StatusWindow <= 0 {
+		c.StatusWindow = time.Minute
+	}
 	return c
 }
 
@@ -124,15 +141,21 @@ const (
 // Server is the HTTP mapping service. Create one with New and mount
 // Handler on an http.Server.
 type Server struct {
-	cfg   Config
-	libs  map[string]*library.Library
-	order []string // library names in configured order (order[0] is the default)
-	reg   *obs.Registry
-	mux   *http.ServeMux
+	cfg    Config
+	libs   map[string]*library.Library
+	order  []string // library names in configured order (order[0] is the default)
+	reg    *obs.Registry
+	mux    *http.ServeMux
+	logger *obs.Logger
+	start  time.Time
+	roll   rollingSet
 
 	sem      chan struct{}
 	queued   atomic.Int64
 	inflight atomic.Int64
+
+	infMu    sync.Mutex
+	infTable map[*inflightEntry]struct{}
 
 	requests   *obs.Counter
 	designs    *obs.Counter
@@ -149,11 +172,15 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		libs: make(map[string]*library.Library, len(cfg.Libraries)),
-		reg:  cfg.Registry,
-		sem:  make(chan struct{}, cfg.MaxConcurrent),
+		cfg:      cfg,
+		libs:     make(map[string]*library.Library, len(cfg.Libraries)),
+		reg:      cfg.Registry,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		logger:   obs.NewLogger(cfg.AccessLog),
+		start:    time.Now(),
+		infTable: make(map[*inflightEntry]struct{}),
 	}
+	s.roll = newRollingSet(s.reg, cfg.StatusWindow)
 	for _, name := range cfg.Libraries {
 		lib, err := library.Get(name) // cached + annotated
 		if err != nil {
@@ -172,10 +199,11 @@ func New(cfg Config) (*Server, error) {
 	s.reqSeconds = s.reg.Histogram(MetricRequestSeconds, obs.ExpBuckets(1e-3, 4, 10))
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/map", s.protect(s.handleMap))
-	s.mux.HandleFunc("/map/batch", s.protect(s.handleBatch))
-	s.mux.HandleFunc("/healthz", s.protect(s.handleHealthz))
-	s.mux.HandleFunc("/metrics", s.protect(s.handleMetrics))
+	s.mux.HandleFunc("/map", s.instrument(s.protect(s.handleMap)))
+	s.mux.HandleFunc("/map/batch", s.instrument(s.protect(s.handleBatch)))
+	s.mux.HandleFunc("/healthz", s.instrument(s.protect(s.handleHealthz)))
+	s.mux.HandleFunc("/metrics", s.instrument(s.protect(s.handleMetrics)))
+	s.mux.HandleFunc("/statusz", s.instrument(s.protect(s.handleStatusz)))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -193,21 +221,110 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // protect wraps a handler with per-request panic isolation: a panic
-// answers 500 and is counted, and the process keeps serving.
+// answers 500 and is counted, and the process keeps serving. The
+// recovery is logged as a structured line carrying the request ID so it
+// correlates with the access log and trace spans.
 func (s *Server) protect(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.panics.Inc()
 				s.errorsC.Inc()
-				log.Printf("server: recovered panic in %s %s: %v\n%s",
-					r.Method, r.URL.Path, rec, debug.Stack())
-				writeError(w, http.StatusInternalServerError,
+				s.logger.Error("panic recovered").
+					Str("request_id", RequestIDFromContext(r.Context())).
+					Str("method", r.Method).
+					Str("path", r.URL.Path).
+					Str("panic", fmt.Sprint(rec)).
+					Str("stack", string(debug.Stack())).
+					Send()
+				writeError(w, http.StatusInternalServerError, RequestIDFromContext(r.Context()),
 					fmt.Errorf("internal panic: %v", rec))
 			}
 		}()
 		h(w, r)
 	}
+}
+
+// statusWriter captures the response status and byte count for the
+// access log without changing the handler-visible contract.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument is the outermost per-request middleware: it assigns the
+// request ID (honouring a well-formed client-supplied one), echoes it in
+// the X-Request-ID response header before the handler runs, registers
+// the request in the in-flight table, and on completion emits one
+// structured access-log line and feeds the rolling request-latency
+// window. It wraps protect, so panic responses are logged too.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rid := requestIDFor(r)
+		ent := s.track(rid, r)
+		ctx := withEntry(withRequestID(r.Context(), rid), ent)
+		r = r.WithContext(ctx)
+		w.Header().Set(RequestIDHeader, rid)
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		defer func() {
+			elapsed := time.Since(begin)
+			s.untrack(ent)
+			s.roll.request.Observe(elapsed.Seconds())
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			design, lib := ent.designLibrary()
+			s.logRequest(rid, r.Method, r.URL.Path, status, sw.bytes, elapsed, design, lib)
+		}()
+		h(sw, r)
+	}
+}
+
+// logRequest emits the access-log line. It is the steady-state logging
+// fast path: with the line buffer pooled, it must not allocate (pinned
+// by BenchmarkAccessLogLine / TestAccessLogZeroAllocs).
+func (s *Server) logRequest(rid, method, path string, status int, bytes int64, elapsed time.Duration, design, library string) {
+	var line *obs.LogLine
+	switch {
+	case status >= 500:
+		line = s.logger.Error("request")
+	case status >= 400:
+		line = s.logger.Warn("request")
+	default:
+		line = s.logger.Info("request")
+	}
+	line.Str("request_id", rid).
+		Str("method", method).
+		Str("path", path).
+		Int("status", int64(status)).
+		Int("bytes_out", bytes).
+		Float("elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+	if design != "" {
+		line.Str("design", design)
+	}
+	if library != "" {
+		line.Str("library", library)
+	}
+	line.Send()
 }
 
 // acquire admits a request into the mapping section, waiting for a free
@@ -221,8 +338,10 @@ func (s *Server) acquire(ctx context.Context) (func(), error) {
 		return nil, errBusy
 	}
 	defer s.queued.Add(-1)
+	begin := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		s.roll.wait.Observe(time.Since(begin).Seconds())
 		s.inflight.Add(1)
 		return func() {
 			s.inflight.Add(-1)
@@ -263,6 +382,9 @@ type MapRequest struct {
 
 // MapResponse is the result of mapping one design.
 type MapResponse struct {
+	// RequestID is the correlation ID assigned at admission (also in the
+	// X-Request-ID response header, the access log and trace spans).
+	RequestID string     `json:"request_id,omitempty"`
 	Name      string     `json:"name"`
 	Library   string     `json:"library"`
 	Mode      string     `json:"mode"`
@@ -298,15 +420,19 @@ type BatchResponse struct {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// RequestID echoes the request's correlation ID so a client holding
+	// only the error body can still find the matching access-log line
+	// and trace spans.
+	RequestID string `json:"request_id,omitempty"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+func writeError(w http.ResponseWriter, status int, rid string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), RequestID: rid})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -345,15 +471,16 @@ func (s *Server) statusFor(err error) int {
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	rid := RequestIDFromContext(r.Context())
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		writeError(w, http.StatusMethodNotAllowed, rid, errors.New("POST only"))
 		return
 	}
 	s.requests.Inc()
 	req, err := s.decodeMapRequest(r)
 	if err != nil {
 		s.errorsC.Inc()
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, rid, err)
 		return
 	}
 	release, err := s.acquire(r.Context())
@@ -361,9 +488,9 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		s.errorsC.Inc()
 		if errors.Is(err, errBusy) {
 			s.rejected.Inc()
-			writeError(w, http.StatusServiceUnavailable, err)
+			writeError(w, http.StatusServiceUnavailable, rid, err)
 		} else {
-			writeError(w, 499, err)
+			writeError(w, 499, rid, err)
 		}
 		return
 	}
@@ -371,15 +498,16 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.mapOne(r.Context(), req)
 	if err != nil {
 		s.errorsC.Inc()
-		writeError(w, s.statusFor(err), err)
+		writeError(w, s.statusFor(err), rid, err)
 		return
 	}
 	writeJSON(w, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rid := RequestIDFromContext(r.Context())
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		writeError(w, http.StatusMethodNotAllowed, rid, errors.New("POST only"))
 		return
 	}
 	s.requests.Inc()
@@ -387,12 +515,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&breq); err != nil {
 		s.errorsC.Inc()
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch request: %w", err))
+		writeError(w, http.StatusBadRequest, rid, fmt.Errorf("bad batch request: %w", err))
 		return
 	}
 	if len(breq.Designs) == 0 {
 		s.errorsC.Inc()
-		writeError(w, http.StatusBadRequest, errors.New("batch has no designs"))
+		writeError(w, http.StatusBadRequest, rid, errors.New("batch has no designs"))
 		return
 	}
 	// One admission slot covers the whole batch: designs run serially,
@@ -403,9 +531,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.errorsC.Inc()
 		if errors.Is(err, errBusy) {
 			s.rejected.Inc()
-			writeError(w, http.StatusServiceUnavailable, err)
+			writeError(w, http.StatusServiceUnavailable, rid, err)
 		} else {
-			writeError(w, 499, err)
+			writeError(w, 499, rid, err)
 		}
 		return
 	}
@@ -435,13 +563,56 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// HealthzResponse is the /healthz readiness payload. Status is always
+// "ok" with HTTP 200 while the process serves (the bare liveness
+// contract); the rest is readiness detail for load balancers and humans:
+// queue pressure against capacity, loaded libraries, store state.
+type HealthzResponse struct {
+	Status        string   `json:"status"`
+	Libraries     []string `json:"libraries"`
+	LibraryCount  int      `json:"library_count"`
+	Inflight      int64    `json:"inflight"`
+	Queued        int64    `json:"queued"`
+	MaxConcurrent int      `json:"max_concurrent"`
+	QueueCapacity int      `json:"queue_capacity"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	StoreEnabled  bool     `json:"store_enabled"`
+	StoreEntries  int      `json:"store_entries,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, struct {
-		Status    string   `json:"status"`
-		Libraries []string `json:"libraries"`
-		Inflight  int64    `json:"inflight"`
-		Queued    int64    `json:"queued"`
-	}{"ok", s.order, s.inflight.Load(), s.queued.Load()})
+	resp := HealthzResponse{
+		Status:        "ok",
+		Libraries:     s.order,
+		LibraryCount:  len(s.order),
+		Inflight:      s.inflight.Load(),
+		Queued:        s.queued.Load(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		QueueCapacity: s.cfg.MaxConcurrent + s.cfg.MaxQueue,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if s.cfg.Store != nil {
+		resp.StoreEnabled = true
+		resp.StoreEntries = s.cfg.Store.Stats().Entries
+	}
+	writeJSON(w, resp)
+}
+
+// wantsPrometheus reports whether the client asked for Prometheus text
+// exposition: an explicit format=prom[etheus] query parameter, or an
+// Accept header preferring text/plain (what Prometheus scrapers send)
+// with no explicit format override.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "":
+		accept := r.Header.Get("Accept")
+		return strings.Contains(accept, "text/plain") ||
+			strings.Contains(accept, "openmetrics")
+	default:
+		return false
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -450,12 +621,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.cfg.HazardCache.ExportMetrics(s.reg)
 	s.cfg.Store.ExportMetrics(s.reg)
 	snap := s.reg.Snapshot()
-	if r.URL.Query().Get("format") == "text" {
+	switch {
+	case wantsPrometheus(r):
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w)
+	case r.URL.Query().Get("format") == "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = io.WriteString(w, snap.Format(""))
-		return
+	default:
+		writeJSON(w, snap)
 	}
-	writeJSON(w, snap)
 }
 
 // decodeMapRequest reads a /map body: JSON when the Content-Type says so,
@@ -580,6 +755,7 @@ func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, erro
 	if err != nil {
 		return nil, badInput(fmt.Errorf("parse %s design: %w", orDefault(req.Format, "blif"), err))
 	}
+	entryFrom(ctx).setDesign(net.Name, libName)
 	opts := core.Options{
 		MaxDepth:    req.MaxDepth,
 		MaxLeaves:   req.MaxLeaves,
@@ -588,6 +764,8 @@ func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, erro
 		HazardCache: s.cfg.HazardCache,
 		Store:       s.cfg.Store,
 		Metrics:     s.reg,
+		Tracer:      s.cfg.Tracer,
+		RequestID:   RequestIDFromContext(ctx),
 	}
 	switch req.Mode {
 	case "", "async":
@@ -624,7 +802,12 @@ func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, erro
 		return nil, err
 	}
 	s.designs.Inc()
+	s.roll.decompose.Observe(res.Stats.DecomposeTime.Seconds())
+	s.roll.partition.Observe(res.Stats.PartitionTime.Seconds())
+	s.roll.cover.Observe(res.Stats.CoverTime.Seconds())
+	s.roll.emit.Observe(res.Stats.EmitTime.Seconds())
 	resp := &MapResponse{
+		RequestID: opts.RequestID,
 		Name:      net.Name,
 		Library:   libName,
 		Mode:      opts.Mode.String(),

@@ -1,11 +1,11 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -46,6 +46,10 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
 	if len(cfg.Libraries) == 0 {
 		cfg.Libraries = []string{"LSI9K", "CMOS3"}
+	}
+	if cfg.AccessLog == nil {
+		cfg.AccessLog = io.Discard // keep test output clean; tests that
+		// assert on the log pass their own buffer
 	}
 	s, err := New(cfg)
 	if err != nil {
@@ -322,13 +326,12 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 }
 
-// A panicking request answers 500 and leaves the server serving.
+// A panicking request answers 500 and leaves the server serving. The
+// recovery is a structured log line carrying the request ID.
 func TestProtectIsolatesPanic(t *testing.T) {
-	s := newTestServer(t, Config{})
-	old := log.Writer()
-	log.SetOutput(io.Discard)
-	defer log.SetOutput(old)
-	h := s.protect(func(w http.ResponseWriter, r *http.Request) { panic("kaboom") })
+	var logBuf bytes.Buffer
+	s := newTestServer(t, Config{AccessLog: &syncBuffer{buf: &logBuf}})
+	h := s.instrument(s.protect(func(w http.ResponseWriter, r *http.Request) { panic("kaboom") }))
 	w := httptest.NewRecorder()
 	h(w, httptest.NewRequest(http.MethodGet, "/map", nil))
 	if w.Code != http.StatusInternalServerError || !strings.Contains(w.Body.String(), "kaboom") {
@@ -336,6 +339,14 @@ func TestProtectIsolatesPanic(t *testing.T) {
 	}
 	if got := s.reg.Counter(MetricPanics).Value(); got != 1 {
 		t.Errorf("panic counter = %d, want 1", got)
+	}
+	rid := w.Header().Get(RequestIDHeader)
+	if rid == "" {
+		t.Fatal("panic response lost the X-Request-ID header")
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"msg":"panic recovered"`) || !strings.Contains(logs, rid) {
+		t.Errorf("panic log line missing or uncorrelated (rid %s):\n%s", rid, logs)
 	}
 	// The server still works.
 	if w := postJSON(t, s.Handler(), "/map", MapRequest{Format: "eqn", Design: fig3Eqn}); w.Code != http.StatusOK {
