@@ -242,6 +242,23 @@ func (f *Function) buildIndex() {
 	}
 }
 
+// Reset re-points f at a new root and variable order, reusing the
+// receiver's variable index map so repeated construction on a hot path
+// allocates nothing beyond what the map itself needs. Unlike NewWithVars
+// it performs no validation: the caller guarantees the expression uses
+// only variables from vars. A zero Function is a valid receiver.
+func (f *Function) Reset(root *Expr, vars []string) {
+	f.Root, f.Vars = root, vars
+	if f.index == nil {
+		f.index = make(map[string]int, len(vars))
+	} else {
+		clear(f.index)
+	}
+	for i, v := range vars {
+		f.index[v] = i
+	}
+}
+
 // VarIndex returns the position of name in the variable order, or -1.
 func (f *Function) VarIndex(name string) int {
 	if i, ok := f.index[name]; ok {

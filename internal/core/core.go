@@ -132,6 +132,16 @@ type Options struct {
 	// bit-identical either way — so this exists for A/B measurement and
 	// bit-identity smoke tests only.
 	DisableMatchIndex bool
+	// DisableArenas turns off the per-worker arena allocator of the
+	// covering DP hot path, reverting every transient allocation (cut
+	// merges, cluster functions, truth tables, signatures, binding
+	// scratch) to the historical per-call heap path. Arenas are
+	// semantically transparent — mapped netlists and deterministic work
+	// counters are byte-identical either way (the diffcheck harness
+	// exercises exactly this axis) — so, like Workers, this knob is
+	// excluded from the store/delta option hash; it exists for A/B
+	// measurement and debugging, not production use.
+	DisableArenas bool
 
 	// Store, when non-nil, memoizes per-cone covering solutions in a
 	// content-addressed mapstore keyed by canonical cone signature ×
@@ -471,6 +481,15 @@ func mapPipeline(net *network.Network, lib *library.Library, opts Options, seed 
 	}
 	nl := NewNetlist(net.Name, net.Inputs, net.Outputs)
 	m := &mapper{lib: lib, opts: opts, netlist: nl, tid: 1, met: newMetricSet(opts.Metrics)}
+	// Serial covering runs draw transient DP memory from a pooled arena
+	// scratch (parallel workers acquire their own in prepareCones). The
+	// scratch is returned to the pool only on the success path below: an
+	// error or cancellation mid-run drops it to the GC instead, so a
+	// canceled request can never leak partially-written state — or any
+	// request-scoped data — into a scratch the next request would reuse.
+	if !opts.DisableArenas {
+		m.sc = acquireScratch()
+	}
 	// Solution-reuse identity: the library fingerprint is taken *after*
 	// annotation (annotation changes matching behaviour, so pre- and
 	// post-annotation runs must not share solutions). A delta seed
@@ -550,6 +569,10 @@ func mapPipeline(net *network.Network, lib *library.Library, opts Options, seed 
 		solutions: make(map[string][]byte, len(prepared))}
 	for _, pc := range prepared {
 		ds.solutions[pc.coneKey] = pc.encoded
+	}
+	if m.sc != nil {
+		releaseScratch(m.sc)
+		m.sc = nil
 	}
 	return &Result{Netlist: nl, Area: area, Delay: delay, Stats: m.stats, delta: ds}, nil
 }

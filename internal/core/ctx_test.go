@@ -145,6 +145,65 @@ func TestMapContextBitIdentical(t *testing.T) {
 	}
 }
 
+// A request cancelled mid-cone must leave nothing of itself behind: its
+// arena scratch is dropped rather than pooled, so no request-scoped data
+// (signal names, bindings, request IDs) can be reachable from a worker
+// arena the next request reuses — and that next request must map exactly
+// as if the cancelled one had never run. Run under -race this also
+// checks that the drop/reacquire discipline has no unsynchronised
+// hand-off.
+func TestMapContextCancelLeavesPoolClean(t *testing.T) {
+	lib := library.MustGet("LSI9K")
+	marked := parseNet(t, leakSrc("cancelprobe", 120), "cancelprobe")
+	for _, workers := range []int{1, 0} {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(3 * time.Millisecond)
+			cancel()
+		}()
+		_, err := Map(marked, lib, Options{
+			Mode: Async, Workers: workers, Ctx: ctx,
+			RequestID:   "cancelprobe-request-id",
+			HazardCache: hazcache.New(0), // cold private cache: keep the run slow
+		})
+		cancel()
+		if err == nil {
+			t.Logf("workers=%d: run completed before cancellation", workers)
+		} else if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Whatever the scratch pool hands out now — a scratch scrubbed by
+		// an earlier successful run, or a fresh one (the cancelled run's
+		// scratches were dropped, not pooled) — it must hold no strings
+		// from any request.
+		scs := []*coneScratch{acquireScratch(), acquireScratch(), acquireScratch()}
+		for _, sc := range scs {
+			assertScratchClean(t, sc)
+		}
+		for _, sc := range scs {
+			releaseScratch(sc)
+		}
+		// The next request, reusing pooled worker state, maps byte-identically
+		// to a clean-room run with arenas disabled.
+		clean := parseNet(t, bigCtxSrc(4), "after-cancel")
+		got, err := Map(clean, lib, Options{Mode: Async, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Map(parseNet(t, bigCtxSrc(4), "after-cancel"), lib,
+			Options{Mode: Async, Workers: 1, DisableArenas: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, w := got.Netlist.String(), want.Netlist.String(); g != w {
+			t.Fatalf("workers=%d: netlist after cancelled request diverged from clean-room run:\n--- got ---\n%s--- want ---\n%s", workers, g, w)
+		}
+		if g, w := got.Stats.Deterministic(), want.Stats.Deterministic(); g != w {
+			t.Fatalf("workers=%d: deterministic stats diverged: %+v vs %+v", workers, g, w)
+		}
+	}
+}
+
 // A panic while covering one cone on a parallel worker must surface as an
 // error on that cone, not crash the process: a long-lived mapping service
 // cannot afford a poisoned request taking down its neighbours.

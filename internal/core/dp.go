@@ -54,6 +54,12 @@ type mapper struct {
 	// a bounded run stays within a few percent of an unbounded one.
 	polls int
 
+	// sc is the arena scratch this mapper's covering DP draws transient
+	// memory from; one goroutine owns it at a time. Nil selects the
+	// historical allocating path (Options.DisableArenas, or a worker whose
+	// scratch was dropped after a recovered panic).
+	sc *coneScratch
+
 	inv        *library.Cell
 	bufCell    *library.Cell
 	invSignals map[string]string
@@ -137,6 +143,16 @@ type coneMapper struct {
 	cone  network.Cone
 	nodes []tnode
 	cuts  [][]cutEntry
+
+	// sc is set (from the mapper) only while the covering DP solves this
+	// cone; emission and solution replay never touch it. sigID/numSigs
+	// give each node a dense signal identity (leaves sharing a signal name
+	// share an id) so the arena path counts distinct cluster inputs with
+	// epoch marks instead of string maps — the equivalence classes are
+	// exactly those of signalOf.
+	sc      *coneScratch
+	sigID   []int
+	numSigs int
 
 	// hazCache is the per-cone memo of cluster hazard sets (already
 	// translated into each cluster's variable space), consulted before
@@ -251,9 +267,18 @@ func (m *mapper) prepareCone(cone network.Cone) (*preparedCone, error) {
 		for i := range cm.nodes {
 			cm.nodes[i].cost = [2]cost{infCost, infCost}
 		}
+		if cm.sc = m.sc; cm.sc != nil {
+			cm.sc.beginCone()
+			cm.assignSigIDs()
+		}
 		dsp := tr.StartSpanOn(m.tid, "dp")
 		err = cm.dp()
 		dsp.End()
+		// Detach the scratch as soon as the DP returns: accepted choices
+		// hold heap copies of everything they need, so encoding and
+		// emission must never read arena-backed data (the next cone's
+		// beginCone rewinds it).
+		cm.sc = nil
 		if err != nil {
 			sp.End()
 			return nil, err
@@ -326,44 +351,73 @@ func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
 		}
 		return out, nil
 	}
-	type job struct{ i int }
+	// Cones are dispatched in contiguous chunks (a few per worker) rather
+	// than one at a time: a worker amortises its mapper shim, its arena
+	// scratch and its channel receives over the whole chunk instead of
+	// paying for them per cone.
+	type job struct{ lo, hi int }
+	chunk := (len(cones) + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
 	out := make([]*preparedCone, len(cones))
 	errs := make([]error, len(cones))
-	stats := make([]Stats, len(cones))
+	wstats := make([]Stats, workers)
 	jobs := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Each worker accumulates statistics into its own mapper shim
+			// to avoid data races, merged below (integer sums, so the merge
+			// order never shows). Worker w records its cone spans on trace
+			// track w+1 and owns one arena scratch for its whole lifetime —
+			// strictly private, so no locking anywhere on the hot path.
+			shadow := &mapper{lib: m.lib, opts: m.opts, netlist: m.netlist,
+				inv: m.inv, bufCell: m.bufCell, tid: w + 1, met: m.met,
+				reserved: m.reserved, store: m.store, seed: m.seed,
+				libFP: m.libFP, optHash: m.optHash}
+			if !m.opts.DisableArenas {
+				shadow.sc = acquireScratch()
+			}
+			clean := true
 			// Workers always drain the jobs channel — on cancellation they
-			// skip the work per job rather than stop receiving, so the
+			// skip the work per cone rather than stop receiving, so the
 			// feeder below never blocks and no goroutine outlives this call.
 			for j := range jobs {
-				if err := m.ctxErr(); err != nil {
-					errs[j.i] = err
-					continue
+				for i := j.lo; i < j.hi; i++ {
+					if err := m.ctxErr(); err != nil {
+						errs[i] = err
+						clean = false
+						continue
+					}
+					pc, err := prepareConeIsolated(shadow, cones[i])
+					if err != nil {
+						errs[i] = fmt.Errorf("core: cone %s: %w", cones[i].Root, err)
+						clean = false
+						continue
+					}
+					pc.cm.m = m // emission uses the real mapper
+					out[i] = pc
 				}
-				// Each worker accumulates statistics into its own mapper
-				// shim to avoid data races, merged below. Worker w records
-				// its cone spans on trace track w+1.
-				shadow := &mapper{lib: m.lib, opts: m.opts, netlist: m.netlist,
-					inv: m.inv, bufCell: m.bufCell, tid: w + 1, met: m.met,
-					reserved: m.reserved, store: m.store, seed: m.seed,
-					libFP: m.libFP, optHash: m.optHash}
-				pc, err := prepareConeIsolated(shadow, cones[j.i])
-				if err != nil {
-					errs[j.i] = fmt.Errorf("core: cone %s: %w", cones[j.i].Root, err)
-					continue
-				}
-				pc.cm.m = m // emission uses the real mapper
-				out[j.i] = pc
-				stats[j.i] = shadow.stats
+			}
+			wstats[w] = shadow.stats
+			// Pool the scratch only after an all-clean run: an error or a
+			// cancellation drops it, so no partially-built or
+			// request-scoped state can reach the next request (a panic
+			// already nil'd it in prepareConeIsolated).
+			if shadow.sc != nil && clean {
+				releaseScratch(shadow.sc)
 			}
 		}(w)
 	}
-	for i := range cones {
-		jobs <- job{i}
+	for lo := 0; lo < len(cones); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cones) {
+			hi = len(cones)
+		}
+		jobs <- job{lo, hi}
 	}
 	close(jobs)
 	wg.Wait()
@@ -377,7 +431,7 @@ func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
 			return nil, err
 		}
 	}
-	for _, st := range stats {
+	for _, st := range wstats {
 		m.stats.merge(st)
 	}
 	return out, nil
@@ -391,6 +445,10 @@ func (m *mapper) prepareCones(cones []network.Cone) ([]*preparedCone, error) {
 func prepareConeIsolated(m *mapper, cone network.Cone) (pc *preparedCone, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			// The scratch may be mid-update at the panic point: drop it
+			// (never pool it) and let subsequent cones on this worker run
+			// the allocating path — results are identical either way.
+			m.sc = nil
 			pc, err = nil, fmt.Errorf("panic in covering DP: %v", r)
 		}
 	}()
@@ -437,25 +495,148 @@ func (cm *coneMapper) signalOf(id int) string {
 	return fmt.Sprintf("\x00n%d", id)
 }
 
+// assignSigIDs precomputes, for the arena path, a dense integer signal
+// identity per tree node with exactly signalOf's equivalence classes:
+// leaves sharing a signal name share an id, every internal node is its own
+// (leaf names cannot collide with the "\x00n<id>" internal identities, so
+// the classes split the same way). The leaf-name map is deliberately
+// heap-allocated per cone — signal names are request-scoped and must never
+// be retained by the pooled scratch, whose sigIDs buffer holds only ints.
+func (cm *coneMapper) assignSigIDs() {
+	sc := cm.sc
+	if cap(sc.sigIDs) < len(cm.nodes) {
+		sc.sigIDs = make([]int, len(cm.nodes))
+	}
+	ids := sc.sigIDs[:len(cm.nodes)]
+	var leafID map[string]int
+	next := 0
+	for i := range cm.nodes {
+		n := &cm.nodes[i]
+		if n.op != bexpr.OpVar {
+			ids[i] = next
+			next++
+			continue
+		}
+		if leafID == nil {
+			leafID = make(map[string]int)
+		}
+		id, ok := leafID[n.signal]
+		if !ok {
+			id = next
+			next++
+			leafID[n.signal] = id
+		}
+		ids[i] = id
+	}
+	cm.sigID = ids
+	cm.numSigs = next
+}
+
 // maxCutsPerNode caps cut enumeration to keep pathological cones bounded.
 const maxCutsPerNode = 1500
 
 // enumCuts returns the cluster cuts available below node id (memoised).
+// With an arena scratch attached, the combo cross product lives in the
+// scratch's tmp arena and ping-pong generation buffers, and only the cuts
+// surviving the depth/leaf filter are committed to the per-cone cuts
+// arena; the allocating fallback in enumCutsSlow is otherwise identical.
 func (cm *coneMapper) enumCuts(id int) []cutEntry {
 	if cm.cuts[id] != nil {
 		return cm.cuts[id]
 	}
+	sc := cm.sc
+	if sc == nil || sc.enumActive {
+		// No scratch — or a nested re-enumeration: a child memoised as nil
+		// (every cut filtered) re-enumerates inside the parent's pass while
+		// the combo buffers are live, so it runs on heap-local buffers.
+		// Either way the slow path is the historical one, with identical
+		// work counters.
+		return cm.enumCutsSlow(id)
+	}
+	n := &cm.nodes[id]
+	if n.op == bexpr.OpVar {
+		cm.cuts[id] = []cutEntry{}
+		return cm.cuts[id]
+	}
+	sc.enumActive = true
+	sc.tmp.reset()
+	// Each child contributes either itself as a cut point or one of its own
+	// cuts; combine across children.
+	depthAdd := 1
+	if n.op == bexpr.OpNot {
+		depthAdd = 0 // complements fold into gates; the paper's depth counts gate levels
+	}
+	truncated := false
+	combos := append(sc.comboA[:0], cutEntry{})
+	next := sc.comboB[:0]
+	for _, kid := range n.kids {
+		kidOpts := append(sc.kidOpts[:0], cutEntry{nodes: append(sc.tmp.alloc(1), kid)})
+		kidOpts = append(kidOpts, cm.enumCuts(kid)...)
+		sc.kidOpts = kidOpts
+		next = next[:0]
+	combine:
+		for _, base := range combos {
+			for _, opt := range kidOpts {
+				merged := mergeCutInto(base.nodes, opt.nodes,
+					sc.tmp.alloc(len(base.nodes)+len(opt.nodes)))
+				d := base.depth
+				if opt.depth > d {
+					d = opt.depth
+				}
+				next = append(next, cutEntry{nodes: merged, depth: d})
+				if len(next) > 4*maxCutsPerNode {
+					// Combo explosion: abandon the whole cross product, not
+					// just the current base, so the bound actually bounds.
+					truncated = true
+					break combine
+				}
+			}
+		}
+		combos, next = next, combos
+	}
+	var out []cutEntry
+	for ci := range combos {
+		c := combos[ci]
+		depth := c.depth + depthAdd
+		if depth > cm.m.opts.MaxDepth {
+			continue
+		}
+		if cm.distinctSignals(c.nodes) > cm.m.opts.MaxLeaves {
+			continue
+		}
+		// Survivors are committed to the per-cone arena: the tmp copy dies
+		// at the next enumCuts call, the committed copy lives as long as
+		// the memo table needs it.
+		out = append(out, cutEntry{nodes: sc.cuts.copyOf(c.nodes), depth: depth})
+		if len(out) >= maxCutsPerNode {
+			if ci < len(combos)-1 {
+				truncated = true
+			}
+			break
+		}
+	}
+	sc.comboA, sc.comboB = combos, next
+	sc.enumActive = false
+	if truncated {
+		cm.m.stats.CutTruncations++
+	}
+	cm.m.met.cutsPerNode.Observe(float64(len(out)))
+	cm.cuts[id] = out
+	return out
+}
+
+// enumCutsSlow is the allocating cut enumeration — the historical code
+// path, kept verbatim for DisableArenas and for nested re-enumeration.
+func (cm *coneMapper) enumCutsSlow(id int) []cutEntry {
 	n := &cm.nodes[id]
 	var out []cutEntry
 	if n.op == bexpr.OpVar {
 		cm.cuts[id] = []cutEntry{}
 		return cm.cuts[id]
 	}
-	// Each child contributes either itself as a cut point or one of its own
-	// cuts; combine across children.
 	depthAdd := 1
 	if n.op == bexpr.OpNot {
-		depthAdd = 0 // complements fold into gates; the paper's depth counts gate levels
+		depthAdd = 0
 	}
 	truncated := false
 	combos := []cutEntry{{nodes: nil, depth: 0}}
@@ -524,6 +705,19 @@ func mergeCut(a, b []int) []int {
 }
 
 func (cm *coneMapper) distinctSignals(nodes []int) int {
+	if sc := cm.sc; sc != nil {
+		// Epoch-stamped membership over the precomputed signal ids: no map,
+		// no clearing, re-entrant (each call gets a fresh epoch).
+		marks, ep := sc.stamp(&sc.sigSeen, cm.numSigs)
+		count := 0
+		for _, id := range nodes {
+			if s := cm.sigID[id]; marks[s] != ep {
+				marks[s] = ep
+				count++
+			}
+		}
+		return count
+	}
 	seen := map[string]bool{}
 	for _, id := range nodes {
 		seen[cm.signalOf(id)] = true
@@ -534,6 +728,10 @@ func (cm *coneMapper) distinctSignals(nodes []int) int {
 // clusterFunction builds the cluster's BFF over its distinct input signals
 // and the mapping from variable index to providing tree node.
 func (cm *coneMapper) clusterFunction(root int, cut []int) (*bexpr.Function, []int, error) {
+	if cm.sc != nil {
+		fn, varNodes := cm.clusterFunctionScratch(root, cut)
+		return fn, varNodes, nil
+	}
 	inCut := make(map[int]bool, len(cut))
 	for _, id := range cut {
 		inCut[id] = true
@@ -582,6 +780,80 @@ func (cm *coneMapper) clusterFunction(root int, cut []int) (*bexpr.Function, []i
 		return nil, nil, err
 	}
 	return fn, varNodes, nil
+}
+
+// clusterFunctionScratch is the arena-path clusterFunction: the expression
+// tree lives in the scratch's per-cut expression arena, cut membership and
+// the signal→variable map are epoch-stamped int slices, variable names
+// come from the static table, and the Function is the scratch's reusable
+// one. The returned function and varNodes are valid until the next cut;
+// anything retained past that (bindings, choices) is heap-copied by the
+// consumer. Construction mirrors bexpr.Var/Not/And/Or exactly — including
+// the single-operand collapse — so the built tree is structurally
+// identical to the allocating path's. It cannot fail: every variable it
+// names is in the order it builds, which is the only NewWithVars error.
+func (cm *coneMapper) clusterFunctionScratch(root int, cut []int) (*bexpr.Function, []int) {
+	sc := cm.sc
+	nodeMark, nep := sc.stamp(&sc.nodeMark, len(cm.nodes))
+	for _, id := range cut {
+		nodeMark[id] = nep
+	}
+	varMark, vep := sc.stamp(&sc.varMark, cm.numSigs)
+	if cap(sc.varOf) < cm.numSigs {
+		sc.varOf = make([]int, cm.numSigs)
+	}
+	varOf := sc.varOf[:cm.numSigs]
+	sc.varNodes = sc.varNodes[:0]
+	sc.names = sc.names[:0]
+	sc.exprs.reset()
+	var build func(id int) *bexpr.Expr
+	build = func(id int) *bexpr.Expr {
+		if nodeMark[id] == nep {
+			s := cm.sigID[id]
+			v := varOf[s]
+			if varMark[s] != vep {
+				v = len(sc.names)
+				varMark[s] = vep
+				varOf[s] = v
+				sc.names = append(sc.names, varName(v))
+				sc.varNodes = append(sc.varNodes, id)
+			}
+			e := sc.exprs.node()
+			e.Op, e.Name = bexpr.OpVar, sc.names[v]
+			return e
+		}
+		n := &cm.nodes[id]
+		switch n.op {
+		case bexpr.OpVar:
+			// A cone leaf not in the cut cannot happen: leaves are always
+			// cut points.
+			panic("core: leaf outside cut")
+		case bexpr.OpNot:
+			e := sc.exprs.node()
+			e.Op = bexpr.OpNot
+			e.Kids = append(sc.exprs.kidSlice(1), build(n.kids[0]))
+			return e
+		default:
+			kids := sc.exprs.kidSlice(len(n.kids))
+			for _, k := range n.kids {
+				kids = append(kids, build(k))
+			}
+			switch len(kids) {
+			case 0:
+				e := sc.exprs.node()
+				e.Op, e.Val = bexpr.OpConst, n.op == bexpr.OpAnd
+				return e
+			case 1:
+				return kids[0]
+			}
+			e := sc.exprs.node()
+			e.Op, e.Kids = n.op, kids
+			return e
+		}
+	}
+	expr := build(root)
+	sc.fn.Reset(expr, sc.names)
+	return &sc.fn, sc.varNodes
 }
 
 // dp computes the two-phase covering costs bottom-up. The tree is stored
@@ -640,17 +912,32 @@ func (cm *coneMapper) dpNode(id int) error {
 		if nvars > truthtab.MaxVars {
 			continue
 		}
-		ttPos, err := truthtab.FromExpr(fn)
-		if err != nil {
-			continue
-		}
 		// The cluster's signature vector is computed once per cut with the
 		// word-parallel kernels and shared across both phases and every
 		// candidate cell; the negative-phase vector is derived arithmetically
-		// without touching the truth table.
-		ttNeg := ttPos.Not()
-		sigPos := ttPos.SigVec()
-		sigNeg := sigPos.Complement()
+		// without touching the truth table. On the arena path all four live
+		// in per-cut scratch buffers (valid until the next cut — exactly
+		// their use), and the cached hazard-key state resets with the cut.
+		var ttPos, ttNeg truthtab.TT
+		var sigPos, sigNeg truthtab.SigVector
+		if sc := cm.sc; sc != nil {
+			if err := truthtab.FromExprInto(fn, &sc.ttPos); err != nil {
+				continue
+			}
+			sc.ttPos.NotInto(&sc.ttNeg)
+			sc.ttPos.SigVecInto(&sc.sigPos)
+			sc.sigPos.ComplementInto(&sc.sigNeg)
+			ttPos, ttNeg, sigPos, sigNeg = sc.ttPos, sc.ttNeg, sc.sigPos, sc.sigNeg
+			sc.mc.beginCut()
+		} else {
+			ttPos, err = truthtab.FromExpr(fn)
+			if err != nil {
+				continue
+			}
+			ttNeg = ttPos.Not()
+			sigPos = ttPos.SigVec()
+			sigNeg = sigPos.Complement()
+		}
 		if cm.m.opts.DisableMatchIndex {
 			for phase := 0; phase < 2; phase++ {
 				target, tsig := ttPos, sigPos
@@ -668,7 +955,13 @@ func (cm *coneMapper) dpNode(id int) error {
 		// Indexed path: one probe of the library's signature-keyed match
 		// index serves both phases (the key is output-phase-invariant), and
 		// only cells the key proves compatible get a permutation search.
-		cands := cm.m.lib.Candidates(sigPos.CanonKey())
+		var cands []*library.IndexedCell
+		if sc := cm.sc; sc != nil {
+			sc.keyBuf = sigPos.AppendCanonKey(sc.keyBuf[:0])
+			cands = cm.m.lib.CandidatesKey(sc.keyBuf)
+		} else {
+			cands = cm.m.lib.Candidates(sigPos.CanonKey())
+		}
 		cm.m.stats.IndexProbes++
 		cm.m.stats.IndexSkippedCells += cm.m.lib.NumCellsWithPins(nvars) - len(cands)
 		for phase := 0; phase < 2; phase++ {
@@ -706,6 +999,107 @@ func (cm *coneMapper) dpNode(id int) error {
 	return nil
 }
 
+// matchCtx is the arena path's binding visitor: the per-binding state the
+// allocating path carries in a fresh closure lives here, in the worker's
+// scratch, rebound per tryCell call. It also caches the cluster hazard-set
+// keys lazily per (cut, phase) — the allocating path formats the same
+// string on every hazard check of a binding search — with byte-identical
+// key values, so the per-cone hazCache populates and hits exactly as
+// before.
+type matchCtx struct {
+	cm       *coneMapper
+	n        *tnode
+	phase    int
+	fn       *bexpr.Function
+	cell     *library.Cell
+	mt       *match.Matcher
+	pruned   bool
+	varNodes []int
+	rejected int
+	maxB     int
+
+	// Per-cut lazy hazard-key cache; beginCut invalidates it.
+	fnStr  string
+	keys   [2]string
+	hasKey [2]bool
+}
+
+func (mc *matchCtx) beginCut() {
+	mc.fnStr = ""
+	mc.keys = [2]string{}
+	mc.hasKey = [2]bool{}
+}
+
+func (mc *matchCtx) hazKey(phase int) string {
+	if !mc.hasKey[phase] {
+		if mc.fnStr == "" {
+			mc.fnStr = mc.fn.Root.String()
+		}
+		mc.keys[phase] = fmt.Sprintf("%d|%s", phase, mc.fnStr)
+		mc.hasKey[phase] = true
+	}
+	return mc.keys[phase]
+}
+
+// Visit is the per-binding acceptance test — the arena twin of tryCell's
+// closure below, step for step. The one extra obligation here: a binding
+// delivered through the scratch search aliases the search's permutation
+// buffer, and varNodes aliases the scratch, so an *accepted* choice
+// heap-copies both (choices outlive the cut; they are read by solution
+// encoding and serial emission).
+func (mc *matchCtx) Visit(b hazard.Binding) bool {
+	cm := mc.cm
+	if err := cm.m.pollCtx(); err != nil {
+		cm.stop = err
+		return false
+	}
+	cm.m.stats.MatchesFound++
+	if mc.pruned {
+		cm.m.stats.SymmetryPruned += mc.mt.Orbit() - 1
+	}
+	if cm.m.opts.Mode == Async && mc.cell.Hazardous() {
+		cm.m.stats.HazardousMatches++
+		if !cm.hazardSubsetOK(mc.fn, mc.phase, mc.cell, b, mc.hazKey(mc.phase)) {
+			cm.m.stats.MatchesRejected++
+			if mc.pruned || mc.mt.Representative(b.Perm) {
+				mc.rejected++
+			}
+			return mc.rejected < mc.maxB
+		}
+	}
+	c := cost{area: mc.cell.Area, delay: 0}
+	sc := cm.sc
+	if cap(sc.demand) < len(mc.varNodes) {
+		sc.demand = make([]int, len(mc.varNodes))
+	}
+	demand := sc.demand[:len(mc.varNodes)]
+	clear(demand)
+	for pin, v := range b.Perm {
+		if b.InvIn&(1<<uint(pin)) != 0 {
+			demand[v] = phaseNeg
+		}
+	}
+	for v, nodeID := range mc.varNodes {
+		in := cm.nodes[nodeID].cost[demand[v]]
+		c.area += in.area
+		if in.delay > c.delay {
+			c.delay = in.delay
+		}
+	}
+	c.delay += mc.cell.Delay
+	n := mc.n
+	if c.better(n.cost[mc.phase], cm.m.opts.Objective) {
+		b.Perm = append([]int(nil), b.Perm...)
+		n.cost[mc.phase] = c
+		n.choice[mc.phase] = &choice{
+			cell:    mc.cell,
+			binding: b,
+			varNode: append([]int(nil), mc.varNodes...),
+		}
+	}
+	return mc.rejected < mc.maxB
+}
+
 // tryCell attempts to match one cell against a cluster target and updates
 // the DP cost for (id, phase). tsig must be target's signature vector
 // (computed once per cut by dpNode); mt is the cell's prebuilt matcher.
@@ -717,6 +1111,23 @@ func (cm *coneMapper) dpNode(id int) error {
 // comparison picks the same choice either way.
 func (cm *coneMapper) tryCell(id, phase int, fn *bexpr.Function, target truthtab.TT, tsig truthtab.SigVector, cell *library.Cell, mt *match.Matcher, pruned bool, varNodes []int) {
 	if cm.stop != nil {
+		return
+	}
+	if sc := cm.sc; sc != nil {
+		// Arena path: the binding visitor is the scratch's reusable
+		// matchCtx (its per-cut hazard-key cache survives across the cells
+		// of one cut; dpNode resets it at each cut), and the permutation
+		// search runs on the scratch's match.Scratch instead of allocating
+		// its own state per Find call.
+		mc := &sc.mc
+		mc.cm, mc.n, mc.phase, mc.fn = cm, &cm.nodes[id], phase, fn
+		mc.cell, mc.mt, mc.pruned, mc.varNodes = cell, mt, pruned, varNodes
+		mc.rejected, mc.maxB = 0, cm.m.opts.MaxBindings
+		if pruned {
+			mt.FindScratch(target, tsig, mc, &sc.msc)
+		} else {
+			mt.FindAllScratch(target, tsig, mc, &sc.msc)
+		}
 		return
 	}
 	n := &cm.nodes[id]
@@ -740,7 +1151,8 @@ func (cm *coneMapper) tryCell(id, phase int, fn *bexpr.Function, target truthtab
 		}
 		if cm.m.opts.Mode == Async && cell.Hazardous() {
 			cm.m.stats.HazardousMatches++
-			if !cm.hazardSubsetOK(fn, phase, cell, b) {
+			key := fmt.Sprintf("%d|%s", phase, fn.Root.String())
+			if !cm.hazardSubsetOK(fn, phase, cell, b, key) {
 				cm.m.stats.MatchesRejected++
 				// MaxBindings bounds how many hazard-rejected bindings are
 				// examined before giving up on a hazardous cell; accepted
@@ -793,13 +1205,12 @@ func (cm *coneMapper) tryCell(id, phase int, fn *bexpr.Function, target truthtab
 // the pin binding, must be a subset of the hazards of the subnetwork being
 // replaced. Conservative failures (analysis bounds exceeded) reject the
 // match — safety over optimality.
-func (cm *coneMapper) hazardSubsetOK(fn *bexpr.Function, phase int, cell *library.Cell, b hazard.Binding) bool {
+func (cm *coneMapper) hazardSubsetOK(fn *bexpr.Function, phase int, cell *library.Cell, b hazard.Binding, key string) bool {
 	cm.m.stats.HazardChecks++
 	cellSet := cell.Hazards
 	if cellSet == nil {
 		return false // cell too wide for exact analysis: conservatively reject
 	}
-	key := fmt.Sprintf("%d|%s", phase, fn.Root.String())
 	clusterSet, ok := cm.hazCache[key]
 	if ok {
 		cm.m.stats.HazCacheLocalHits++
@@ -862,6 +1273,12 @@ func (cm *coneMapper) hazardSubsetOK(fn *bexpr.Function, phase int, cell *librar
 	}
 	if clusterSet == nil {
 		return false
+	}
+	if cm.sc != nil {
+		// Fused translate → burst-filter → subset test: same verdict as the
+		// three-step pipeline below, without materialising the translated
+		// set per binding.
+		return cellSet.TranslatedSubsetOf(b, cm.m.opts.MaxBurst, clusterSet)
 	}
 	translated := cellSet.Translate(b, fn.NumVars())
 	// Hazard don't-cares: bursts wider than MaxBurst never occur, so the

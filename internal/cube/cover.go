@@ -153,26 +153,72 @@ func (f Cover) isUnate() bool {
 // Tautology reports whether the cover evaluates to 1 at every point of the
 // n-variable space, using the standard unate-reduction/Shannon recursion.
 func (f Cover) Tautology() bool {
+	return f.tautologyUnder(Universal)
+}
+
+// tautologyUnder reports whether f cofactored by the path cube is a
+// tautology. The branching decisions of the Shannon recursion are carried
+// in path and each cube is cofactored against it on the fly, so no
+// intermediate covers are materialised — the hazard filter runs this
+// containment core on every candidate match, and it must not allocate.
+func (f Cover) tautologyUnder(path Cube) bool {
+	var posCount, negCount [MaxVars]int
+	var pos, neg uint64
+	any := false
 	for _, c := range f.Cubes {
-		if c.IsUniversal() {
-			return true
+		if c.Used&path.Used&(c.Phase^path.Phase) != 0 {
+			continue // conflicts with the path: vanishes in the cofactor
+		}
+		rem := c.Used &^ path.Used
+		if rem == 0 {
+			return true // the cofactored cube is universal
+		}
+		any = true
+		pos |= rem & c.Phase
+		neg |= rem &^ c.Phase
+		for u := rem; u != 0; {
+			v := bits.TrailingZeros64(u)
+			u &^= 1 << uint(v)
+			if c.PhaseOf(v) {
+				posCount[v]++
+			} else {
+				negCount[v]++
+			}
 		}
 	}
-	if len(f.Cubes) == 0 {
+	if !any {
 		return false
 	}
-	if f.isUnate() {
+	if pos&neg == 0 {
 		// A unate cover is a tautology iff it contains the universal cube.
 		return false
 	}
-	v := f.mostBinateVar()
-	return f.CofactorLiteral(v, false).Tautology() && f.CofactorLiteral(v, true).Tautology()
+	// The most binate variable of the cofactored cover, with the same
+	// preference order as mostBinateVar.
+	best, bestScore, bestBinate := -1, -1, false
+	for v := 0; v < f.N; v++ {
+		if posCount[v]+negCount[v] == 0 {
+			continue
+		}
+		binate := posCount[v] > 0 && negCount[v] > 0
+		score := posCount[v] + negCount[v]
+		switch {
+		case best == -1,
+			binate && !bestBinate,
+			binate == bestBinate && score > bestScore:
+			best, bestScore, bestBinate = v, score, binate
+		}
+	}
+	lo, _ := path.WithLiteral(best, false)
+	hi, _ := path.WithLiteral(best, true)
+	return f.tautologyUnder(lo) && f.tautologyUnder(hi)
 }
 
 // ContainsCube reports whether the function of the cover is 1 everywhere on
-// cube c (functional containment, not single-gate containment).
+// cube c (functional containment, not single-gate containment). Cofactoring
+// by c is exactly a tautology check under c as the path.
 func (f Cover) ContainsCube(c Cube) bool {
-	return f.CofactorCube(c).Tautology()
+	return f.tautologyUnder(c)
 }
 
 // ContainsCover reports whether f ⊇ g as functions.

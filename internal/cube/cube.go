@@ -198,14 +198,19 @@ func (c Cube) CofactorCube(d Cube) (Cube, bool) {
 // AdjacentCubes returns the cubes obtained from c by complementing one used
 // (care) variable at a time — the set J_c of procedure findMicDynHaz2level.
 func (c Cube) AdjacentCubes() []Cube {
-	out := make([]Cube, 0, c.NumLiterals())
+	return c.AppendAdjacentCubes(make([]Cube, 0, c.NumLiterals()))
+}
+
+// AppendAdjacentCubes appends the adjacent cubes of c to dst and returns
+// the extended slice, so iterating callers can reuse one buffer.
+func (c Cube) AppendAdjacentCubes(dst []Cube) []Cube {
 	u := c.Used
 	for u != 0 {
 		bit := u & -u
 		u &^= bit
-		out = append(out, Cube{Used: c.Used, Phase: c.Phase ^ bit})
+		dst = append(dst, Cube{Used: c.Used, Phase: c.Phase ^ bit})
 	}
-	return out
+	return dst
 }
 
 // Minterms appends to dst every minterm point of the cube over n variables

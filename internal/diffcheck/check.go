@@ -128,6 +128,8 @@ func matrix(workers int, store *mapstore.Store) []variant {
 			opts: func(o core.Options) core.Options { o.Workers = 1; return o }}, // second run against the same private cache, warm
 		{name: "noindex", comparableStats: false,
 			opts: func(o core.Options) core.Options { o.Workers = 1; o.DisableMatchIndex = true; return o }},
+		{name: "noarena", comparableStats: true,
+			opts: func(o core.Options) core.Options { o.Workers = 1; o.DisableArenas = true; return o }},
 		{name: "ctx", comparableStats: true, ctx: context.Background(),
 			opts: func(o core.Options) core.Options { o.Workers = 1; return o }},
 	}

@@ -26,9 +26,12 @@ type Dyn2Record struct {
 func MicDynHaz2Level(f cube.Cover) []Dyn2Record {
 	intersections := irredundantIntersections(f)
 	var out []Dyn2Record
+	var adj []cube.Cube
+	var mts []uint64
 	for _, c := range intersections {
 		rec := Dyn2Record{Intersection: c}
-		for _, d := range c.AdjacentCubes() {
+		adj = c.AppendAdjacentCubes(adj[:0])
+		for _, d := range adj {
 			switch constantOn(f, d) {
 			case 0:
 				rec.Alpha = append(rec.Alpha, d)
@@ -40,7 +43,8 @@ func MicDynHaz2Level(f cube.Cover) []Dyn2Record {
 				// granularity, as the paper's minterm-based Example 4.2.4
 				// does implicitly.
 				if f.N <= MaxExhaustiveVars {
-					for _, m := range d.Minterms(f.N, nil) {
+					mts = d.Minterms(f.N, mts[:0])
+					for _, m := range mts {
 						mc := cube.Minterm(f.N, m)
 						if f.Eval(m) {
 							rec.Beta = append(rec.Beta, mc)

@@ -204,6 +204,57 @@ func (s *Set) Translate(b Binding, n int) *Set {
 	return out
 }
 
+// TranslatedSubsetOf reports whether the receiver's hazards, translated
+// through binding b and restricted to transitions flipping at most
+// maxBurst inputs (maxBurst <= 0 keeps all), are a subset of t. It is
+// equivalent to s.Translate(b, n).FilterMaxBurst(maxBurst).SubsetOf(t)
+// but never materialises the intermediate sets: each transition is
+// mapped, filtered and looked up in t directly, so the matching filter's
+// accept test allocates nothing.
+func (s *Set) TranslatedSubsetOf(b Binding, maxBurst int, t *Set) bool {
+	for tr := range s.Static1 {
+		m := Transition{From: b.mapPoint(tr.From), To: b.mapPoint(tr.To)}
+		if maxBurst > 0 && popcount64(m.From^m.To) > maxBurst {
+			continue
+		}
+		m = normStatic(m)
+		if b.InvOut {
+			if _, ok := t.Static0[m]; !ok {
+				return false
+			}
+		} else if _, ok := t.Static1[m]; !ok {
+			return false
+		}
+	}
+	for tr := range s.Static0 {
+		m := Transition{From: b.mapPoint(tr.From), To: b.mapPoint(tr.To)}
+		if maxBurst > 0 && popcount64(m.From^m.To) > maxBurst {
+			continue
+		}
+		m = normStatic(m)
+		if b.InvOut {
+			if _, ok := t.Static1[m]; !ok {
+				return false
+			}
+		} else if _, ok := t.Static0[m]; !ok {
+			return false
+		}
+	}
+	for tr := range s.Dynamic {
+		m := Transition{From: b.mapPoint(tr.From), To: b.mapPoint(tr.To)}
+		if b.InvOut {
+			m.From, m.To = m.To, m.From
+		}
+		if maxBurst > 0 && popcount64(m.From^m.To) > maxBurst {
+			continue
+		}
+		if _, ok := t.Dynamic[m]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // String renders a short summary such as "static-1:2 static-0:0 dynamic:5".
 func (s *Set) String() string {
 	return fmt.Sprintf("static-1:%d static-0:%d dynamic:%d",
@@ -281,12 +332,14 @@ func FunctionHazardFree(f func(uint64) bool, n int, a, b uint64) bool {
 	var pts []uint64
 	pts = t.Minterms(n, pts[:0])
 	mb := cube.Minterm(n, b)
+	var inner []uint64
 	for _, x := range pts {
 		if f(x) != fb {
 			continue
 		}
 		txb := cube.Supercube(cube.Minterm(n, x), mb)
-		for _, y := range txb.Minterms(n, nil) {
+		inner = txb.Minterms(n, inner[:0])
+		for _, y := range inner {
 			if f(y) != fb {
 				return false
 			}

@@ -80,6 +80,14 @@ type Simulator struct {
 	stack    []bool  // scratch for evalInit
 	vals     []bool  // scratch: root value per path subset
 	mc       []int8  // scratch: DP table over path subsets
+
+	// Scratch for changingGroups and functionMaxChanges. The fmc buffers
+	// are separate from vals/mc because Classify runs the function-hazard
+	// DP before the path analyses that reuse those.
+	groupsBuf []uint64
+	fmcCV     []uint64
+	fmcMC     []int8
+	fmcVals   []bool
 }
 
 // NewSimulator prepares a simulator for the expression. It requires at
@@ -282,7 +290,7 @@ func (s *Simulator) rootVal() bool { return s.nodes[len(s.nodes)-1].val }
 // variables, one group per variable for shared ones.
 func (s *Simulator) changingGroups(a, b uint64) ([]uint64, error) {
 	changing := a ^ b
-	var groups []uint64
+	groups := s.groupsBuf[:0]
 	for v := 0; v < s.n; v++ {
 		if changing&(1<<uint(v)) == 0 {
 			continue
@@ -300,6 +308,7 @@ func (s *Simulator) changingGroups(a, b uint64) ([]uint64, error) {
 			groups = append(groups, bit)
 		}
 	}
+	s.groupsBuf = groups
 	if k := len(groups); k > MaxSkewPaths {
 		return nil, fmt.Errorf("hazard: transition flips %d paths, exceeding the %d-path bound", k, MaxSkewPaths)
 	}
@@ -482,19 +491,25 @@ func (s *Simulator) Classify(a, b uint64) (kind Kind, hazardous bool, err error)
 // the cached truth table, so it is fast even for wide supports.
 func (s *Simulator) functionMaxChanges(a, b uint64) int {
 	changing := a ^ b
-	var cv []uint64
+	cv := s.fmcCV[:0]
 	for v := 0; v < s.n; v++ {
 		if changing&(1<<uint(v)) != 0 {
 			cv = append(cv, 1<<uint(v))
 		}
 	}
+	s.fmcCV = cv
 	k := len(cv)
 	if k == 0 {
 		return 0
 	}
 	size := 1 << uint(k)
-	mc := make([]int8, size)
-	vals := make([]bool, size)
+	if cap(s.fmcMC) < size {
+		s.fmcMC = make([]int8, size)
+		s.fmcVals = make([]bool, size)
+	}
+	mc := s.fmcMC[:size]
+	vals := s.fmcVals[:size]
+	mc[0] = 0
 	for sub := 0; sub < size; sub++ {
 		p := a
 		for j := 0; j < k; j++ {

@@ -235,6 +235,13 @@ func (l *Library) Candidates(key string) []*IndexedCell {
 	return l.index().buckets[key]
 }
 
+// CandidatesKey is Candidates for a key assembled into a byte buffer
+// (truthtab.SigVector.AppendCanonKey): the map probe converts the bytes
+// in place, so the mapper's per-cut index lookup allocates nothing.
+func (l *Library) CandidatesKey(key []byte) []*IndexedCell {
+	return l.index().buckets[string(key)]
+}
+
 // NumCellsWithPins returns how many cells have the given input count,
 // without materialising the slice CellsWithPins builds.
 func (l *Library) NumCellsWithPins(n int) int {

@@ -117,6 +117,86 @@ func (m *Matcher) run(goal truthtab.TT, goalSig truthtab.SigVector, invOut, prun
 	}
 	n := m.tt.N
 	s := &search{
+		cell:     m.tt,
+		goal:     goal,
+		cellSig:  m.sig,
+		goalSig:  goalSig,
+		prev:     m.prev,
+		prune:    prune,
+		invOut:   invOut,
+		n:        n,
+		v:        funcVisitor{fn},
+		copyPerm: true,
+		perm:     make([]int, n),
+		usedVar:  make([]bool, n),
+	}
+	return s.assign(0)
+}
+
+// Visitor receives bindings from a scratch-mode search. The Binding
+// passed to Visit aliases search-owned scratch: Perm is valid only for
+// the duration of the call and must be copied if retained. Returning
+// false stops the enumeration.
+type Visitor interface {
+	Visit(hazard.Binding) bool
+}
+
+// funcVisitor adapts the legacy callback API to the Visitor interface.
+type funcVisitor struct {
+	fn func(hazard.Binding) bool
+}
+
+func (f funcVisitor) Visit(b hazard.Binding) bool { return f.fn(b) }
+
+// Scratch holds the permutation-search state for the scratch-mode entry
+// points: the search frame, the perm/usedVar working arrays, and a
+// transform destination table. One Scratch serves any number of
+// sequential searches with zero steady-state allocation; it must not be
+// shared between concurrent searches.
+type Scratch struct {
+	s       search
+	perm    []int
+	usedVar []bool
+	tmp     truthtab.TT
+}
+
+// Scrub zeroes the request-derived contents of the scratch — the last
+// search's permutation and transform words — while keeping the buffers
+// for reuse. Pools that recycle a Scratch across requests call this so a
+// recycled scratch carries no data from the request that filled it. (The
+// search frame itself is already dropped at the end of every run.)
+func (sc *Scratch) Scrub() {
+	clear(sc.perm)
+	clear(sc.usedVar)
+	sc.tmp.N = 0
+	clear(sc.tmp.Bits)
+}
+
+// FindScratch is Find with search state drawn from sc and bindings
+// delivered through a Visitor whose Binding.Perm aliases scratch (copy to
+// retain). Steady state allocates nothing.
+func (m *Matcher) FindScratch(goal truthtab.TT, goalSig truthtab.SigVector, v Visitor, sc *Scratch) {
+	m.runScratch(goal, goalSig, false, true, v, sc)
+}
+
+// FindAllScratch is FindScratch without symmetry pruning: every binding
+// of every orbit.
+func (m *Matcher) FindAllScratch(goal truthtab.TT, goalSig truthtab.SigVector, v Visitor, sc *Scratch) {
+	m.runScratch(goal, goalSig, false, false, v, sc)
+}
+
+func (m *Matcher) runScratch(goal truthtab.TT, goalSig truthtab.SigVector, invOut, prune bool, v Visitor, sc *Scratch) bool {
+	if m.tt.N != goal.N || m.sig.Ones != goalSig.Ones {
+		return true
+	}
+	n := m.tt.N
+	if cap(sc.perm) < n {
+		sc.perm = make([]int, n)
+		sc.usedVar = make([]bool, n)
+	}
+	clear(sc.usedVar[:n])
+	s := &sc.s
+	*s = search{
 		cell:    m.tt,
 		goal:    goal,
 		cellSig: m.sig,
@@ -125,11 +205,17 @@ func (m *Matcher) run(goal truthtab.TT, goalSig truthtab.SigVector, invOut, prun
 		prune:   prune,
 		invOut:  invOut,
 		n:       n,
-		fn:      fn,
-		perm:    make([]int, n),
-		usedVar: make([]bool, n),
+		v:       v,
+		perm:    sc.perm[:n],
+		usedVar: sc.usedVar[:n],
+		tmp:     &sc.tmp,
 	}
-	return s.assign(0)
+	ok := s.assign(0)
+	// Drop every reference to caller-owned data before the scratch goes
+	// back to a pool: a canceled request's tables, signatures and visitor
+	// must not stay reachable from reused worker state.
+	*s = search{}
+	return ok
 }
 
 // Find enumerates the bindings under which the cell function equals the
@@ -188,8 +274,10 @@ type search struct {
 	prev             []int
 	prune            bool
 	invOut           bool
+	copyPerm         bool
 	n                int
-	fn               func(hazard.Binding) bool
+	v                Visitor
+	tmp              *truthtab.TT // scratch transform destination; nil = allocate per leaf
 	perm             []int
 	inv              uint64
 	usedVar          []bool
@@ -200,16 +288,27 @@ type search struct {
 func (s *search) assign(i int) bool {
 	if i == s.n {
 		// goal already accounts for the output phase, so transform without it.
-		h := s.cell.Transform(s.perm, s.inv, false, s.n)
-		if !h.Equal(s.goal) {
-			return true
+		if s.tmp != nil {
+			s.cell.TransformInto(s.perm, s.inv, false, s.n, s.tmp)
+			if !s.tmp.Equal(s.goal) {
+				return true
+			}
+		} else {
+			h := s.cell.Transform(s.perm, s.inv, false, s.n)
+			if !h.Equal(s.goal) {
+				return true
+			}
+		}
+		perm := s.perm
+		if s.copyPerm {
+			perm = append([]int(nil), s.perm...)
 		}
 		b := hazard.Binding{
-			Perm:   append([]int(nil), s.perm...),
+			Perm:   perm,
 			InvIn:  s.inv,
 			InvOut: s.invOut,
 		}
-		return s.fn(b)
+		return s.v.Visit(b)
 	}
 	cs := s.cellSig.Var(i)
 	// Symmetry pruning: pins of one class are interchangeable, so any

@@ -7,7 +7,6 @@ package truthtab
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 
 	"gfmap/internal/bexpr"
 	"gfmap/internal/cube"
@@ -71,6 +70,36 @@ func FromExpr(f *bexpr.Function) (TT, error) {
 	return FromFunc(f.NumVars(), f.Eval)
 }
 
+// reserve resizes t to n variables reusing the Bits backing array when it
+// is large enough, zeroing the live words.
+func (t *TT) reserve(n int) {
+	w := words(n)
+	if cap(t.Bits) < w {
+		t.Bits = make([]uint64, w)
+	} else {
+		t.Bits = t.Bits[:w]
+		clear(t.Bits)
+	}
+	t.N = n
+}
+
+// FromExprInto is FromExpr into caller-owned storage: t is resized over
+// the function's variables, reusing its Bits array when capacity allows,
+// so steady-state construction allocates nothing.
+func FromExprInto(f *bexpr.Function, t *TT) error {
+	n := f.NumVars()
+	if n < 0 || n > MaxVars {
+		return fmt.Errorf("truthtab: %d variables out of range", n)
+	}
+	t.reserve(n)
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		if f.Eval(p) {
+			t.Set(p, true)
+		}
+	}
+	return nil
+}
+
 // Set assigns the value at an input point.
 func (t TT) Set(p uint64, v bool) {
 	if v {
@@ -103,6 +132,22 @@ func (t TT) Not() TT {
 	}
 	out.Bits[len(out.Bits)-1] &= t.lastMask()
 	return out
+}
+
+// NotInto writes the complemented function into caller-owned storage,
+// reusing out's Bits array when capacity allows.
+func (t TT) NotInto(out *TT) {
+	w := len(t.Bits)
+	if cap(out.Bits) < w {
+		out.Bits = make([]uint64, w)
+	} else {
+		out.Bits = out.Bits[:w]
+	}
+	out.N = t.N
+	for i, x := range t.Bits {
+		out.Bits[i] = ^x
+	}
+	out.Bits[w-1] &= t.lastMask()
 }
 
 // Equal reports functional equality.
@@ -299,6 +344,37 @@ func (t TT) Transform(perm []int, inv uint64, invOut bool, nOut int) TT {
 	return out
 }
 
+// TransformInto is Transform into caller-owned storage: on the bijective
+// word-parallel path out's Bits array is reused when capacity allows, so
+// steady-state transforms allocate nothing. The general fallback (width
+// change or non-bijective binding) delegates to Transform.
+func (t TT) TransformInto(perm []int, inv uint64, invOut bool, nOut int, out *TT) {
+	if nOut == t.N && isPermutation(perm, t.N) {
+		w := len(t.Bits)
+		if cap(out.Bits) < w {
+			out.Bits = make([]uint64, w)
+		} else {
+			out.Bits = out.Bits[:w]
+		}
+		out.N = t.N
+		copy(out.Bits, t.Bits)
+		for i := 0; i < t.N; i++ {
+			if inv&(1<<uint(i)) != 0 {
+				out.flipVar(i)
+			}
+		}
+		out.applyPerm(perm)
+		if invOut {
+			for i := range out.Bits {
+				out.Bits[i] = ^out.Bits[i]
+			}
+		}
+		out.Bits[len(out.Bits)-1] &= out.lastMask()
+		return
+	}
+	*out = t.Transform(perm, inv, invOut, nOut)
+}
+
 func isPermutation(perm []int, n int) bool {
 	if len(perm) != n {
 		return false
@@ -442,6 +518,28 @@ func (t TT) SigVec() SigVector {
 	return s
 }
 
+// SigVecInto is SigVec into caller-owned storage: s's C0/C1 slices are
+// reused when capacity allows, so steady-state computation allocates
+// nothing.
+func (t TT) SigVecInto(s *SigVector) {
+	s.N = t.N
+	s.Ones = t.Ones()
+	s.C0 = growInts(s.C0, t.N)
+	s.C1 = growInts(s.C1, t.N)
+	for v := 0; v < t.N; v++ {
+		c0 := t.CofactorOnes(v, false)
+		s.C0[v] = c0
+		s.C1[v] = s.Ones - c0
+	}
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 // Complement returns the signature vector of the complemented function
 // without touching a truth table.
 func (s SigVector) Complement() SigVector {
@@ -461,6 +559,22 @@ func (s SigVector) Complement() SigVector {
 	return out
 }
 
+// ComplementInto is Complement into caller-owned storage, reusing out's
+// C0/C1 slices when capacity allows.
+func (s SigVector) ComplementInto(out *SigVector) {
+	out.N = s.N
+	out.Ones = 1<<uint(s.N) - s.Ones
+	out.C0 = growInts(out.C0, s.N)
+	out.C1 = growInts(out.C1, s.N)
+	if s.N > 0 {
+		half := 1 << uint(s.N-1)
+		for v := range s.C0 {
+			out.C0[v] = half - s.C0[v]
+			out.C1[v] = half - s.C1[v]
+		}
+	}
+}
+
 // Var returns the input-inversion-invariant signature of one variable.
 func (s SigVector) Var(v int) VarSignature {
 	c0, c1 := s.C0[v], s.C1[v]
@@ -470,26 +584,38 @@ func (s SigVector) Var(v int) VarSignature {
 	return VarSignature{Lo: c0, Hi: c1}
 }
 
-// rawKey serialises (ON-set size, sorted per-variable signatures) as a
-// compact byte string; all values fit in 16 bits for N <= MaxVars.
-func (s SigVector) rawKey() string {
-	var sigBuf [MaxVars]VarSignature
-	sigs := sigBuf[:s.N]
-	for v := range sigs {
-		sigs[v] = s.Var(v)
-	}
-	sort.Slice(sigs, func(i, j int) bool {
-		if sigs[i].Lo != sigs[j].Lo {
-			return sigs[i].Lo < sigs[j].Lo
+// sortSigs orders signatures by (Lo, Hi). Insertion sort on a stack-backed
+// slice of at most MaxVars elements: no sort.Slice interface boxing or
+// reflection-based swapper on the hot path.
+func sortSigs(sigs []VarSignature) {
+	for i := 1; i < len(sigs); i++ {
+		x := sigs[i]
+		j := i - 1
+		for j >= 0 && (sigs[j].Lo > x.Lo || (sigs[j].Lo == x.Lo && sigs[j].Hi > x.Hi)) {
+			sigs[j+1] = sigs[j]
+			j--
 		}
-		return sigs[i].Hi < sigs[j].Hi
-	})
-	b := make([]byte, 0, 2+4*len(sigs))
-	b = append(b, byte(s.Ones>>8), byte(s.Ones))
-	for _, sg := range sigs {
-		b = append(b, byte(sg.Lo>>8), byte(sg.Lo), byte(sg.Hi>>8), byte(sg.Hi))
+		sigs[j+1] = x
 	}
-	return string(b)
+}
+
+// appendSigsKey appends the serialised (ON-set size, sorted per-variable
+// signatures) key to dst; all values fit in 16 bits for N <= MaxVars.
+// sigs is sorted in place.
+func appendSigsKey(dst []byte, ones int, sigs []VarSignature) []byte {
+	sortSigs(sigs)
+	dst = append(dst, byte(ones>>8), byte(ones))
+	for _, sg := range sigs {
+		dst = append(dst, byte(sg.Lo>>8), byte(sg.Lo), byte(sg.Hi>>8), byte(sg.Hi))
+	}
+	return dst
+}
+
+// sigsKey serialises (ON-set size, sorted per-variable signatures) as a
+// compact byte string; sigs is sorted in place.
+func sigsKey(ones int, sigs []VarSignature) string {
+	var buf [2 + 4*MaxVars]byte
+	return string(appendSigsKey(buf[:0], ones, sigs))
 }
 
 // CanonKey returns the match-index key of the function: the ON-set size
@@ -498,13 +624,42 @@ func (s SigVector) rawKey() string {
 // phases and output phase always agree on CanonKey, and two functions
 // with different keys can never match — the key is a necessary condition,
 // so an index bucketed by it returns a superset of the true matches.
+// The complement's key is derived arithmetically without materialising
+// the complement signature vector; the whole computation allocates only
+// the two candidate key strings.
 func (s SigVector) CanonKey() string {
-	a := s.rawKey()
-	b := s.Complement().rawKey()
-	if b < a {
-		return b
+	var buf [2 + 4*MaxVars]byte
+	return string(s.AppendCanonKey(buf[:0]))
+}
+
+// AppendCanonKey appends the CanonKey bytes to dst and returns the
+// extended slice. Byte-for-byte identical to CanonKey without the string
+// allocations: the mapper probes the match index once per cut with a
+// reusable buffer, and Library.CandidatesKey converts the bytes in place.
+func (s SigVector) AppendCanonKey(dst []byte) []byte {
+	var rawBuf, cplBuf [2 + 4*MaxVars]byte
+	var sigBuf [MaxVars]VarSignature
+	sigs := sigBuf[:s.N]
+	for v := range sigs {
+		sigs[v] = s.Var(v)
 	}
-	return a
+	a := appendSigsKey(rawBuf[:0], s.Ones, sigs)
+	half := 0
+	if s.N > 0 {
+		half = 1 << uint(s.N-1)
+	}
+	for v := range sigs {
+		c0, c1 := half-s.C0[v], half-s.C1[v]
+		if c0 > c1 {
+			c0, c1 = c1, c0
+		}
+		sigs[v] = VarSignature{Lo: c0, Hi: c1}
+	}
+	b := appendSigsKey(cplBuf[:0], 1<<uint(s.N)-s.Ones, sigs)
+	if string(b) < string(a) {
+		return append(dst, b...)
+	}
+	return append(dst, a...)
 }
 
 // SymmetricPair reports whether variables u and v are interchangeable in
