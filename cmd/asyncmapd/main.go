@@ -10,6 +10,14 @@
 //
 //	asyncmapd -addr :8931 -libs LSI9K,CMOS3 -timeout 30s
 //	asyncmapd -store cones.mapstore   # persist cone solutions across restarts
+//	asyncmapd -fleet http://w1:8931,http://w2:8931   # fleet coordinator
+//
+// With -fleet, the server coordinates a sharded mapping fleet: batch
+// designs are dispatched design-wise (or cone-wise for a single large
+// design) across the listed workers — plain asyncmapd processes — with
+// work stealing, bounded retries, hedged duplicates for stragglers and
+// local fallback, and the assembled results are byte-identical to a
+// single-process run. See the "Fleet mode" section of docs/SERVING.md.
 //
 // With -store, per-cone covering solutions persist in a crash-safe
 // content-addressed store file: a restarted (or concurrently running)
@@ -58,6 +66,11 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		storeTo  = flag.String("store", "", "path of the persistent cone-solution store (empty = disabled); created if missing, shared across restarts")
 		storeMem = flag.Int("store-mem", 0, "in-memory entries the store may hold (0 = default)")
+
+		fleetURLs     = flag.String("fleet", "", "comma-separated worker base URLs; this server becomes a fleet coordinator dispatching /map/batch across them (workers are plain asyncmapd)")
+		fleetHedge    = flag.Duration("fleet-hedge", 0, "duplicate a straggling fleet job on another worker after this long (0 = 2s default, negative disables hedging)")
+		fleetAttempts = flag.Int("fleet-attempts", 0, "remote attempts per fleet job before local fallback (0 = 3)")
+		fleetPerWork  = flag.Int("fleet-perworker", 0, "concurrent fleet jobs per worker (0 = 4)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -101,6 +114,16 @@ func main() {
 			}
 		}
 	}
+	if *fleetURLs != "" {
+		for _, u := range strings.Split(*fleetURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.FleetWorkers = append(cfg.FleetWorkers, u)
+			}
+		}
+		cfg.FleetHedgeAfter = *fleetHedge
+		cfg.FleetMaxAttempts = *fleetAttempts
+		cfg.FleetPerWorker = *fleetPerWork
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		fatal("startup", err)
@@ -127,6 +150,7 @@ func main() {
 			Bool("store", store != nil).
 			Int("max_concurrent", int64(*maxConc)).
 			Int("queue", int64(*queue)).
+			Int("fleet_workers", int64(len(cfg.FleetWorkers))).
 			Send()
 		errc <- httpSrv.ListenAndServe()
 	}()

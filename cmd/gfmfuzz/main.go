@@ -11,6 +11,13 @@
 //
 //	gfmfuzz -seeds 200
 //	gfmfuzz -replay testdata/regressions   # re-check the corpus
+//	gfmfuzz -seeds 50 -fleet               # add the fleet-vs-local serving axis
+//
+// With -fleet, every design is additionally mapped through an
+// in-process fleet (coordinator + workers + a single-process twin, see
+// internal/server.StartInProcessFleet) and the served results must be
+// byte-identical — the distributed-dispatch determinism bar from
+// docs/SERVING.md.
 //
 // See docs/FUZZING.md for the full workflow.
 package main
@@ -29,6 +36,7 @@ import (
 	"gfmap/internal/library"
 	"gfmap/internal/network"
 	"gfmap/internal/obs"
+	"gfmap/internal/server"
 )
 
 func main() {
@@ -47,6 +55,8 @@ func main() {
 		replay   = flag.String("replay", "", "instead of generating, re-check every .eqn design in this directory")
 		metrics  = flag.Bool("metrics", false, "print the harness metrics snapshot at the end")
 		nostore  = flag.Bool("nostore", false, "skip the persistent-store and delta axes of the option matrix")
+		fleetOn  = flag.Bool("fleet", false, "add the fleet axis: map every design through an in-process fleet coordinator and a single-process server; results must be byte-identical")
+		fleetN   = flag.Int("fleet-workers", 2, "workers in the in-process fleet (with -fleet)")
 		verbose  = flag.Bool("v", false, "log every seed")
 	)
 	flag.Parse()
@@ -56,6 +66,14 @@ func main() {
 		fatal(err)
 	}
 	opts := diffcheck.Options{Lib: lib, Modes: modesFor(*mode), SkipStoreAxes: *nostore}
+	if *fleetOn {
+		f, err := server.StartInProcessFleet(*fleetN, server.Config{Libraries: []string{*libName}})
+		if err != nil {
+			fatal(fmt.Errorf("start fleet axis: %w", err))
+		}
+		defer f.Close()
+		opts.FleetMap = fleetMapHook(f, *libName)
+	}
 	reg := obs.NewRegistry()
 
 	if *replay != "" {
@@ -168,6 +186,34 @@ func replayDir(dir string, opts diffcheck.Options, reg *obs.Registry, metrics bo
 		return 1
 	}
 	return 0
+}
+
+// fleetMapHook adapts the in-process fleet to diffcheck's FleetMap
+// contract: the same serialized design text goes through the coordinator
+// and the single-process local twin, and the axis requires the two
+// responses to agree byte-for-byte.
+func fleetMapHook(f *server.InProcessFleet, libName string) diffcheck.FleetMapFunc {
+	return func(net *network.Network, mode core.Mode) (*diffcheck.FleetOutcome, error) {
+		req := server.MapRequest{
+			Name:    net.Name,
+			Format:  "eqn",
+			Design:  eqn.WriteString(net),
+			Library: libName,
+			Mode:    mode.String(),
+		}
+		viaFleet, viaLocal, err := f.MapBoth(req)
+		if err != nil {
+			return nil, err
+		}
+		fo := &diffcheck.FleetOutcome{FleetErr: viaFleet.Error, LocalErr: viaLocal.Error}
+		if viaFleet.MapResponse != nil {
+			fo.FleetNetlist, fo.FleetStats = viaFleet.Netlist, viaFleet.Stats
+		}
+		if viaLocal.MapResponse != nil {
+			fo.LocalNetlist, fo.LocalStats = viaLocal.Netlist, viaLocal.Stats
+		}
+		return fo, nil
+	}
 }
 
 func modesFor(s string) []core.Mode {

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"gfmap/internal/bench"
+	"gfmap/internal/blif"
 )
 
 func main() {
@@ -33,12 +34,20 @@ func main() {
 	runs := flag.Int("runs", 1, "map each design this many times in the -json report, keeping the fastest wall time")
 	noSynth := flag.Bool("nosynth", false, "restrict the -json report to the paper suite (no synthetic scaling corpus)")
 	noArena := flag.Bool("noarena", false, "map the -json report with the covering DP's arena allocator disabled (A/B the allocs_per_op/bytes_per_op rows; results are byte-identical)")
+	dump := flag.String("dump", "", "write one benchmark design (by Table 5 name) as BLIF to stdout and exit; feeds the serving smoke tests")
 	flag.Parse()
 
 	want := func(n string) bool { return *only == "" || *only == n }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
+	}
+
+	if *dump != "" {
+		if err := dumpDesign(*dump); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *jsonOut != "" {
@@ -102,6 +111,22 @@ func main() {
 	}
 	fmt.Println(strings.Repeat("-", 60))
 	fmt.Println("All requested tables regenerated.")
+}
+
+// dumpDesign writes one benchmark design as BLIF to stdout — the bridge
+// between the synthesized suite and anything that speaks the serving
+// API, like the CI fleet smoke test (see docs/SERVING.md).
+func dumpDesign(name string) error {
+	d, err := bench.DesignByName(name)
+	if err != nil {
+		return fmt.Errorf("%w (known: %s)", err, strings.Join(bench.DesignNames(), ", "))
+	}
+	src, err := blif.WriteString(d.Net)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(os.Stdout, src)
+	return err
 }
 
 // writeJSONReport runs the benchmark corpus with metrics enabled and

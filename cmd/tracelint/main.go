@@ -9,6 +9,7 @@
 //	tracelint [-require name,name,...] trace.json [events.jsonl]
 //	tracelint -accesslog access.log
 //	tracelint -benchjson BENCH_rev.json
+//	tracelint -ndjson stream.ndjson
 //
 // Checks performed on the Chrome trace:
 //   - the file is a JSON object with a traceEvents array (or a bare
@@ -31,6 +32,13 @@
 // Checks performed on the bench report (-benchjson): a complete
 // environment fingerprint, a parseable created_at stamp, and per design
 // a name, a nonempty mapping (gates/area) and nonnegative perf columns.
+//
+// Checks performed on the batch stream (-ndjson): a captured
+// /map/batch?stream=1 response — every line is JSON; each item line
+// carries a nonnegative index and exactly one of result/error; indices
+// are unique and form a dense 0..n-1 range; the done:true trailer is
+// present exactly once, comes last, and its succeeded/failed counts
+// match the item lines.
 //
 // Exit status 0 if every check passes, 1 otherwise.
 package main
@@ -60,9 +68,10 @@ func main() {
 		"comma-separated span names that must appear in the trace")
 	accessLog := flag.String("accesslog", "", "validate a structured JSON access-log file")
 	benchJSON := flag.String("benchjson", "", "validate a BENCH_*.json benchmark trajectory report")
+	ndjson := flag.String("ndjson", "", "validate a captured /map/batch?stream=1 NDJSON stream")
 	flag.Parse()
-	if (flag.NArg() < 1 && *accessLog == "" && *benchJSON == "") || flag.NArg() > 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracelint [-require names] [-accesslog FILE] [-benchjson FILE] [trace.json [events.jsonl]]")
+	if (flag.NArg() < 1 && *accessLog == "" && *benchJSON == "" && *ndjson == "") || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint [-require names] [-accesslog FILE] [-benchjson FILE] [-ndjson FILE] [trace.json [events.jsonl]]")
 		os.Exit(1)
 	}
 	var problems []string
@@ -86,6 +95,11 @@ func main() {
 		designs, perr := lintBenchJSON(*benchJSON)
 		problems = append(problems, perr...)
 		fmt.Printf("tracelint: %s: %d design rows ok\n", *benchJSON, designs)
+	}
+	if *ndjson != "" {
+		items, perr := lintBatchStream(*ndjson)
+		problems = append(problems, perr...)
+		fmt.Printf("tracelint: %s: %d stream items ok\n", *ndjson, items)
 	}
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -220,6 +234,96 @@ func lintBenchJSON(path string) (designs int, problems []string) {
 		}
 	}
 	return designs, problems
+}
+
+// lintBatchStream validates a captured /map/batch?stream=1 NDJSON
+// stream against the contract documented in docs/SERVING.md: item lines
+// in completion order with reassembly indices, a single done trailer
+// last, and counts that add up.
+func lintBatchStream(path string) (items int, problems []string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, []string{err.Error()}
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	no := 0
+	seen := map[int]bool{}
+	succeeded, failed, maxIndex := 0, 0, -1
+	var trailer *struct{ Succeeded, Failed int }
+	for sc.Scan() {
+		no++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if trailer != nil {
+			problems = append(problems, fmt.Sprintf("%s:%d: line after the done trailer", path, no))
+			continue
+		}
+		var rec struct {
+			Index  *int            `json:"index"`
+			Result json.RawMessage `json:"result"`
+			Error  *string         `json:"error"`
+			Done   bool            `json:"done"`
+			Succ   int             `json:"succeeded"`
+			Fail   int             `json:"failed"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			problems = append(problems, fmt.Sprintf("%s:%d: invalid JSON: %v", path, no, err))
+			continue
+		}
+		if rec.Done {
+			trailer = &struct{ Succeeded, Failed int }{rec.Succ, rec.Fail}
+			continue
+		}
+		if rec.Index == nil || *rec.Index < 0 {
+			problems = append(problems, fmt.Sprintf("%s:%d: item missing a nonnegative index", path, no))
+			continue
+		}
+		if seen[*rec.Index] {
+			problems = append(problems, fmt.Sprintf("%s:%d: duplicate index %d", path, no, *rec.Index))
+			continue
+		}
+		seen[*rec.Index] = true
+		if *rec.Index > maxIndex {
+			maxIndex = *rec.Index
+		}
+		hasResult := len(rec.Result) > 0 && string(rec.Result) != "null"
+		hasError := rec.Error != nil && *rec.Error != ""
+		if hasResult == hasError {
+			problems = append(problems, fmt.Sprintf("%s:%d: item %d must carry exactly one of result/error", path, no, *rec.Index))
+			continue
+		}
+		if hasResult {
+			var res struct {
+				Name *string `json:"name"`
+			}
+			if err := json.Unmarshal(rec.Result, &res); err != nil || res.Name == nil || *res.Name == "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: item %d result is not a map response", path, no, *rec.Index))
+				continue
+			}
+			succeeded++
+		} else {
+			failed++
+		}
+		items++
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+	}
+	switch {
+	case trailer == nil:
+		problems = append(problems, fmt.Sprintf("%s: stream ended without a done trailer", path))
+	case trailer.Succeeded != succeeded || trailer.Failed != failed:
+		problems = append(problems, fmt.Sprintf("%s: trailer counts %d/%d disagree with item lines %d/%d",
+			path, trailer.Succeeded, trailer.Failed, succeeded, failed))
+	}
+	if len(seen) > 0 && maxIndex != len(seen)-1 {
+		problems = append(problems, fmt.Sprintf("%s: indices not dense: %d items, max index %d", path, len(seen), maxIndex))
+	}
+	return items, problems
 }
 
 // lintChromeTrace validates one Chrome trace file, returning the distinct

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"gfmap/internal/library"
+)
+
+const shardSrc = `
+INPUT(a, b, c, d, e)
+OUTPUT(f, g, h, k, m)
+u = a*b + c;
+f = u*d';
+g = u + a'*d;
+w = c*d + a;
+h = w + e';
+k = a'*b' + c*d';
+m = e*(a + b') + c';
+`
+
+// TestMapConesAssemblyByteIdentity: union the shard solution maps of a
+// design split 1/2/3 ways, seed MapDelta with them, and require the
+// assembled netlist (and deterministic stats) to be byte-identical to a
+// plain single-process Map — the determinism bar of the fleet coordinator.
+func TestMapConesAssemblyByteIdentity(t *testing.T) {
+	lib := library.MustGet("LSI9K")
+	for _, mode := range []Mode{Sync, Async} {
+		opts := Options{Mode: mode, Workers: 1}
+		net := parseNet(t, shardSrc, "shardtest")
+		base, err := Map(net, lib, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for shards := 1; shards <= 3; shards++ {
+			union := make(map[string][]byte)
+			total := 0
+			var libFP, optHash string
+			for shard := 0; shard < shards; shard++ {
+				cs, err := MapCones(context.Background(), net, lib, opts, shard, shards)
+				if err != nil {
+					t.Fatalf("%v shards=%d shard=%d: %v", mode, shards, shard, err)
+				}
+				if cs.Cones != base.Stats.Cones {
+					t.Fatalf("%v: shard sees %d cones, base mapped %d", mode, cs.Cones, base.Stats.Cones)
+				}
+				total += cs.Solved
+				for k, v := range cs.Solutions {
+					union[k] = v
+				}
+				libFP, optHash = cs.LibFP, cs.OptHash
+			}
+			if total != base.Stats.Cones {
+				t.Fatalf("%v shards=%d: shards solved %d cones, want %d", mode, shards, total, base.Stats.Cones)
+			}
+			wantFP, wantOH, err := SolutionIdentity(lib, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if libFP != wantFP || optHash != wantOH {
+				t.Fatalf("%v: SolutionIdentity (%q,%q) != shard identity (%q,%q)",
+					mode, wantFP, wantOH, libFP, optHash)
+			}
+			seed := NewSolutionSeed(libFP, optHash, union)
+			asm, err := MapDelta(seed, net, lib, opts)
+			if err != nil {
+				t.Fatalf("%v shards=%d: assemble: %v", mode, shards, err)
+			}
+			if asm.Netlist.String() != base.Netlist.String() {
+				t.Fatalf("%v shards=%d: assembled netlist differs:\n%s\n---\n%s",
+					mode, shards, asm.Netlist, base.Netlist)
+			}
+			if asm.Stats.Deterministic() != base.Stats.Deterministic() {
+				t.Fatalf("%v shards=%d: deterministic stats fork:\n%+v\n---\n%+v",
+					mode, shards, asm.Stats.Deterministic(), base.Stats.Deterministic())
+			}
+			// Every cone must have replayed from the seed (duplicate
+			// signatures collapse, so compare against the union's size).
+			if asm.Stats.DeltaReusedCones < len(union) {
+				t.Fatalf("%v shards=%d: reused %d cones, want >= %d",
+					mode, shards, asm.Stats.DeltaReusedCones, len(union))
+			}
+		}
+	}
+}
+
+// TestMapConesAssemblyDegradesOnLoss: assembly seeded from a strict
+// subset of shards (a worker died) or from solutions under a wrong
+// identity must still produce the byte-identical netlist — the lost
+// cones are simply solved locally.
+func TestMapConesAssemblyDegradesOnLoss(t *testing.T) {
+	lib := library.MustGet("LSI9K")
+	opts := Options{Mode: Async, Workers: 1}
+	net := parseNet(t, shardSrc, "shardloss")
+	base, err := Map(net, lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := MapCones(context.Background(), net, lib, opts, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Solved == 0 || cs.Solved == cs.Cones {
+		t.Fatalf("want a strict subset of cones solved, got %d/%d", cs.Solved, cs.Cones)
+	}
+
+	// Shard 1 lost: only shard 0's solutions seed the assembly.
+	asm, err := MapDelta(NewSolutionSeed(cs.LibFP, cs.OptHash, cs.Solutions), net, lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm.Netlist.String() != base.Netlist.String() {
+		t.Fatalf("partial-seed netlist differs:\n%s\n---\n%s", asm.Netlist, base.Netlist)
+	}
+	if asm.Stats.Deterministic() != base.Stats.Deterministic() {
+		t.Fatalf("partial-seed deterministic stats fork")
+	}
+	if asm.Stats.DeltaReusedCones == 0 || asm.Stats.DeltaReusedCones >= asm.Stats.Cones {
+		t.Fatalf("partial seed reused %d of %d cones, want a strict nonzero subset",
+			asm.Stats.DeltaReusedCones, asm.Stats.Cones)
+	}
+
+	// Wrong identity: the whole seed is ignored, result still identical.
+	asm2, err := MapDelta(NewSolutionSeed(cs.LibFP, "bogus-options", cs.Solutions), net, lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm2.Netlist.String() != base.Netlist.String() {
+		t.Fatalf("wrong-identity netlist differs")
+	}
+	if asm2.Stats.DeltaReusedCones != 0 {
+		t.Fatalf("wrong-identity seed reused %d cones, want 0", asm2.Stats.DeltaReusedCones)
+	}
+
+	// Corrupt solution bytes: decode-fails into a local solve, never a
+	// different netlist.
+	corrupt := make(map[string][]byte, len(cs.Solutions))
+	for k, v := range cs.Solutions {
+		b := append([]byte(nil), v...)
+		if len(b) > 0 {
+			b[len(b)/2] ^= 0xff
+		}
+		corrupt[k] = b
+	}
+	asm3, err := MapDelta(NewSolutionSeed(cs.LibFP, cs.OptHash, corrupt), net, lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm3.Netlist.String() != base.Netlist.String() {
+		t.Fatalf("corrupt-seed netlist differs")
+	}
+}
+
+// TestMapConesBadShard: out-of-range shard coordinates are rejected.
+func TestMapConesBadShard(t *testing.T) {
+	lib := library.MustGet("LSI9K")
+	net := parseNet(t, shardSrc, "shardbad")
+	for _, c := range [][2]int{{0, 0}, {-1, 2}, {2, 2}, {5, 3}} {
+		if _, err := MapCones(context.Background(), net, lib, Options{}, c[0], c[1]); err == nil {
+			t.Fatalf("shard %d/%d: want error", c[0], c[1])
+		}
+	}
+}
+
+// TestMapConesResultSolutionsRoundTrip: Result.Solutions of a plain Map
+// seeds an assembly that reuses every cone — the design-wise transport
+// path (a worker maps the whole design and ships its solutions back).
+func TestMapConesResultSolutionsRoundTrip(t *testing.T) {
+	lib := library.MustGet("LSI9K")
+	opts := Options{Mode: Async, Workers: 1}
+	net := parseNet(t, shardSrc, "shardrt")
+	base, err := Map(net, lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, oh, sols := base.Solutions()
+	if fp == "" || oh == "" || len(sols) == 0 {
+		t.Fatalf("Solutions() empty: %q %q %d", fp, oh, len(sols))
+	}
+	asm, err := MapDelta(NewSolutionSeed(fp, oh, sols), net, lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm.Netlist.String() != base.Netlist.String() {
+		t.Fatalf("round-trip netlist differs")
+	}
+	if asm.Stats.DeltaReusedCones != asm.Stats.Cones {
+		t.Fatalf("reused %d of %d cones", asm.Stats.DeltaReusedCones, asm.Stats.Cones)
+	}
+}

@@ -82,6 +82,11 @@ type Options struct {
 	// MaxBurst and Objective are forwarded to every variant.
 	MaxBurst  int
 	Objective core.Objective
+	// FleetMap, when non-nil, adds the fleet axis: every checked design is
+	// also mapped through a fleet coordinator and a single-process server
+	// fed the identical serialized request, and the pair must agree
+	// byte-for-byte (see fleet.go). Wired up by cmd/gfmfuzz -fleet.
+	FleetMap FleetMapFunc
 }
 
 // Report is the outcome of checking one design across the option matrix.
@@ -184,6 +189,11 @@ func Check(net *network.Network, opts Options) *Report {
 	}
 	for _, mode := range modes {
 		checkMode(net, mode, workers, opts, rep)
+		if opts.FleetMap != nil {
+			// The fleet axis runs even when the matrix baseline failed:
+			// fleet and local must agree on the failure too.
+			checkFleet(net, mode, opts, rep)
+		}
 	}
 	return rep
 }

@@ -1,0 +1,336 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gfmap/internal/obs"
+)
+
+// countGoroutines waits for the goroutine count to drop back to the
+// baseline — the leak guard every dispatch test runs under (same idea as
+// the waitGoroutines helper in internal/core).
+func goroutineGuard(t *testing.T) func() {
+	t.Helper()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			// Idle keep-alive connections park two goroutines each; they are
+			// pooled, not leaked — flush them so the count converges.
+			http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before dispatch, %d after", before, runtime.NumGoroutine())
+	}
+}
+
+func echoServer(t *testing.T, tag string, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		fmt.Fprintf(w, "%s:%s", tag, r.Header.Get("X-Job"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func mustNew(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsEmptyFleet(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("want error for zero workers")
+	}
+	if _, err := New(Config{Workers: []string{"http://a", ""}}); err == nil {
+		t.Fatal("want error for blank worker URL")
+	}
+}
+
+// TestDoDistributesAndOrders: a batch larger than one worker's capacity
+// spreads across the fleet, and Do returns results in job order with the
+// winning worker recorded.
+func TestDoDistributesAndOrders(t *testing.T) {
+	var h0, h1 atomic.Int64
+	w0 := echoServer(t, "w0", &h0)
+	w1 := echoServer(t, "w1", &h1)
+	defer goroutineGuard(t)()
+	c := mustNew(t, Config{Workers: []string{w0.URL, w1.URL}, PerWorker: 2, HedgeAfter: -1})
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		hdr := http.Header{}
+		hdr.Set("X-Job", fmt.Sprint(i))
+		jobs[i] = Job{Index: i, Path: "/", Header: hdr}
+	}
+	res := c.Do(context.Background(), jobs)
+	if len(res) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(res), len(jobs))
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("result %d has index %d — Do must return job order", i, r.Index)
+		}
+		want := fmt.Sprintf(":%d", i)
+		if !strings.HasSuffix(string(r.Body), want) {
+			t.Fatalf("job %d body %q lost its payload", i, r.Body)
+		}
+		if r.Worker != w0.URL && r.Worker != w1.URL {
+			t.Fatalf("job %d attributed to %q", i, r.Worker)
+		}
+	}
+	if h0.Load() == 0 || h1.Load() == 0 {
+		t.Fatalf("work not distributed: worker hits %d / %d", h0.Load(), h1.Load())
+	}
+}
+
+// TestRetryAfter500: a worker that always 500s never wins; the job is
+// retried onto the healthy worker and the retry counter ticks.
+func TestRetryAfter500(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+	good := echoServer(t, "good", nil)
+	reg := obs.NewRegistry()
+	defer goroutineGuard(t)()
+	c := mustNew(t, Config{Workers: []string{bad.URL, good.URL}, Registry: reg, HedgeAfter: -1})
+	res := c.Do(context.Background(), []Job{{Index: 0, Path: "/"}, {Index: 1, Path: "/"}})
+	for i, r := range res {
+		if r.Err != nil || r.Worker != good.URL {
+			t.Fatalf("job %d: worker %q err %v, want win on good worker", i, r.Worker, r.Err)
+		}
+	}
+	st := c.Status()
+	if st.Workers[1].Wins != 2 {
+		t.Fatalf("good worker wins = %d, want 2", st.Workers[1].Wins)
+	}
+	if bad0 := st.Workers[0]; bad0.Failures == 0 || bad0.Healthy || bad0.LastError == "" {
+		t.Fatalf("bad worker status not flagged: %+v", bad0)
+	}
+	if st.Retries == 0 && st.Workers[0].Requests == 0 {
+		t.Fatalf("expected the bad worker to have been tried: %+v", st)
+	}
+}
+
+// TestValidateRejectsCorruptBody: a 200 whose body fails Validate is a
+// worker failure — retried elsewhere, not surfaced to the caller.
+func TestValidateRejectsCorruptBody(t *testing.T) {
+	corrupt := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "garbage")
+	}))
+	t.Cleanup(corrupt.Close)
+	good := echoServer(t, "ok", nil)
+	defer goroutineGuard(t)()
+	c := mustNew(t, Config{
+		Workers:    []string{corrupt.URL, good.URL},
+		HedgeAfter: -1,
+		Validate: func(_ Job, status int, body []byte) error {
+			if status == http.StatusOK && !strings.HasPrefix(string(body), "ok:") {
+				return errors.New("unexpected body")
+			}
+			return nil
+		},
+	})
+	res := c.Do(context.Background(), []Job{{Index: 0, Path: "/"}})
+	if res[0].Err != nil || res[0].Worker != good.URL {
+		t.Fatalf("want validated win on good worker, got worker %q err %v", res[0].Worker, res[0].Err)
+	}
+}
+
+// Test4xxIsDeterministicOutcome: 4xx is the job's own (reproducible)
+// error, not a worker failure — it wins first try with no retries.
+func Test4xxIsDeterministicOutcome(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"bad design"}`, http.StatusUnprocessableEntity)
+	}))
+	t.Cleanup(srv.Close)
+	defer goroutineGuard(t)()
+	c := mustNew(t, Config{Workers: []string{srv.URL}, HedgeAfter: -1})
+	res := c.Do(context.Background(), []Job{{Index: 0, Path: "/"}})
+	if res[0].Err != nil || res[0].Status != http.StatusUnprocessableEntity {
+		t.Fatalf("want status 422 with nil err, got %d / %v", res[0].Status, res[0].Err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("4xx burned %d attempts, want 1", hits.Load())
+	}
+}
+
+// TestHedgingBeatsStraggler: the first attempt hangs, the hedge fires
+// after HedgeAfter and wins, and the straggler's request is cancelled.
+func TestHedgingBeatsStraggler(t *testing.T) {
+	var first atomic.Bool
+	first.Store(true)
+	cancelled := make(chan struct{}, 1)
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if first.CompareAndSwap(true, false) {
+			<-r.Context().Done() // straggle until the winner cancels us
+			cancelled <- struct{}{}
+			return
+		}
+		fmt.Fprint(w, "hedged-win")
+	})
+	w0 := httptest.NewServer(handler)
+	w1 := httptest.NewServer(handler)
+	t.Cleanup(w0.Close)
+	t.Cleanup(w1.Close)
+	defer goroutineGuard(t)()
+	c := mustNew(t, Config{Workers: []string{w0.URL, w1.URL}, HedgeAfter: 30 * time.Millisecond})
+	start := time.Now()
+	res := c.Do(context.Background(), []Job{{Index: 0, Path: "/"}})
+	if res[0].Err != nil || string(res[0].Body) != "hedged-win" {
+		t.Fatalf("hedge did not win: %+v", res[0])
+	}
+	if !res[0].Hedged {
+		t.Fatal("result not marked hedged")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("hedged dispatch took %v — straggler was awaited", elapsed)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("straggler request never cancelled after hedge won")
+	}
+	if got := c.Status().Hedges; got != 1 {
+		t.Fatalf("hedge counter = %d, want 1", got)
+	}
+}
+
+// TestLocalFallbackAfterExhaustion: when every remote attempt fails the
+// job runs through Local and is attributed to LocalWorker.
+func TestLocalFallbackAfterExhaustion(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+	defer goroutineGuard(t)()
+	c := mustNew(t, Config{
+		Workers: []string{bad.URL}, MaxAttempts: 2, HedgeAfter: -1,
+		Local: func(ctx context.Context, job Job) (int, []byte, error) {
+			return http.StatusOK, []byte("local-ok"), nil
+		},
+	})
+	res := c.Do(context.Background(), []Job{{Index: 7, Path: "/"}})
+	r := res[0]
+	if r.Err != nil || r.Worker != LocalWorker || string(r.Body) != "local-ok" {
+		t.Fatalf("want local fallback win, got %+v", r)
+	}
+	if r.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (exhausted budget)", r.Attempts)
+	}
+	if got := c.Status().LocalFallbacks; got != 1 {
+		t.Fatalf("fallback counter = %d, want 1", got)
+	}
+}
+
+// TestExhaustionWithoutLocalYieldsError: no Local configured, all
+// attempts fail → the last error is the result.
+func TestExhaustionWithoutLocalYieldsError(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	t.Cleanup(bad.Close)
+	defer goroutineGuard(t)()
+	c := mustNew(t, Config{Workers: []string{bad.URL}, MaxAttempts: 2, HedgeAfter: -1})
+	res := c.Do(context.Background(), []Job{{Index: 0, Path: "/"}})
+	if res[0].Err == nil || !strings.Contains(res[0].Err.Error(), "status 502") {
+		t.Fatalf("want surfaced 502 error, got %v", res[0].Err)
+	}
+}
+
+// TestJobTimeoutBoundsAttempt: Job.Timeout caps a single attempt; with
+// the budget exhausted the deadline error surfaces.
+func TestJobTimeoutBoundsAttempt(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	t.Cleanup(slow.Close)
+	defer goroutineGuard(t)()
+	c := mustNew(t, Config{Workers: []string{slow.URL}, MaxAttempts: 1, HedgeAfter: -1})
+	res := c.Do(context.Background(), []Job{{Index: 0, Path: "/", Timeout: 50 * time.Millisecond}})
+	if !errors.Is(res[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", res[0].Err)
+	}
+}
+
+// TestCancelDeliversEverything: cancelling the dispatch context while
+// workers hang still yields one Result per job and closes the channel.
+func TestCancelDeliversEverything(t *testing.T) {
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	t.Cleanup(hang.Close)
+	defer goroutineGuard(t)()
+	c := mustNew(t, Config{Workers: []string{hang.URL}, HedgeAfter: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := []Job{{Index: 0, Path: "/"}, {Index: 1, Path: "/"}, {Index: 2, Path: "/"}}
+	ch := c.Go(ctx, jobs)
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	got := 0
+	for r := range ch {
+		got++
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("job %d: err %v, want context.Canceled", r.Index, r.Err)
+		}
+	}
+	if got != len(jobs) {
+		t.Fatalf("delivered %d results, want %d", got, len(jobs))
+	}
+}
+
+// TestGoCompletionOrder: Go delivers fast finishers before slow ones and
+// always exactly len(jobs) results.
+func TestGoCompletionOrder(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Slow") == "1" {
+			time.Sleep(300 * time.Millisecond)
+		}
+		fmt.Fprint(w, "done")
+	}))
+	t.Cleanup(srv.Close)
+	defer goroutineGuard(t)()
+	c := mustNew(t, Config{Workers: []string{srv.URL}, PerWorker: 2, HedgeAfter: -1})
+	slowHdr := http.Header{}
+	slowHdr.Set("X-Slow", "1")
+	jobs := []Job{{Index: 0, Path: "/", Header: slowHdr}, {Index: 1, Path: "/"}}
+	var order []int
+	for r := range c.Go(context.Background(), jobs) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		order = append(order, r.Index)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("completion order %v, want [1 0]", order)
+	}
+}

@@ -37,6 +37,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 
 	"gfmap/internal/obs"
@@ -556,11 +558,7 @@ func (s *Store) Compact() error {
 	for k, ref := range s.index {
 		live = append(live, kv{k, ref})
 	}
-	for i := 1; i < len(live); i++ {
-		for j := i; j > 0 && live[j].ref.off < live[j-1].ref.off; j-- {
-			live[j], live[j-1] = live[j-1], live[j]
-		}
-	}
+	sort.Slice(live, func(i, j int) bool { return live[i].ref.off < live[j].ref.off })
 	tmpPath := s.path + ".compact"
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -595,6 +593,22 @@ func (s *Store) Compact() error {
 	}
 	if err := os.Rename(tmpPath, s.path); err != nil {
 		return fmt.Errorf("mapstore: compact: %w", err)
+	}
+	// Durability contract: when Compact returns nil, the compacted log —
+	// and nothing older — is what a crash recovers. tmp.Sync above made the
+	// compacted *contents* durable, but the rename itself lives in the
+	// parent directory: without fsyncing the directory, a crash after
+	// return can resurrect the pre-compaction inode (silently undoing the
+	// compaction and any Replace-healed entries in it). Correctness never
+	// depends on which version survives — records are content-addressed —
+	// but a caller told "compacted" must be able to rely on it, so a
+	// failed directory sync fails the Compact.
+	if dir, derr := os.Open(filepath.Dir(s.path)); derr == nil {
+		if serr := dir.Sync(); serr != nil {
+			dir.Close()
+			return fmt.Errorf("mapstore: compact: sync dir: %w", serr)
+		}
+		dir.Close()
 	}
 	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {

@@ -432,6 +432,41 @@ func TestCompact(t *testing.T) {
 	}
 }
 
+// TestCompactManyKeysPreservesAll: compaction over a large index (the
+// sort.Slice path) keeps every live record and survives reopen.
+func TestCompactManyKeysPreservesAll(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.gfm")
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), []byte(fmt.Sprintf("val%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got, ok := s.Get(testKey(i)); !ok || string(got) != fmt.Sprintf("val%d", i) {
+			t.Fatalf("key %d after compact: %q ok=%v", i, got, ok)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Entries != n || st.Corrupt != 0 {
+		t.Fatalf("after reopen: entries=%d corrupt=%d, want %d/0", st.Entries, st.Corrupt, n)
+	}
+}
+
 func TestOpenRejectsForeignFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "not-a-store")
 	if err := os.WriteFile(path, []byte("hello, world — definitely not a mapstore"), 0o644); err != nil {

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -92,6 +93,24 @@ type Config struct {
 	// StatusWindow is the rolling window behind /statusz's per-stage
 	// latency digests; 0 means 60s.
 	StatusWindow time.Duration
+	// FleetWorkers lists worker asyncmapd base URLs. Non-empty switches
+	// this server into coordinator mode: /map/batch work is dispatched
+	// across the fleet (design-wise; cone-wise for a single-design batch)
+	// with hedged retries, and assembled locally to the byte-identical
+	// netlist a single process would produce. Workers are plain asyncmapd
+	// instances — nothing fleet-specific runs on them.
+	FleetWorkers []string
+	// FleetHedgeAfter is the straggler threshold before a shard is hedged
+	// onto another worker; 0 means 2s, negative disables hedging.
+	FleetHedgeAfter time.Duration
+	// FleetMaxAttempts bounds remote attempts per shard before the
+	// coordinator falls back to mapping locally; 0 means 3.
+	FleetMaxAttempts int
+	// FleetPerWorker is the number of concurrent requests per worker;
+	// 0 means 4.
+	FleetPerWorker int
+	// FleetClient overrides the coordinator's HTTP client (tests).
+	FleetClient *http.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +181,8 @@ type Server struct {
 	infMu    sync.Mutex
 	infTable map[*inflightEntry]struct{}
 
+	fleet *fleetState // nil unless FleetWorkers configured
+
 	requests   *obs.Counter
 	designs    *obs.Counter
 	errorsC    *obs.Counter
@@ -203,9 +224,18 @@ func New(cfg Config) (*Server, error) {
 	s.panics = s.reg.Counter(MetricPanics)
 	s.reqSeconds = s.reg.Histogram(MetricRequestSeconds, obs.ExpBuckets(1e-3, 4, 10))
 
+	if len(cfg.FleetWorkers) > 0 {
+		fs, err := newFleetState(s)
+		if err != nil {
+			return nil, err
+		}
+		s.fleet = fs
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/map", s.instrument(s.protect(s.handleMap)))
 	s.mux.HandleFunc("/map/batch", s.instrument(s.protect(s.handleBatch)))
+	s.mux.HandleFunc("/map/cones", s.instrument(s.protect(s.handleMapCones)))
 	s.mux.HandleFunc("/healthz", s.instrument(s.protect(s.handleHealthz)))
 	s.mux.HandleFunc("/metrics", s.instrument(s.protect(s.handleMetrics)))
 	s.mux.HandleFunc("/statusz", s.instrument(s.protect(s.handleStatusz)))
@@ -433,11 +463,34 @@ type errorBody struct {
 
 func writeError(w http.ResponseWriter, status int, rid string, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
-	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), RequestID: rid})
+}
+
+// writeBusy rejects with 503 and a Retry-After hint computed from live
+// load, not a constant: the time for the current backlog to drain at the
+// observed service rate. A fixed "1" taught every rejected client to
+// stampede back while the queue was still minutes deep.
+func (s *Server) writeBusy(w http.ResponseWriter, rid string, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeError(w, http.StatusServiceUnavailable, rid, err)
+}
+
+// retryAfterSeconds estimates backlog drain time: (queued + running)
+// requests at the rolling p50 service time across MaxConcurrent lanes,
+// rounded up and clamped to [1, MaxTimeout] seconds. A cold window (no
+// p50 yet) degrades to the old constant 1.
+func (s *Server) retryAfterSeconds() int {
+	p50 := s.roll.request.Snapshot().Quantile(0.50)
+	depth := float64(s.queued.Load() + s.inflight.Load())
+	secs := int(math.Ceil(depth * p50 / float64(s.cfg.MaxConcurrent)))
+	if secs < 1 {
+		secs = 1
+	}
+	if cap := int(s.cfg.MaxTimeout / time.Second); cap >= 1 && secs > cap {
+		secs = cap
+	}
+	return secs
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -493,7 +546,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		s.errorsC.Inc()
 		if errors.Is(err, errBusy) {
 			s.rejected.Inc()
-			writeError(w, http.StatusServiceUnavailable, rid, err)
+			s.writeBusy(w, rid, err)
 		} else {
 			writeError(w, 499, rid, err)
 		}
@@ -530,42 +583,133 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// One admission slot covers the whole batch: designs run serially,
 	// each under its own deadline, so a batch cannot starve single
-	// requests of more than one worker slot.
+	// requests of more than one worker slot. In fleet mode the slot covers
+	// coordination and assembly; the workers apply their own admission.
 	release, err := s.acquire(r.Context())
 	if err != nil {
 		s.errorsC.Inc()
 		if errors.Is(err, errBusy) {
 			s.rejected.Inc()
-			writeError(w, http.StatusServiceUnavailable, rid, err)
+			s.writeBusy(w, rid, err)
 		} else {
 			writeError(w, 499, rid, err)
 		}
 		return
 	}
 	defer release()
-	resp := BatchResponse{Results: make([]BatchResult, len(breq.Designs))}
+	merged := make([]MapRequest, len(breq.Designs))
 	for i, dreq := range breq.Designs {
-		merged := mergeRequest(breq.Defaults, dreq)
-		one, err := s.mapOne(r.Context(), merged)
-		if err != nil {
-			// Per-design isolation: record and continue — unless the
-			// whole request is gone, in which case finish fast.
-			resp.Results[i] = BatchResult{Error: err.Error()}
-			resp.Failed++
-			s.statusFor(err) // count timeout/cancel metrics
-			if r.Context().Err() != nil {
-				for j := i + 1; j < len(breq.Designs); j++ {
-					resp.Results[j] = BatchResult{Error: context.Canceled.Error()}
-					resp.Failed++
+		merged[i] = mergeRequest(breq.Defaults, dreq)
+	}
+	outcomes := s.batchOutcomes(r.Context(), rid, merged)
+	if r.URL.Query().Get("stream") == "1" {
+		s.streamBatch(w, outcomes, len(merged))
+	} else {
+		s.bufferBatch(w, outcomes, len(merged))
+	}
+}
+
+// batchOutcome is one design's terminal result inside a batch, tagged
+// with its position in the request.
+type batchOutcome struct {
+	index int
+	resp  *MapResponse
+	err   error
+}
+
+// batchOutcomes runs a batch and delivers exactly one outcome per design
+// on the returned channel, in completion order, then closes it. Local
+// mode maps serially (completion order == request order); fleet mode
+// dispatches across the workers and finishes in whatever order they
+// answer.
+func (s *Server) batchOutcomes(ctx context.Context, rid string, designs []MapRequest) <-chan batchOutcome {
+	if s.fleet != nil {
+		return s.fleet.batchOutcomes(ctx, rid, designs)
+	}
+	out := make(chan batchOutcome, len(designs))
+	go func() {
+		defer close(out)
+		for i, req := range designs {
+			one, err := s.mapOne(ctx, req)
+			if err != nil {
+				// Per-design isolation: record and continue — unless the
+				// whole request is gone, in which case finish fast.
+				out <- batchOutcome{index: i, err: err}
+				s.statusFor(err) // count timeout/cancel metrics
+				if ctx.Err() != nil {
+					for j := i + 1; j < len(designs); j++ {
+						out <- batchOutcome{index: j, err: context.Canceled}
+					}
+					return
 				}
-				break
+				continue
 			}
+			out <- batchOutcome{index: i, resp: one}
+		}
+	}()
+	return out
+}
+
+// bufferBatch collects every outcome and answers the classic in-order
+// BatchResponse.
+func (s *Server) bufferBatch(w http.ResponseWriter, outcomes <-chan batchOutcome, n int) {
+	resp := BatchResponse{Results: make([]BatchResult, n)}
+	for o := range outcomes {
+		if o.err != nil {
+			resp.Results[o.index] = BatchResult{Error: o.err.Error()}
+			resp.Failed++
 			continue
 		}
-		resp.Results[i] = BatchResult{MapResponse: one}
+		resp.Results[o.index] = BatchResult{MapResponse: o.resp}
 		resp.Succeeded++
 	}
 	writeJSON(w, resp)
+}
+
+// streamItem is one NDJSON line of a streamed batch: a design's result
+// (or error) stamped with its index in the request, emitted in
+// completion order. The client reassembles by index.
+type streamItem struct {
+	Index  int          `json:"index"`
+	Result *MapResponse `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// streamTrailer ends a streamed batch: always the last line, so a client
+// seeing no trailer knows the stream was truncated.
+type streamTrailer struct {
+	Done      bool `json:"done"`
+	Succeeded int  `json:"succeeded"`
+	Failed    int  `json:"failed"`
+}
+
+// streamBatch writes outcomes as NDJSON as they complete (one line per
+// design, then the trailer), flushing per line so a slow tail design
+// does not hold earlier results hostage.
+func (s *Server) streamBatch(w http.ResponseWriter, outcomes <-chan batchOutcome, n int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var trailer streamTrailer
+	trailer.Done = true
+	for o := range outcomes {
+		item := streamItem{Index: o.index, Result: o.resp}
+		if o.err != nil {
+			item.Error = o.err.Error()
+			trailer.Failed++
+		} else {
+			trailer.Succeeded++
+		}
+		_ = enc.Encode(item)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // HealthzResponse is the /healthz readiness payload. Status is always
@@ -727,9 +871,22 @@ func (s *Server) timeoutFor(req MapRequest) time.Duration {
 	return d
 }
 
-// mapOne parses, maps and renders a single design under its deadline.
-// The caller must already hold an admission slot.
-func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, error) {
+// resolvedRequest is a MapRequest after parsing and validation: the
+// design network, library and core options a mapping (or cone-shard) run
+// needs. Shared by mapOne, the /map/cones worker endpoint and the fleet
+// coordinator's assembly path so all three validate identically.
+type resolvedRequest struct {
+	libName string
+	lib     *library.Library
+	net     *network.Network
+	opts    core.Options
+	output  string
+	timeout time.Duration
+}
+
+// resolveRequest parses and validates one design request. Every error is
+// errBadInput — the request never reached the mapper.
+func (s *Server) resolveRequest(ctx context.Context, req MapRequest) (*resolvedRequest, error) {
 	if strings.TrimSpace(req.Design) == "" {
 		return nil, badInput(errors.New("empty design"))
 	}
@@ -797,36 +954,59 @@ func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, erro
 	default:
 		return nil, badInput(fmt.Errorf("unknown output %q (want netlist, verilog, both or none)", output))
 	}
+	return &resolvedRequest{
+		libName: libName,
+		lib:     lib,
+		net:     net,
+		opts:    opts,
+		output:  output,
+		timeout: s.timeoutFor(req),
+	}, nil
+}
 
-	runCtx, cancel := context.WithTimeout(ctx, s.timeoutFor(req))
+// mapOne parses, maps and renders a single design under its deadline.
+// The caller must already hold an admission slot.
+func (s *Server) mapOne(ctx context.Context, req MapRequest) (*MapResponse, error) {
+	rr, err := s.resolveRequest(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithTimeout(ctx, rr.timeout)
 	defer cancel()
 	start := time.Now()
-	res, err := core.MapContext(runCtx, net, lib, opts)
+	res, err := core.MapContext(runCtx, rr.net, rr.lib, rr.opts)
 	elapsed := time.Since(start)
 	s.reqSeconds.Observe(elapsed.Seconds())
 	if err != nil {
 		return nil, err
 	}
+	return s.finishMapped(rr, res, elapsed)
+}
+
+// finishMapped turns a successful mapping into the wire response and
+// feeds the per-stage observability windows — the shared back half of
+// mapOne and the fleet coordinator's assembly.
+func (s *Server) finishMapped(rr *resolvedRequest, res *core.Result, elapsed time.Duration) (*MapResponse, error) {
 	s.designs.Inc()
 	s.roll.decompose.Observe(res.Stats.DecomposeTime.Seconds())
 	s.roll.partition.Observe(res.Stats.PartitionTime.Seconds())
 	s.roll.cover.Observe(res.Stats.CoverTime.Seconds())
 	s.roll.emit.Observe(res.Stats.EmitTime.Seconds())
 	resp := &MapResponse{
-		RequestID: opts.RequestID,
-		Name:      net.Name,
-		Library:   libName,
-		Mode:      opts.Mode.String(),
+		RequestID: rr.opts.RequestID,
+		Name:      rr.net.Name,
+		Library:   rr.libName,
+		Mode:      rr.opts.Mode.String(),
 		Gates:     res.Netlist.GateCount(),
 		Area:      res.Area,
 		Delay:     res.Delay,
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 		Stats:     res.Stats,
 	}
-	if output == "netlist" || output == "both" {
+	if rr.output == "netlist" || rr.output == "both" {
 		resp.Netlist = res.Netlist.String()
 	}
-	if output == "verilog" || output == "both" {
+	if rr.output == "verilog" || rr.output == "both" {
 		v, err := res.Netlist.VerilogString()
 		if err != nil {
 			return nil, err

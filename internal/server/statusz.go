@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"gfmap/internal/fleet"
 	"gfmap/internal/obs"
 )
 
@@ -164,7 +165,9 @@ type StoreStatus struct {
 	HitRate  float64 `json:"hit_rate"`
 }
 
-// StatuszResponse is the /statusz payload.
+// StatuszResponse is the /statusz payload. Fleet is present only on a
+// coordinator: per-worker health, inflight, win/failure counters and
+// rolling latency quantiles, plus fleet-wide hedge/retry/fallback totals.
 type StatuszResponse struct {
 	UptimeSeconds float64               `json:"uptime_seconds"`
 	WindowSeconds float64               `json:"window_seconds"`
@@ -172,6 +175,7 @@ type StatuszResponse struct {
 	Admission     AdmissionStatus       `json:"admission"`
 	HazardCache   CacheStatus           `json:"hazard_cache"`
 	Store         StoreStatus           `json:"store"`
+	Fleet         *fleet.Status         `json:"fleet,omitempty"`
 	Inflight      []InflightInfo        `json:"inflight_requests"`
 }
 
@@ -231,6 +235,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			Misses:   st.Misses,
 			HitRate:  hitRate(st.Hits+st.DiskHits, st.Misses),
 		}
+	}
+	if s.fleet != nil {
+		fst := s.fleet.coord.Status()
+		resp.Fleet = &fst
 	}
 	s.infMu.Lock()
 	resp.Inflight = make([]InflightInfo, 0, len(s.infTable))
