@@ -8,9 +8,21 @@
 //	asyncmap -libfile mylib.genlib design.blif
 //	asyncmap -trace out.json -events out.jsonl -hist design.eqn
 //	asyncmap -pprof :6060 big-design.eqn
+//	asyncmap -spec [-trials 8] [-evidence ev.json] [-vcd] machine.bm
 //
 // With no positional argument the network is read from standard input in
 // eqn format.
+//
+// With -spec (or a .bm input file) the input is a burst-mode machine
+// specification and asyncmap runs the full spec-to-silicon pipeline:
+// synthesize hazard-free two-level logic, technology map it (async mode),
+// and simulate every specified transition on the mapped netlist to
+// produce a hazard-freedom certificate. The mapped netlist goes to
+// standard output exactly as in mapping mode — byte-identical to what
+// asyncmapd's POST /synth returns for the same spec, library and seed —
+// followed by "#"-prefixed evidence summary lines; -evidence writes the
+// full evidence JSON to a file ("-" for stdout, for use with -q). The
+// exit status is 2 when the certificate fails. See docs/SYNTHESIS.md.
 //
 // Stream contract: the mapped netlist (or Verilog) is the only
 // machine-parseable payload on standard output, optionally followed by
@@ -31,6 +43,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,6 +62,7 @@ import (
 	"gfmap/internal/mapstore"
 	"gfmap/internal/network"
 	"gfmap/internal/obs"
+	"gfmap/internal/synth"
 )
 
 func main() {
@@ -73,14 +87,15 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) and label DP workers")
 	hist := flag.Bool("hist", false, "print metric histograms (hazard latency, cuts/node, cluster widths) as comment lines")
 	storePath := flag.String("store", "", "persistent cone-solution store file; a warm store skips the covering DP for unchanged cones (results are byte-identical)")
+	specMode := flag.Bool("spec", false, "treat the input as a burst-mode specification and run the spec-to-silicon pipeline (implied by a .bm input file)")
+	trials := flag.Int("trials", 0, "with -spec: random-delay evidence trials per transition (0 = default, capped)")
+	evidenceSeed := flag.Uint64("seed", 0, "with -spec: base seed of the evidence delay RNG")
+	evidenceOut := flag.String("evidence", "", "with -spec: write the hazard-freedom evidence JSON to this file (- for stdout; combine with -q)")
+	withVCD := flag.Bool("vcd", false, "with -spec: attach a VCD waveform dump to each transition's evidence")
 	flag.Parse()
 
 	if *statsFmt != "text" && *statsFmt != "json" {
 		fatal(fmt.Errorf("unknown stats format %q", *statsFmt))
-	}
-	net, err := readNetwork(flag.Arg(0))
-	if err != nil {
-		fatal(err)
 	}
 	lib, err := loadLibrary(*libName, *libFile)
 	if err != nil {
@@ -126,6 +141,17 @@ func main() {
 				fmt.Fprintln(os.Stderr, "asyncmap: pprof server:", err)
 			}
 		}()
+	}
+	if *specMode || strings.HasSuffix(flag.Arg(0), ".bm") {
+		runSpec(flag.Arg(0), lib, opts, specRun{
+			trials: *trials, seed: *evidenceSeed, vcd: *withVCD,
+			evidenceOut: *evidenceOut, quiet: *quiet, format: *format,
+		})
+		return
+	}
+	net, err := readNetwork(flag.Arg(0))
+	if err != nil {
+		fatal(err)
 	}
 	res, err := core.Map(net, lib, opts)
 	if err != nil {
@@ -196,6 +222,91 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// specRun bundles the -spec pipeline's knobs.
+type specRun struct {
+	trials      int
+	seed        uint64
+	vcd         bool
+	evidenceOut string
+	quiet       bool
+	format      string
+}
+
+// runSpec drives the spec-to-silicon pipeline over a burst-mode
+// specification: synthesize, map, simulate. The mapped netlist is printed
+// exactly as in mapping mode (byte-identical to asyncmapd's /synth for
+// the same spec, library and seed); the evidence summary trails it as
+// comment lines. Exit status 2 means the pipeline ran but the mapped
+// netlist failed its hazard-freedom certificate.
+func runSpec(path string, lib *library.Library, mapOpts core.Options, cfg specRun) {
+	text, err := readSpecText(path)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := synth.Run(context.Background(), text, synth.Options{
+		Library: lib,
+		Map:     mapOpts,
+		Trials:  cfg.trials,
+		Seed:    cfg.seed,
+		WithVCD: cfg.vcd,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if !cfg.quiet {
+		switch cfg.format {
+		case "netlist":
+			fmt.Print(res.Mapped.Netlist)
+		case "verilog":
+			text, err := res.Mapped.Netlist.VerilogString()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(text)
+		default:
+			fatal(fmt.Errorf("unknown output format %q", cfg.format))
+		}
+	}
+	m, ev := res.Machine, res.Evidence
+	fmt.Printf("# spec=%s states=%d edges=%d library=%s gates=%d area=%g delay=%.2fns\n",
+		m.Name, len(m.States()), len(m.Edges), lib.Name,
+		res.Mapped.Netlist.GateCount(), res.Mapped.Area, res.Mapped.Delay)
+	fmt.Printf("# evidence: transitions=%d trials=%d seed=%d hazard_free=%v settled=%v\n",
+		len(ev.Transitions), ev.Trials, ev.Seed, ev.HazardFree, ev.Settled)
+	fmt.Printf("# phases: synthesize=%s map=%s simulate=%s\n",
+		res.Durations.Synthesize.Round(time.Microsecond),
+		res.Durations.Map.Round(time.Microsecond),
+		res.Durations.Simulate.Round(time.Microsecond))
+	if cfg.evidenceOut != "" {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if cfg.evidenceOut == "-" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			err = os.WriteFile(cfg.evidenceOut, data, 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if !ev.HazardFree || !ev.Settled {
+		fmt.Fprintln(os.Stderr, "asyncmap: hazard-freedom certificate FAILED")
+		os.Exit(2)
+	}
+}
+
+func readSpecText(path string) (string, error) {
+	if path == "" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	data, err := os.ReadFile(path)
+	return string(data), err
 }
 
 // writeFileWith streams an exporter into a freshly created file.

@@ -2,7 +2,11 @@
 //
 // It preloads and hazard-annotates the requested libraries once at
 // startup, then maps BLIF or eqn designs POSTed to /map (one design) or
-// /map/batch (several, with per-design error isolation). Every request
+// /map/batch (several, with per-design error isolation). POST /synth
+// runs the full spec-to-silicon pipeline over a burst-mode specification:
+// hazard-free synthesis, technology mapping, and transition-by-transition
+// simulation of the mapped netlist into a machine-checkable
+// hazard-freedom certificate (see docs/SYNTHESIS.md). Every request
 // runs under a deadline threaded through the covering DP as a
 // context.Context, so slow designs time out promptly and disconnected
 // clients stop burning CPU. Admission control is a fixed worker pool with
@@ -24,7 +28,7 @@
 // server replays them and answers byte-identically with a warm hit rate
 // from the first request. See docs/CACHING.md.
 //
-// Endpoints: POST /map, POST /map/batch, GET /healthz (readiness
+// Endpoints: POST /map, POST /map/batch, POST /synth, GET /healthz (readiness
 // detail), GET /statusz (rolling per-stage latency, in-flight requests),
 // GET /metrics (Prometheus text with ?format=prom or Accept: text/plain;
 // ?format=text for a flat dump; JSON otherwise), and /debug/pprof/ with

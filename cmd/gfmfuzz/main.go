@@ -12,12 +12,21 @@
 //	gfmfuzz -seeds 200
 //	gfmfuzz -replay testdata/regressions   # re-check the corpus
 //	gfmfuzz -seeds 50 -fleet               # add the fleet-vs-local serving axis
+//	gfmfuzz -seeds 50 -synth               # fuzz the spec-to-silicon pipeline
 //
 // With -fleet, every design is additionally mapped through an
 // in-process fleet (coordinator + workers + a single-process twin, see
 // internal/server.StartInProcessFleet) and the served results must be
 // byte-identical — the distributed-dispatch determinism bar from
 // docs/SERVING.md.
+//
+// With -synth, the generator produces random burst-mode machines instead
+// of random networks and drives each through the whole synthesis
+// pipeline (bmspec → hfmin → core.Map → dsim evidence) across its option
+// matrix: netlists and evidence must be byte-identical on every variant,
+// and the mapped netlist must simulate hazard-free on every specified
+// transition. Failing machines are written as .bm reproducers, which
+// -replay re-checks alongside the .eqn corpus.
 //
 // See docs/FUZZING.md for the full workflow.
 package main
@@ -30,6 +39,7 @@ import (
 	"sort"
 	"strings"
 
+	"gfmap/internal/bmspec"
 	"gfmap/internal/core"
 	"gfmap/internal/diffcheck"
 	"gfmap/internal/eqn"
@@ -57,6 +67,8 @@ func main() {
 		nostore  = flag.Bool("nostore", false, "skip the persistent-store and delta axes of the option matrix")
 		fleetOn  = flag.Bool("fleet", false, "add the fleet axis: map every design through an in-process fleet coordinator and a single-process server; results must be byte-identical")
 		fleetN   = flag.Int("fleet-workers", 2, "workers in the in-process fleet (with -fleet)")
+		synthOn  = flag.Bool("synth", false, "fuzz the spec-to-silicon pipeline: generate burst-mode machines and check synthesis determinism plus hazard-freedom evidence")
+		trials   = flag.Int("trials", 0, "with -synth: random-delay evidence trials per transition (0 = harness default)")
 		verbose  = flag.Bool("v", false, "log every seed")
 	)
 	flag.Parse()
@@ -66,6 +78,7 @@ func main() {
 		fatal(err)
 	}
 	opts := diffcheck.Options{Lib: lib, Modes: modesFor(*mode), SkipStoreAxes: *nostore}
+	synthOpts := diffcheck.SynthOptions{Lib: lib, Trials: *trials, SkipStoreAxes: *nostore}
 	if *fleetOn {
 		f, err := server.StartInProcessFleet(*fleetN, server.Config{Libraries: []string{*libName}})
 		if err != nil {
@@ -77,7 +90,10 @@ func main() {
 	reg := obs.NewRegistry()
 
 	if *replay != "" {
-		os.Exit(replayDir(*replay, opts, reg, *metrics))
+		os.Exit(replayDir(*replay, opts, synthOpts, reg, *metrics))
+	}
+	if *synthOn {
+		os.Exit(synthLoop(*seeds, *seed0, synthOpts, *outDir, *maxFail, *verbose, reg, *metrics))
 	}
 
 	cfg := diffcheck.GenConfig{Inputs: *inputs, Nodes: *nodes, MaxFanin: *fanin}
@@ -142,31 +158,71 @@ func main() {
 	}
 }
 
-// replayDir re-checks every .eqn file of a reproducer corpus; all of them
-// must pass (their bugs are fixed) for exit status 0.
-func replayDir(dir string, opts diffcheck.Options, reg *obs.Registry, metrics bool) int {
+// synthLoop fuzzes the spec-to-silicon pipeline: seeded random burst-mode
+// machines through diffcheck.CheckSynth. Failing machines are written as
+// .bm reproducers (machines are already small; there is no shrinker).
+func synthLoop(seeds int, seed0 uint64, opts diffcheck.SynthOptions, outDir string, maxFail int, verbose bool, reg *obs.Registry, metrics bool) int {
+	failures := 0
+	for i := 0; i < seeds; i++ {
+		seed := seed0 + uint64(i)
+		m := diffcheck.GenerateMachine(seed, diffcheck.MachineConfig{})
+		rep := diffcheck.CheckSynth(m, opts)
+		rep.Publish(reg)
+		if verbose {
+			fmt.Fprintf(os.Stderr, "seed %d: %s, %d states, %d edges, violations=%d\n",
+				seed, m.Name, len(m.States()), len(m.Edges), len(rep.Violations))
+		}
+		if !rep.Failed() {
+			continue
+		}
+		failures++
+		fmt.Fprintf(os.Stderr, "seed %d FAILED (%s):\n", seed, strings.Join(rep.Kinds(), ", "))
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", firstLine(v.String()))
+		}
+		path, werr := diffcheck.WriteMachineReproducer(outDir, seed, m, rep)
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "  write reproducer: %v\n", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "  reproducer: %s\n", path)
+		}
+		if maxFail > 0 && failures >= maxFail {
+			fmt.Fprintf(os.Stderr, "stopping after %d failing seeds\n", failures)
+			break
+		}
+	}
+	snap := reg.Snapshot()
+	if metrics {
+		fmt.Print(snap.Format(""))
+	}
+	fmt.Printf("gfmfuzz: %d machines, %d violations, %d failing seeds\n",
+		seeds, snap.Counters[diffcheck.MetricViolations], failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// replayDir re-checks every .eqn (mapping) and .bm (synthesis pipeline)
+// file of a reproducer corpus; all of them must pass (their bugs are
+// fixed) for exit status 0.
+func replayDir(dir string, opts diffcheck.Options, synthOpts diffcheck.SynthOptions, reg *obs.Registry, metrics bool) int {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.eqn"))
 	if err != nil {
 		fatal(err)
 	}
+	bmPaths, err := filepath.Glob(filepath.Join(dir, "*.bm"))
+	if err != nil {
+		fatal(err)
+	}
 	sort.Strings(paths)
-	if len(paths) == 0 {
-		fmt.Printf("gfmfuzz: no .eqn designs under %s\n", dir)
+	sort.Strings(bmPaths)
+	if len(paths)+len(bmPaths) == 0 {
+		fmt.Printf("gfmfuzz: no .eqn or .bm designs under %s\n", dir)
 		return 0
 	}
 	bad := 0
-	for _, p := range paths {
-		data, err := os.ReadFile(p)
-		if err != nil {
-			fatal(err)
-		}
-		net, err := eqn.ParseString(string(data), filepath.Base(p))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: parse: %v\n", p, err)
-			bad++
-			continue
-		}
-		rep := diffcheck.Check(net, opts)
+	report := func(p string, rep *diffcheck.Report) {
 		rep.Publish(reg)
 		if rep.Failed() {
 			bad++
@@ -178,10 +234,36 @@ func replayDir(dir string, opts diffcheck.Options, reg *obs.Registry, metrics bo
 			fmt.Printf("%s: ok\n", p)
 		}
 	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		net, err := eqn.ParseString(string(data), filepath.Base(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: parse: %v\n", p, err)
+			bad++
+			continue
+		}
+		report(p, diffcheck.Check(net, opts))
+	}
+	for _, p := range bmPaths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := bmspec.ParseString(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: parse: %v\n", p, err)
+			bad++
+			continue
+		}
+		report(p, diffcheck.CheckSynth(m, synthOpts))
+	}
 	if metrics {
 		fmt.Print(reg.Snapshot().Format(""))
 	}
-	fmt.Printf("gfmfuzz: replayed %d reproducers, %d failing\n", len(paths), bad)
+	fmt.Printf("gfmfuzz: replayed %d reproducers, %d failing\n", len(paths)+len(bmPaths), bad)
 	if bad > 0 {
 		return 1
 	}

@@ -1,0 +1,193 @@
+package bmspec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// chainMachine builds a single-input toggle chain with n states
+// programmatically (the textual format is irrelevant to encoding bounds).
+func chainMachine(n int) *Machine {
+	m := &Machine{
+		Name:       "chain",
+		Inputs:     []string{"a"},
+		InitialIn:  map[string]bool{"a": false},
+		InitialOut: map[string]bool{},
+		Initial:    "s0",
+	}
+	for i := 0; i < n-1; i++ {
+		b := Burst{Rise: []string{"a"}}
+		if i%2 == 1 {
+			b = Burst{Fall: []string{"a"}}
+		}
+		m.Edges = append(m.Edges, Edge{
+			From: fmt.Sprintf("s%d", i),
+			To:   fmt.Sprintf("s%d", i+1),
+			In:   b,
+		})
+	}
+	return m
+}
+
+// Regression: the one-hot encoding computes 1<<i per state, so the 65th
+// state's code wraps to 0 and aliases. Validate must reject machines that
+// need more than MaxStateBits one-hot bits; exactly MaxStateBits is fine.
+func TestValidateRejectsOneHotOverflow(t *testing.T) {
+	ok := chainMachine(MaxStateBits)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("%d states must validate: %v", MaxStateBits, err)
+	}
+	if got := ok.EncodingOf(fmt.Sprintf("s%d", MaxStateBits-1)); got != 1<<63 {
+		t.Fatalf("state %d code = %x, want %x", MaxStateBits-1, got, uint64(1)<<63)
+	}
+
+	big := chainMachine(MaxStateBits + 2)
+	err := big.Validate()
+	if err == nil {
+		t.Fatal("66-state one-hot machine must be rejected")
+	}
+	if !strings.Contains(err.Error(), "state bits") && !strings.Contains(err.Error(), "64") {
+		t.Errorf("error should name the encoding limit, got: %v", err)
+	}
+	// The aliasing the check prevents: without it, states 64 and beyond
+	// all encode to 0 (1<<64 wraps), colliding with each other.
+	if big.EncodingOf("s64") != 0 || big.EncodingOf("s65") != 0 {
+		t.Skip("shift semantics changed; aliasing no longer occurs")
+	}
+}
+
+// Regression: with StateBitN >= 64, the bound check `code >= 1<<StateBitN`
+// compared against a wrapped-to-zero limit and waved every code through;
+// and StateBitN itself was never range-checked.
+func TestValidateEncodingWidthBounds(t *testing.T) {
+	m := MustParseString(toggleSrc)
+
+	m.Encoding = map[string]uint64{"s0": 0, "s1": 1 << 63}
+	m.StateBitN = 64
+	if err := m.Validate(); err != nil {
+		t.Errorf("64-bit encoding with in-range codes must validate: %v", err)
+	}
+
+	m.StateBitN = 65
+	if err := m.Validate(); err == nil {
+		t.Error("StateBitN=65 must be rejected")
+	}
+	m.StateBitN = 0
+	if err := m.Validate(); err == nil {
+		t.Error("StateBitN=0 with an explicit encoding must be rejected")
+	}
+	m.StateBitN = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative StateBitN must be rejected")
+	}
+
+	m.Encoding = map[string]uint64{"s0": 0, "s1": 4}
+	m.StateBitN = 2
+	if err := m.Validate(); err == nil {
+		t.Error("code 4 must be rejected for a 2-bit encoding")
+	}
+}
+
+// Regression: the parser accepted names that cannot survive a
+// String()↔Parse round trip — empty burst names from bare "+"/"-" tokens,
+// structural characters inside identifiers, header keywords as states,
+// and duplicate or input-vs-output conflicting declarations.
+func TestParseRejectsUnrepresentableNames(t *testing.T) {
+	cases := map[string]string{
+		"bare rise token": "name x\ninput a 0\ninitial s0\ns0 -> s1 : + /",
+		"bare fall token": "name x\ninput a 1\ninitial s0\ns0 -> s1 : - /",
+		"slash in state":  "name x\ninput a 0\ninitial s0\ns0 -> s/1 : a+ /",
+		"colon in state":  "name x\ninput a 0\ninitial s:0\ns:0 -> s1 : a+ /",
+		"keyword state":   "name x\ninput a 0\ninitial input\ninput -> s1 : a+ /",
+		"keyword edge":    "name x\ninput a 0\ninitial s0\ns0 -> name : a+ /",
+		"digit-led name":  "name x\ninput 0a 0\ninitial s0\ns0 -> s1 : 0a+ /",
+		"empty decl":      "name x\ninput a 0\noutput  0\ninitial s0\ns0 -> s1 : a+ /",
+		"dup input":       "name x\ninput a 0\ninput a 0\ninitial s0\ns0 -> s1 : a+ /",
+		"in/out conflict": "name x\ninput a 0\noutput a 0\ninitial s0\ns0 -> s1 : a+ /",
+	}
+	for what, src := range cases {
+		m, err := ParseString(src)
+		if err == nil {
+			t.Errorf("%s: accepted; round trip would yield:\n%s", what, m.String())
+			continue
+		}
+		if !strings.Contains(err.Error(), "line ") && !strings.Contains(err.Error(), "already declared") {
+			t.Errorf("%s: error lacks position context: %v", what, err)
+		}
+	}
+}
+
+func TestValidIdent(t *testing.T) {
+	for _, good := range []string{"a", "req", "s0", "_x", "ldtack", "A_9"} {
+		if err := ValidIdent(good); err != nil {
+			t.Errorf("ValidIdent(%q): %v", good, err)
+		}
+	}
+	for _, bad := range []string{"", "a b", "a->b", "a:b", "a/b", "a#b", "a+", "9a", "name", "input", "output", "initial"} {
+		if err := ValidIdent(bad); err == nil {
+			t.Errorf("ValidIdent(%q): want error", bad)
+		}
+	}
+}
+
+// Regression: the default bufio.Scanner buffer (64KiB) made wide edge
+// lines fail with a bare "token too long" and no position. The raised
+// buffer must accept realistic wide bursts; lines past the hard cap must
+// fail with a line number.
+func TestParseLongLines(t *testing.T) {
+	const n = 12000 // ~84KiB edge lines, past the old 64KiB default
+	var b strings.Builder
+	b.WriteString("name wide\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "input x%d 0\n", i)
+	}
+	b.WriteString("initial s0\n")
+	var rise, fall strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&rise, " x%d+", i)
+		fmt.Fprintf(&fall, " x%d-", i)
+	}
+	fmt.Fprintf(&b, "s0 -> s1 :%s /\n", rise.String())
+	fmt.Fprintf(&b, "s1 -> s0 :%s /\n", fall.String())
+	if _, err := ParseString(b.String()); err != nil {
+		t.Fatalf("wide edge lines must parse: %v", err)
+	}
+
+	huge := "name x\n# " + strings.Repeat("y", maxSpecLineBytes+1) + "\n"
+	_, err := ParseString(huge)
+	if err == nil {
+		t.Fatal("line past the hard cap must fail")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("scanner error lacks the line number: %v", err)
+	}
+}
+
+// FuzzRoundTrip: every machine the parser accepts must render back to the
+// byte-identical spec it re-parses from — Parse(m.String()) is identity.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(toggleSrc)
+	f.Add(vmeSrc)
+	// Former breakers: bare burst tokens, structural characters in names,
+	// keyword states, duplicate declarations.
+	f.Add("name x\ninput a 0\ninitial s0\ns0 -> s1 : + /")
+	f.Add("name x\ninput a 0\ninitial s0\ns0 -> s/1 : a+ /")
+	f.Add("name x\ninput a 0\ninitial input\ninput -> s1 : a+ /")
+	f.Add("name x\ninput a 0\ninput a 0\ninitial s0\ns0 -> s1 : a+ /")
+	f.Add("name a#b\ninput a 0\ninitial s0\ns0 -> s1 : a+ /")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		text := m.String()
+		m2, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("accepted machine fails to re-parse: %v\n%s", err, text)
+		}
+		if m2.String() != text {
+			t.Fatalf("String→Parse→String is not identity:\n--- first\n%s\n--- second\n%s", text, m2.String())
+		}
+	})
+}

@@ -102,8 +102,16 @@ func (m *Machine) StateBits() int {
 	return len(m.States())
 }
 
+// MaxStateBits is the widest state encoding a Machine may use: codes are
+// uint64, so a one-hot encoding supports at most 64 states and an explicit
+// Encoding at most 64 bits. Validate rejects machines past this bound —
+// without the check, `1 << i` silently wraps to 0 for the 65th state and
+// distinct states alias the same code.
+const MaxStateBits = 64
+
 // EncodingOf returns the code of a state under the chosen encoding
-// (one-hot by default).
+// (one-hot by default). Only meaningful on machines that pass Validate:
+// past MaxStateBits states the one-hot shift would overflow uint64.
 func (m *Machine) EncodingOf(state string) uint64 {
 	if m.Encoding != nil {
 		return m.Encoding[state]
@@ -120,6 +128,28 @@ func (m *Machine) EncodingOf(state string) uint64 {
 type entry struct {
 	in  map[string]bool
 	out map[string]bool
+}
+
+// EntryVector is the stable input/output condition in which a state is
+// entered. Validate guarantees every path into a state agrees on it.
+type EntryVector struct {
+	In  map[string]bool
+	Out map[string]bool
+}
+
+// EntryVectors computes each state's entry vector by propagating bursts
+// from the initial state. The maps are fresh copies; callers may mutate
+// them.
+func (m *Machine) EntryVectors() (map[string]EntryVector, error) {
+	ent, err := m.entries()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]EntryVector, len(ent))
+	for s, e := range ent {
+		out[s] = EntryVector{In: e.in, Out: e.out}
+	}
+	return out, nil
 }
 
 // entries computes each state's entry input/output vectors by propagating
@@ -247,7 +277,17 @@ func (m *Machine) Validate() error {
 			}
 		}
 	}
-	if m.Encoding != nil {
+	if m.Encoding == nil {
+		// One-hot: state i gets code 1<<i, so the state count is the bit
+		// width and must fit a uint64.
+		if n := len(m.States()); n > MaxStateBits {
+			return fmt.Errorf("bmspec %s: %d states need %d one-hot state bits, exceeding the %d-bit encoding limit",
+				m.Name, n, n, MaxStateBits)
+		}
+	} else {
+		if m.StateBitN < 1 || m.StateBitN > MaxStateBits {
+			return fmt.Errorf("bmspec %s: state encoding width %d outside [1, %d]", m.Name, m.StateBitN, MaxStateBits)
+		}
 		states := m.States()
 		seen := map[uint64]string{}
 		for _, s := range states {
@@ -255,7 +295,9 @@ func (m *Machine) Validate() error {
 			if !ok {
 				return fmt.Errorf("bmspec %s: state %s has no encoding", m.Name, s)
 			}
-			if code >= 1<<uint(m.StateBitN) {
+			// Shift-guarded: for StateBitN == 64 every uint64 code fits, and
+			// 1<<64 would wrap to 0 and wave every code through.
+			if m.StateBitN < 64 && code >= 1<<uint(m.StateBitN) {
 				return fmt.Errorf("bmspec %s: state %s code %x exceeds %d bits", m.Name, s, code, m.StateBitN)
 			}
 			if other, dup := seen[code]; dup {
@@ -277,6 +319,44 @@ func burstSubset(a, b Burst) bool {
 	return true
 }
 
+// reservedWords are the format's header keywords. A state (or machine)
+// named after one would render as a line the parser dispatches as a
+// header, breaking the String()↔Parse round trip.
+var reservedWords = map[string]bool{"name": true, "input": true, "output": true, "initial": true}
+
+// ValidIdent reports whether s can serve as a machine, state or signal
+// name in the textual format: [A-Za-z_][A-Za-z0-9_]*, not a header
+// keyword. The format's structural characters — '#' (comment), "->", ':',
+// '/', '+', '-', whitespace — are excluded by construction, so every valid
+// identifier survives a String()↔Parse round trip unchanged.
+func ValidIdent(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty identifier")
+	}
+	if reservedWords[s] {
+		return fmt.Errorf("identifier %q is a reserved word", s)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return fmt.Errorf("identifier %q starts with a digit", s)
+			}
+		default:
+			return fmt.Errorf("identifier %q contains %q", s, string(c))
+		}
+	}
+	return nil
+}
+
+// maxSpecLineBytes bounds a single line of a spec file. Machines near the
+// synthesis variable bound can still carry wide bursts, so this is far
+// above any realistic edge line; past it the parser reports the offending
+// line instead of silently truncating.
+const maxSpecLineBytes = 4 << 20
+
 // Parse reads a machine from the textual format:
 //
 //	name scsi
@@ -290,6 +370,8 @@ func burstSubset(a, b Burst) bool {
 func Parse(r io.Reader) (*Machine, error) {
 	m := &Machine{InitialIn: map[string]bool{}, InitialOut: map[string]bool{}}
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxSpecLineBytes)
+	declared := map[string]string{} // signal -> "input" | "output"
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -307,11 +389,21 @@ func Parse(r io.Reader) (*Machine, error) {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("bmspec: line %d: name wants one identifier", lineNo)
 			}
+			if err := ValidIdent(fields[1]); err != nil {
+				return nil, fmt.Errorf("bmspec: line %d: machine name: %v", lineNo, err)
+			}
 			m.Name = fields[1]
 		case "input", "output":
 			if len(fields) != 3 || (fields[2] != "0" && fields[2] != "1") {
 				return nil, fmt.Errorf("bmspec: line %d: %s wants a name and a reset value", lineNo, fields[0])
 			}
+			if err := ValidIdent(fields[1]); err != nil {
+				return nil, fmt.Errorf("bmspec: line %d: %s name: %v", lineNo, fields[0], err)
+			}
+			if kind, dup := declared[fields[1]]; dup {
+				return nil, fmt.Errorf("bmspec: line %d: signal %q already declared as an %s", lineNo, fields[1], kind)
+			}
+			declared[fields[1]] = fields[0]
 			v := fields[2] == "1"
 			if fields[0] == "input" {
 				m.Inputs = append(m.Inputs, fields[1])
@@ -324,6 +416,9 @@ func Parse(r io.Reader) (*Machine, error) {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("bmspec: line %d: initial wants one state", lineNo)
 			}
+			if err := ValidIdent(fields[1]); err != nil {
+				return nil, fmt.Errorf("bmspec: line %d: initial state: %v", lineNo, err)
+			}
 			m.Initial = fields[1]
 		default:
 			edge, err := parseEdge(line)
@@ -334,7 +429,9 @@ func Parse(r io.Reader) (*Machine, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// The scanner stops on the line after the last one delivered;
+		// bufio.ErrTooLong carries no position of its own.
+		return nil, fmt.Errorf("bmspec: line %d: %w", lineNo+1, err)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -364,6 +461,12 @@ func parseEdge(line string) (Edge, error) {
 		From: strings.TrimSpace(line[:arrow]),
 		To:   strings.TrimSpace(line[arrow+2 : colon]),
 	}
+	if err := ValidIdent(e.From); err != nil {
+		return Edge{}, fmt.Errorf("edge source state: %v", err)
+	}
+	if err := ValidIdent(e.To); err != nil {
+		return Edge{}, fmt.Errorf("edge target state: %v", err)
+	}
 	rest := line[colon+1:]
 	inPart, outPart := rest, ""
 	if slash := strings.Index(rest, "/"); slash >= 0 {
@@ -382,13 +485,19 @@ func parseEdge(line string) (Edge, error) {
 func parseBurst(s string) (Burst, error) {
 	var b Burst
 	for _, tok := range strings.Fields(s) {
+		var name string
 		switch {
 		case strings.HasSuffix(tok, "+"):
-			b.Rise = append(b.Rise, strings.TrimSuffix(tok, "+"))
+			name = strings.TrimSuffix(tok, "+")
+			b.Rise = append(b.Rise, name)
 		case strings.HasSuffix(tok, "-"):
-			b.Fall = append(b.Fall, strings.TrimSuffix(tok, "-"))
+			name = strings.TrimSuffix(tok, "-")
+			b.Fall = append(b.Fall, name)
 		default:
 			return Burst{}, fmt.Errorf("bad burst token %q (want name+ or name-)", tok)
+		}
+		if err := ValidIdent(name); err != nil {
+			return Burst{}, fmt.Errorf("burst token %q: %v", tok, err)
 		}
 	}
 	sort.Strings(b.Rise)

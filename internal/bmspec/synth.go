@@ -146,7 +146,24 @@ func Synthesize(m *Machine) (*Synthesis, error) {
 				if err := assignAll(c, newOut, nextCode); err != nil {
 					return nil, err
 				}
-				addTrans(b, c)
+				// The state update follows the set-before-reset discipline of
+				// one-hot async controllers: rising state bits come up first,
+				// then the falling ones drop, so the machine passes through
+				// code|nextCode — never through code&nextCode. Specifying the
+				// update as one supercube(code,nextCode) transition would
+				// demand hazard-freedom at the all-bits-cleared interior too,
+				// a point distinct updates share with conflicting function
+				// values (no cover can satisfy both).
+				if mid := code | nextCode; mid != code && mid != nextCode {
+					bm := point(newIn, mid)
+					if err := assignAll(bm, newOut, nextCode); err != nil {
+						return nil, err
+					}
+					addTrans(b, bm)
+					addTrans(bm, c)
+				} else {
+					addTrans(b, c)
+				}
 			}
 		}
 	}

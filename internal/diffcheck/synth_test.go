@@ -1,0 +1,91 @@
+package diffcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gfmap/internal/bmspec"
+	"gfmap/internal/library"
+)
+
+// Every generated machine must be valid by construction and re-parse to
+// the identical spec text.
+func TestGenerateMachineValid(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		m := GenerateMachine(seed, MachineConfig{})
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d: generated machine invalid: %v\n%s", seed, err, m.String())
+		}
+		text := m.String()
+		m2, err := bmspec.ParseString(text)
+		if err != nil {
+			t.Fatalf("seed %d: re-parse: %v\n%s", seed, err, text)
+		}
+		if m2.String() != text {
+			t.Fatalf("seed %d: round trip not identity", seed)
+		}
+	}
+}
+
+func TestGenerateMachineDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		a := GenerateMachine(seed, MachineConfig{}).String()
+		b := GenerateMachine(seed, MachineConfig{}).String()
+		if a != b {
+			t.Fatalf("seed %d: generator not deterministic:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+// The pipeline-oracle differential test of the issue: every
+// Synthesize+Minimize+Map output over fuzzed machines must simulate
+// hazard-free in dsim, byte-identical across the option matrix.
+func TestCheckSynthFuzzedMachines(t *testing.T) {
+	lib, err := library.Get("LSI9K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SynthOptions{Lib: lib}
+	mapped := 0
+	for seed := uint64(1); seed <= 12; seed++ {
+		m := GenerateMachine(seed, MachineConfig{})
+		rep := CheckSynth(m, opts)
+		if rep.Failed() {
+			for _, v := range rep.Violations {
+				t.Errorf("seed %d: %s", seed, v.String())
+			}
+			t.Fatalf("seed %d machine:\n%s", seed, m.String())
+		}
+		mapped += len(rep.MappedModes)
+	}
+	if mapped == 0 {
+		t.Fatal("no generated machine made it through the pipeline")
+	}
+}
+
+func TestWriteMachineReproducer(t *testing.T) {
+	dir := t.TempDir()
+	m := GenerateMachine(3, MachineConfig{})
+	rep := &Report{}
+	rep.add(KindSynth, "synth", "serial", "hazard-freedom certificate failed\nmore detail")
+	path, err := WriteMachineReproducer(dir, 3, m, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Ext(path) != ".bm" {
+		t.Fatalf("unexpected path %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "kinds=synth") {
+		t.Errorf("header missing kinds: %s", data)
+	}
+	// The reproducer must re-parse despite the comment header.
+	if _, err := bmspec.ParseString(string(data)); err != nil {
+		t.Fatalf("reproducer does not re-parse: %v\n%s", err, data)
+	}
+}

@@ -1,0 +1,88 @@
+package hfmin
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gfmap/internal/cube"
+)
+
+// randomSpec samples a feasible hazard-free minimisation spec, or nil.
+func randomSpec(rng *rand.Rand, n int) *Spec {
+	on := cube.NewCover(n)
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		used := rng.Uint64() & cube.VarMask(n)
+		if used == 0 {
+			used = 1
+		}
+		on.Add(cube.Cube{Used: used, Phase: rng.Uint64() & used})
+	}
+	spec := Spec{N: n, On: on}
+	for tries := 0; tries < 20 && len(spec.Transitions) < 3; tries++ {
+		a := rng.Uint64() & cube.VarMask(n)
+		b := rng.Uint64() & cube.VarMask(n)
+		if a == b || !functionHazardFreePair(&spec, a, b) {
+			continue
+		}
+		spec.Transitions = append(spec.Transitions, Transition{From: a, To: b})
+	}
+	if _, err := Minimize(spec); err != nil {
+		return nil
+	}
+	return &spec
+}
+
+// TestMinimizeDeterministic: Minimize is used by the synthesis pipeline's
+// byte-identity contract, so identical specs must yield identical covers
+// on every run — including runs racing on other goroutines (the server
+// minimises concurrent requests in one process).
+func TestMinimizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	specs := 0
+	for iter := 0; iter < 200 && specs < 40; iter++ {
+		spec := randomSpec(rng, 4+rng.Intn(2))
+		if spec == nil {
+			continue
+		}
+		specs++
+		base, err := Minimize(*spec)
+		if err != nil {
+			t.Fatalf("spec %d became infeasible on re-run: %v", specs, err)
+		}
+		want := base.Cover.String()
+		for run := 0; run < 5; run++ {
+			res, err := Minimize(*spec)
+			if err != nil {
+				t.Fatalf("run %d: %v", run, err)
+			}
+			if got := res.Cover.String(); got != want {
+				t.Fatalf("run %d differs:\n%s\nvs\n%s\n(on %v, trs %v)", run, got, want, spec.On, spec.Transitions)
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := Minimize(*spec)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if got := res.Cover.String(); got != want {
+					errs <- "concurrent run differs: " + got + " vs " + want
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+	}
+	if specs < 40 {
+		t.Fatalf("only %d feasible specs exercised", specs)
+	}
+}

@@ -9,7 +9,10 @@
 //   - every static 1→1 transition is held by a single cube (no static
 //     logic 1-hazard),
 //   - no cube intersects a dynamic transition's space without containing
-//     its 1-endpoint (no dynamic logic hazard, Theorem 4.1), and
+//     its 1-endpoint (no dynamic logic hazard, Theorem 4.1),
+//   - no cube intersects a static 0→0 transition's space at all: such a
+//     cube is 0 at both endpoints but 1 at an interior don't-care point,
+//     a 0→1→0 glitch (no static logic 0-hazard), and
 //   - the cover realises the function exactly.
 package hfmin
 
@@ -98,6 +101,7 @@ func Minimize(spec Spec) (*Result, error) {
 
 	var required []cube.Cube
 	var privs []privileged
+	var zeros []cube.Cube
 	for _, t := range spec.Transitions {
 		kind, err := spec.kindOf(t)
 		if err != nil {
@@ -114,7 +118,13 @@ func Minimize(spec Spec) (*Result, error) {
 			if err := spec.checkStaticFHF(tc, 0); err != nil {
 				return nil, fmt.Errorf("hfmin: transition %x->%x: %w", t.From, t.To, err)
 			}
-			// A two-level SOP cannot glitch on a static-0 transition.
+			// A product that intersects the transition cube is 0 at both
+			// endpoints (the endpoints are OFF points, so no implicant may
+			// contain them) yet 1 at an interior point; every interior
+			// point is reachable under some delay assignment, so the SOP
+			// output glitches 0->1->0. No chosen implicant may intersect
+			// the transition cube at all.
+			zeros = append(zeros, tc)
 		case "fall", "rise":
 			one, zero := t.From, t.To
 			if kind == "rise" {
@@ -138,6 +148,11 @@ func Minimize(spec Spec) (*Result, error) {
 	legal := func(c cube.Cube) bool {
 		if !onDC.ContainsCube(c) {
 			return false
+		}
+		for _, z := range zeros {
+			if c.Intersects(z) {
+				return false
+			}
 		}
 		for _, p := range privs {
 			if c.Intersects(p.T) && !c.ContainsPoint(p.One) {
@@ -180,6 +195,11 @@ func Minimize(spec Spec) (*Result, error) {
 		if !legal(seed) {
 			if !onDC.ContainsCube(seed) {
 				return nil, fmt.Errorf("hfmin: required cube %v is not an implicant (function-hazardous specification)", seed)
+			}
+			for _, z := range zeros {
+				if seed.Intersects(z) {
+					return nil, fmt.Errorf("hfmin: required cube %v intersects static-0 transition %v; no hazard-free cover exists", seed, z)
+				}
 			}
 			return nil, fmt.Errorf("hfmin: required cube %v intersects a dynamic transition illegally; no hazard-free cover exists", seed)
 		}
@@ -429,7 +449,14 @@ func Check(spec Spec, cover cube.Cover) error {
 				return fmt.Errorf("static 1-hazard: no single cube holds %v", tc)
 			}
 		case "static0":
-			// No vacuous terms exist in a cover; nothing to check.
+			// The output must hold 0 throughout: a cube intersecting the
+			// transition cube is 1 at an interior point (its endpoints are
+			// OFF points) and glitches 0->1->0 under some delay assignment.
+			for _, c := range cover.Cubes {
+				if c.Intersects(tc) {
+					return fmt.Errorf("static 0-hazard: cube %v intersects %v", c, tc)
+				}
+			}
 		case "fall", "rise":
 			one := t.From
 			if kind == "rise" {

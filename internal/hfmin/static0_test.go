@@ -1,0 +1,65 @@
+package hfmin
+
+import (
+	"strings"
+	"testing"
+
+	"gfmap/internal/cube"
+)
+
+// A cover cube that dips into don't-care space inside a static-0
+// transition cube is 0 at both endpoints yet 1 at a reachable interior
+// point: a 0->1->0 glitch. Historically both Minimize and Check treated
+// static-0 transitions as automatically safe and produced exactly such
+// covers; these tests pin the fix.
+//
+// Construction over (a,b,c): ON = {ab'c}, DC = {a'b'c}. The maximal
+// expansion of the ON minterm is b'c, which passes through the don't-care
+// point a'b'c — an interior point of the static-0 transition
+// 000 -> 011 (b,c rise with a=0, f=0 at both ends).
+func static0Spec() Spec {
+	abc := []string{"a", "b", "c"}
+	return Spec{
+		N:  3,
+		On: cube.MustParseCover("ab'c", abc),
+		DC: cube.MustParseCover("a'b'c", abc),
+		Transitions: []Transition{
+			{From: pt(0, 0, 0), To: pt(0, 1, 1)}, // static-0: b+ c+ at a=0
+			{From: pt(1, 0, 0), To: pt(1, 0, 1)}, // rise: c+ at a=1, b=0
+		},
+	}
+}
+
+func TestMinimizeAvoidsStatic0Transitions(t *testing.T) {
+	abc := []string{"a", "b", "c"}
+	spec := static0Spec()
+	res, err := Minimize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := cube.Supercube(cube.Minterm(3, pt(0, 0, 0)), cube.Minterm(3, pt(0, 1, 1)))
+	for _, c := range res.Cover.Cubes {
+		if c.Intersects(tc) {
+			t.Errorf("cover cube %v intersects static-0 transition cube %v (0->1->0 glitch)",
+				c.StringVars(abc), tc.StringVars(abc))
+		}
+	}
+	if !res.Cover.Eval(pt(1, 0, 1)) {
+		t.Error("cover misses the ON point")
+	}
+}
+
+func TestCheckRejectsStatic0Intersection(t *testing.T) {
+	abc := []string{"a", "b", "c"}
+	spec := static0Spec()
+	// b'c realises the function (the extra point it covers is a
+	// don't-care) but glitches on the static-0 transition.
+	bad := cube.MustParseCover("b'c", abc)
+	err := Check(spec, bad)
+	if err == nil {
+		t.Fatal("Check accepted a cover intersecting a static-0 transition cube")
+	}
+	if !strings.Contains(err.Error(), "static 0-hazard") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"gfmap/internal/mapstore"
 	"gfmap/internal/network"
 	"gfmap/internal/obs"
+	"gfmap/internal/synth"
 )
 
 // Config tunes a Server. The zero value is a usable development setup.
@@ -234,6 +235,7 @@ func New(cfg Config) (*Server, error) {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/map", s.instrument(s.protect(s.handleMap)))
+	s.mux.HandleFunc("/synth", s.instrument(s.protect(s.handleSynth)))
 	s.mux.HandleFunc("/map/batch", s.instrument(s.protect(s.handleBatch)))
 	s.mux.HandleFunc("/map/cones", s.instrument(s.protect(s.handleMapCones)))
 	s.mux.HandleFunc("/healthz", s.instrument(s.protect(s.handleHealthz)))
@@ -519,7 +521,7 @@ func (s *Server) statusFor(err error) int {
 	case errors.Is(err, context.Canceled):
 		s.canceled.Inc()
 		return 499
-	case errors.Is(err, errBadInput):
+	case errors.Is(err, errBadInput), errors.Is(err, synth.ErrBadSpec):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrInternal):
 		return http.StatusInternalServerError

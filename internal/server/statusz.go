@@ -19,25 +19,31 @@ import (
 // registry, so they also appear on /metrics (as Prometheus summaries and
 // in the JSON snapshot), not only on /statusz.
 const (
-	RollingRequestSeconds   = "rolling_request_seconds"
-	RollingQueueWaitSeconds = "rolling_queue_wait_seconds"
-	RollingDecomposeSeconds = "rolling_decompose_seconds"
-	RollingPartitionSeconds = "rolling_partition_seconds"
-	RollingCoverSeconds     = "rolling_cover_seconds"
-	RollingEmitSeconds      = "rolling_emit_seconds"
+	RollingRequestSeconds    = "rolling_request_seconds"
+	RollingQueueWaitSeconds  = "rolling_queue_wait_seconds"
+	RollingDecomposeSeconds  = "rolling_decompose_seconds"
+	RollingPartitionSeconds  = "rolling_partition_seconds"
+	RollingCoverSeconds      = "rolling_cover_seconds"
+	RollingEmitSeconds       = "rolling_emit_seconds"
+	RollingSynthesizeSeconds = "rolling_synthesize_seconds"
+	RollingSimulateSeconds   = "rolling_simulate_seconds"
 )
 
 // rollingSet groups the per-stage rolling windows. request covers the
 // whole handler (queue wait included); wait isolates time spent blocked
-// on the admission semaphore; the remaining four are the mapper's phase
-// wall times from core.Stats.
+// on the admission semaphore; decompose..emit are the mapper's phase wall
+// times from core.Stats; synthesize and simulate are the /synth
+// pipeline's bracketing phases (burst-mode synthesis before the mapper,
+// evidence simulation after it).
 type rollingSet struct {
-	request   *obs.RollingHistogram
-	wait      *obs.RollingHistogram
-	decompose *obs.RollingHistogram
-	partition *obs.RollingHistogram
-	cover     *obs.RollingHistogram
-	emit      *obs.RollingHistogram
+	request    *obs.RollingHistogram
+	wait       *obs.RollingHistogram
+	decompose  *obs.RollingHistogram
+	partition  *obs.RollingHistogram
+	cover      *obs.RollingHistogram
+	emit       *obs.RollingHistogram
+	synthesize *obs.RollingHistogram
+	simulate   *obs.RollingHistogram
 }
 
 func newRollingSet(reg *obs.Registry, window time.Duration) rollingSet {
@@ -48,12 +54,14 @@ func newRollingSet(reg *obs.Registry, window time.Duration) rollingSet {
 		return reg.Rolling(name, bounds, window, 6)
 	}
 	return rollingSet{
-		request:   mk(RollingRequestSeconds),
-		wait:      mk(RollingQueueWaitSeconds),
-		decompose: mk(RollingDecomposeSeconds),
-		partition: mk(RollingPartitionSeconds),
-		cover:     mk(RollingCoverSeconds),
-		emit:      mk(RollingEmitSeconds),
+		request:    mk(RollingRequestSeconds),
+		wait:       mk(RollingQueueWaitSeconds),
+		decompose:  mk(RollingDecomposeSeconds),
+		partition:  mk(RollingPartitionSeconds),
+		cover:      mk(RollingCoverSeconds),
+		emit:       mk(RollingEmitSeconds),
+		synthesize: mk(RollingSynthesizeSeconds),
+		simulate:   mk(RollingSimulateSeconds),
 	}
 }
 
@@ -210,6 +218,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"partition":  stageStats(s.roll.partition),
 			"cover":      stageStats(s.roll.cover),
 			"emit":       stageStats(s.roll.emit),
+			"synthesize": stageStats(s.roll.synthesize),
+			"simulate":   stageStats(s.roll.simulate),
 		},
 		Admission: AdmissionStatus{
 			Inflight:      s.inflight.Load(),

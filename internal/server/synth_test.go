@@ -1,0 +1,242 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gfmap/internal/obs"
+)
+
+const vmeSpec = `
+name vmectl
+input dsr 0
+input ldtack 0
+output lds 0
+output dtack 0
+initial idle
+idle -> got : dsr+ / lds+
+got -> ackd : ldtack+ / dtack+
+ackd -> rel : dsr- / dtack- lds-
+rel -> idle : ldtack- /
+`
+
+func newSynthServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	if cfg.AccessLog == nil {
+		cfg.AccessLog = io.Discard
+	}
+	if len(cfg.Libraries) == 0 {
+		cfg.Libraries = []string{"LSI9K"}
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postSynth(t *testing.T, url, body, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/synth"+query, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestSynthEndpoint(t *testing.T) {
+	ts := newSynthServer(t, Config{})
+	resp, data := postSynth(t, ts.URL, vmeSpec, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Error("no X-Request-ID header")
+	}
+	var sr SynthResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Name != "vmectl" || sr.Gates == 0 || sr.Netlist == "" {
+		t.Fatalf("bad response: name=%q gates=%d netlist %d bytes", sr.Name, sr.Gates, len(sr.Netlist))
+	}
+	if sr.Evidence == nil {
+		t.Fatal("no evidence")
+	}
+	if !sr.Evidence.HazardFree || !sr.Evidence.Settled {
+		t.Fatalf("certificate failed: hazard_free=%v settled=%v", sr.Evidence.HazardFree, sr.Evidence.Settled)
+	}
+	if len(sr.Evidence.Transitions) < 4 {
+		t.Fatalf("only %d transitions in evidence", len(sr.Evidence.Transitions))
+	}
+	if sr.RequestID != resp.Header.Get(RequestIDHeader) {
+		t.Errorf("request_id %q != header %q", sr.RequestID, resp.Header.Get(RequestIDHeader))
+	}
+}
+
+// Reruns and JSON-body requests must be byte-identical to the raw-body
+// request: the pipeline is deterministic and the encoding path must not
+// leak into the payload.
+func TestSynthDeterministic(t *testing.T) {
+	ts := newSynthServer(t, Config{})
+	_, first := postSynth(t, ts.URL, vmeSpec, "")
+	_, again := postSynth(t, ts.URL, vmeSpec, "")
+	var a, b SynthResponse
+	if err := json.Unmarshal(first, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(again, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Netlist != b.Netlist {
+		t.Error("netlist differs across reruns")
+	}
+	evA, _ := json.Marshal(a.Evidence)
+	evB, _ := json.Marshal(b.Evidence)
+	if string(evA) != string(evB) {
+		t.Error("evidence differs across reruns")
+	}
+
+	// JSON body, same options.
+	body, _ := json.Marshal(SynthRequest{Spec: vmeSpec})
+	resp, err := http.Post(ts.URL+"/synth", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var c SynthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Netlist != a.Netlist {
+		t.Error("JSON-body netlist differs from raw-body netlist")
+	}
+}
+
+func TestSynthBadSpec(t *testing.T) {
+	ts := newSynthServer(t, Config{})
+	for _, tc := range []struct {
+		name, body, query string
+		status            int
+	}{
+		{"empty body", "", "", http.StatusBadRequest},
+		{"syntax error", "name x\ninput + 0\n", "", http.StatusBadRequest},
+		{"unknown library", vmeSpec, "?library=nope", http.StatusBadRequest},
+		{"bad output", vmeSpec, "?output=wavefile", http.StatusBadRequest},
+		{"get refused", "", "", http.StatusMethodNotAllowed},
+	} {
+		var resp *http.Response
+		var data []byte
+		if tc.name == "get refused" {
+			r, err := http.Get(ts.URL + "/synth")
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ = io.ReadAll(r.Body)
+			r.Body.Close()
+			resp = r
+		} else {
+			resp, data = postSynth(t, ts.URL, tc.body, tc.query)
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d want %d: %s", tc.name, resp.StatusCode, tc.status, data)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(data, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: bad error body %s", tc.name, data)
+		}
+	}
+}
+
+// A machine past the synthesis variable bound is understood but not
+// realisable: 422, not 400.
+func TestSynthUnsynthesizable(t *testing.T) {
+	ts := newSynthServer(t, Config{})
+	var b strings.Builder
+	b.WriteString("name big\n")
+	for i := 0; i < 20; i++ {
+		b.WriteString("input x")
+		b.WriteString(string(rune('0' + i/10)))
+		b.WriteString(string(rune('0' + i%10)))
+		b.WriteString(" 0\n")
+	}
+	b.WriteString("initial s0\ns0 -> s1 : x00+ /\ns1 -> s0 : x00- /\n")
+	resp, data := postSynth(t, ts.URL, b.String(), "")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d want 422: %s", resp.StatusCode, data)
+	}
+}
+
+func TestSynthOptionsPlumbed(t *testing.T) {
+	ts := newSynthServer(t, Config{})
+	resp, data := postSynth(t, ts.URL, vmeSpec, "?trials=2&seed=99&vcd=1&output=none")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var sr SynthResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Netlist != "" {
+		t.Error("output=none still returned a netlist")
+	}
+	if sr.Evidence.Trials != 2 || sr.Evidence.Seed != 99 {
+		t.Errorf("evidence trials=%d seed=%d, want 2/99", sr.Evidence.Trials, sr.Evidence.Seed)
+	}
+	for _, te := range sr.Evidence.Transitions {
+		if !strings.Contains(te.VCD, "$enddefinitions") {
+			t.Fatalf("transition %d/%s: no VCD despite vcd=1", te.Index, te.Phase)
+		}
+	}
+}
+
+// /synth must feed the synthesis observability: rolling windows on
+// /statusz and the synth_* counters on /metrics.
+func TestSynthObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := newSynthServer(t, Config{Registry: reg})
+	if resp, data := postSynth(t, ts.URL, vmeSpec, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatuszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"synthesize", "simulate", "cover"} {
+		if st.Stages[stage].Count == 0 {
+			t.Errorf("stage %q saw no samples", stage)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	prom, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"synth_machines_total", "synth_transitions_total", "rolling_synthesize_seconds", "rolling_simulate_seconds"} {
+		if !strings.Contains(string(prom), metric) {
+			t.Errorf("metric %s missing from Prometheus exposition", metric)
+		}
+	}
+}

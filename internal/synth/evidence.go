@@ -1,0 +1,295 @@
+package synth
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"gfmap/internal/bmspec"
+	"gfmap/internal/core"
+	"gfmap/internal/dsim"
+)
+
+// Evidence is the machine-checkable hazard-freedom certificate of a
+// pipeline run: every transition the machine can exercise was simulated
+// on the MAPPED netlist under unit delays plus Trials random delay
+// assignments, and every observable signal (machine outputs and
+// next-state functions) must change monotonically to its specified value.
+// Evidence is deterministic: same machine, netlist, trials and seed give
+// byte-identical JSON.
+type Evidence struct {
+	Design      string               `json:"design"`
+	Trials      int                  `json:"trials"` // random-delay trials per transition, plus one unit-delay trial
+	Seed        uint64               `json:"seed"`
+	Transitions []TransitionEvidence `json:"transitions"`
+	HazardFree  bool                 `json:"hazard_free"`
+	Settled     bool                 `json:"settled"`
+}
+
+// TransitionEvidence is the verdict for one phase of one machine edge:
+// the input burst firing in the old state, then the state-variable update
+// under the set-before-reset discipline — "state-update-rise" (the new
+// code's bits come up, through code|nextCode) followed by
+// "state-update-fall" (the old ones drop), or a single "state-update" when
+// the codes differ in one direction only. Changing lists the primary
+// inputs of the combinational block (machine inputs or y bits) that
+// change, sorted.
+type TransitionEvidence struct {
+	Index      int             `json:"index"` // edge index in the machine
+	From       string          `json:"from"`
+	To         string          `json:"to"`
+	Phase      string          `json:"phase"` // "input-burst", "state-update", "state-update-rise" or "state-update-fall"
+	Changing   []string        `json:"changing"`
+	Signals    []SignalVerdict `json:"signals"`
+	HazardFree bool            `json:"hazard_free"`
+	Settled    bool            `json:"settled"`
+	VCD        string          `json:"vcd,omitempty"`
+}
+
+// SignalVerdict is one observed signal's behaviour across all trials of a
+// transition.
+type SignalVerdict struct {
+	Signal         string `json:"signal"`
+	Initial        bool   `json:"initial"`
+	Want           bool   `json:"want"`
+	Glitched       bool   `json:"glitched"`        // more changes than a clean transition in some trial
+	Settled        bool   `json:"settled"`         // ended at Want in every trial
+	MaxTransitions int    `json:"max_transitions"` // worst trial
+}
+
+// Simulate runs the mapped netlist through every specified transition of
+// the machine and returns the per-transition verdicts. An unsettled or
+// glitching transition is evidence of a pipeline bug (the synthesis
+// guarantees hazard-freedom and the mapper must preserve it), reported in
+// the Evidence rather than as an error: the caller decides whether a
+// failed certificate is fatal.
+func Simulate(ctx context.Context, m *bmspec.Machine, nl *core.Netlist, opts Options) (*Evidence, error) {
+	net, err := nl.ToNetwork()
+	if err != nil {
+		return nil, fmt.Errorf("synth: netlist to network: %w", err)
+	}
+	c, err := dsim.New(net)
+	if err != nil {
+		return nil, fmt.Errorf("synth: elaborate for simulation: %w", err)
+	}
+	ent, err := m.EntryVectors()
+	if err != nil {
+		return nil, err
+	}
+	nbits := m.StateBits()
+	observed := append([]string(nil), m.Outputs...)
+	for i := 0; i < nbits; i++ {
+		observed = append(observed, fmt.Sprintf("Y%d", i))
+	}
+
+	ev := &Evidence{
+		Design:     m.Name,
+		Trials:     opts.trials(),
+		Seed:       opts.Seed,
+		HazardFree: true,
+		Settled:    true,
+	}
+	for ei, e := range m.Edges {
+		if err := ctxDone(ctx); err != nil {
+			return nil, err
+		}
+		from, to := ent[e.From], ent[e.To]
+		code, nextCode := m.EncodingOf(e.From), m.EncodingOf(e.To)
+
+		// Phase 1: the input burst fires while the state variables hold
+		// the old code; outputs emit their burst and the next-state
+		// functions move to the new code.
+		want := map[string]bool{}
+		for _, o := range m.Outputs {
+			want[o] = to.Out[o]
+		}
+		for i := 0; i < nbits; i++ {
+			want[fmt.Sprintf("Y%d", i)] = nextCode&(1<<uint(i)) != 0
+		}
+		initial := blockInputs(m, from.In, code, nbits)
+		finals := map[string]bool{}
+		for s := range e.In.Signals() {
+			finals[s] = to.In[s]
+		}
+		te, err := checkTransition(c, transitionCase{
+			index: ei, from: e.From, to: e.To, phase: "input-burst",
+			initial: initial, finals: finals, want: want, observed: observed,
+		}, opts, ev.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ev.add(te)
+
+		// Phase 2: the machine latches the new state code; the inputs hold
+		// and every observed signal must hold too (a static transition).
+		// The update follows the set-before-reset discipline the synthesis
+		// specified (bmspec.Synthesize): rising state bits first, through
+		// code|nextCode, then the falling ones — so a one-hot update is two
+		// single-bit cases, never the all-bits-cleared intermediate.
+		if nextCode != code {
+			type updateStep struct {
+				phase    string
+				from, to uint64
+			}
+			var steps []updateStep
+			if mid := code | nextCode; mid != code && mid != nextCode {
+				steps = []updateStep{
+					{"state-update-rise", code, mid},
+					{"state-update-fall", mid, nextCode},
+				}
+			} else {
+				steps = []updateStep{{"state-update", code, nextCode}}
+			}
+			for _, st := range steps {
+				initial = blockInputs(m, to.In, st.from, nbits)
+				finals = map[string]bool{}
+				for i := 0; i < nbits; i++ {
+					bit := uint64(1) << uint(i)
+					if st.from&bit != st.to&bit {
+						finals[fmt.Sprintf("y%d", i)] = st.to&bit != 0
+					}
+				}
+				te, err := checkTransition(c, transitionCase{
+					index: ei, from: e.From, to: e.To, phase: st.phase,
+					initial: initial, finals: finals, want: want, observed: observed,
+				}, opts, ev.Seed)
+				if err != nil {
+					return nil, err
+				}
+				ev.add(te)
+			}
+		}
+	}
+	return ev, nil
+}
+
+func (ev *Evidence) add(te TransitionEvidence) {
+	ev.Transitions = append(ev.Transitions, te)
+	ev.HazardFree = ev.HazardFree && te.HazardFree
+	ev.Settled = ev.Settled && te.Settled
+}
+
+// blockInputs builds the full primary-input assignment of the
+// combinational block: machine inputs plus the y state bits.
+func blockInputs(m *bmspec.Machine, in map[string]bool, code uint64, nbits int) map[string]bool {
+	a := make(map[string]bool, len(in)+nbits)
+	for k, v := range in {
+		a[k] = v
+	}
+	for i := 0; i < nbits; i++ {
+		a[fmt.Sprintf("y%d", i)] = code&(1<<uint(i)) != 0
+	}
+	return a
+}
+
+type transitionCase struct {
+	index    int
+	from, to string
+	phase    string
+	initial  map[string]bool // full primary-input assignment before the burst
+	finals   map[string]bool // changing inputs -> post-burst value
+	want     map[string]bool // observed signal -> specified final value
+	observed []string
+}
+
+// checkTransition simulates one multi-input change under the unit-delay
+// assignment plus opts.trials() random ones, all changes released at
+// t=1 in sorted signal order so the run is reproducible.
+func checkTransition(c *dsim.Circuit, tc transitionCase, opts Options, seed uint64) (TransitionEvidence, error) {
+	changing := make([]string, 0, len(tc.finals))
+	for s := range tc.finals {
+		changing = append(changing, s)
+	}
+	sort.Strings(changing)
+	changes := make([]dsim.InputChange, 0, len(changing))
+	for _, s := range changing {
+		changes = append(changes, dsim.InputChange{Signal: s, Time: 1, Value: tc.finals[s]})
+	}
+
+	te := TransitionEvidence{
+		Index: tc.index, From: tc.from, To: tc.to, Phase: tc.phase,
+		Changing: changing, HazardFree: true, Settled: true,
+	}
+	verdicts := make(map[string]*SignalVerdict, len(tc.observed))
+	for _, sig := range tc.observed {
+		verdicts[sig] = &SignalVerdict{Signal: sig, Want: tc.want[sig], Settled: true}
+	}
+
+	var keepTrace *dsim.Trace // unit-delay trace, or the first glitching one
+	trials := opts.trials()
+	for trial := 0; trial <= trials; trial++ {
+		var d dsim.Delays
+		if trial == 0 {
+			d = c.UnitDelays()
+		} else {
+			rng := rand.New(rand.NewSource(trialSeed(seed, tc.index, tc.phase, trial)))
+			d = c.RandomDelays(rng)
+		}
+		trace, err := c.Run(tc.initial, changes, d)
+		if err != nil {
+			return te, fmt.Errorf("synth: simulate %s->%s (%s): %w", tc.from, tc.to, tc.phase, err)
+		}
+		glitchedTrial := false
+		for _, sig := range tc.observed {
+			v := verdicts[sig]
+			w := trace.Waves[sig]
+			if trial == 0 && len(w) > 0 {
+				v.Initial = w[0].Value
+			}
+			if trace.Glitched(sig) {
+				v.Glitched = true
+				glitchedTrial = true
+			}
+			if w.Final() != v.Want {
+				v.Settled = false
+			}
+			if n := w.Transitions(); n > v.MaxTransitions {
+				v.MaxTransitions = n
+			}
+		}
+		if trial == 0 || (glitchedTrial && (keepTrace == nil || !anyGlitch(keepTrace, tc.observed))) {
+			keepTrace = trace
+		}
+	}
+	for _, sig := range tc.observed {
+		v := verdicts[sig]
+		te.Signals = append(te.Signals, *v)
+		te.HazardFree = te.HazardFree && !v.Glitched
+		te.Settled = te.Settled && v.Settled
+	}
+	if opts.WithVCD && keepTrace != nil {
+		var b strings.Builder
+		module := fmt.Sprintf("e%d_%s", tc.index, strings.ReplaceAll(tc.phase, "-", "_"))
+		if err := keepTrace.WriteVCD(&b, module); err != nil {
+			return te, err
+		}
+		te.VCD = b.String()
+	}
+	return te, nil
+}
+
+func anyGlitch(tr *dsim.Trace, observed []string) bool {
+	for _, sig := range observed {
+		if tr.Glitched(sig) {
+			return true
+		}
+	}
+	return false
+}
+
+// trialSeed derives the per-trial RNG seed: a fixed mix of the base seed,
+// the edge index, the phase and the trial number, so reruns and
+// reorderings reproduce exactly. The phase enters through FNV-1a so every
+// phase name draws an independent delay sequence.
+func trialSeed(base uint64, edge int, phase string, trial int) int64 {
+	h := base*0x9e3779b97f4a7c15 + uint64(edge)*1000003 + uint64(trial)*10007
+	ph := uint64(14695981039346656037)
+	for i := 0; i < len(phase); i++ {
+		ph ^= uint64(phase[i])
+		ph *= 1099511628211
+	}
+	h += ph
+	return int64(h &^ (1 << 63)) // keep it non-negative for rand.NewSource
+}

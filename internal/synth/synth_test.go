@@ -1,0 +1,189 @@
+package synth
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gfmap/internal/bexpr"
+	"gfmap/internal/core"
+	"gfmap/internal/dsim"
+	"gfmap/internal/library"
+	"gfmap/internal/network"
+)
+
+const toggleSrc = `
+name toggle
+input req 0
+output ack 0
+initial s0
+s0 -> s1 : req+ / ack+
+s1 -> s0 : req- / ack-
+`
+
+const vmeSrc = `
+name vmectl
+input dsr 0
+input ldtack 0
+output lds 0
+output dtack 0
+initial idle
+idle -> got : dsr+ / lds+
+got -> ackd : ldtack+ / dtack+
+ackd -> rel : dsr- / dtack- lds-
+rel -> idle : ldtack- /
+`
+
+func lib(t *testing.T) *library.Library {
+	t.Helper()
+	l, err := library.Get("LSI9K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	for _, src := range []string{toggleSrc, vmeSrc} {
+		res, err := Run(context.Background(), src, Options{Library: lib(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mapped.Netlist.GateCount() == 0 {
+			t.Fatal("no gates mapped")
+		}
+		// The mapped logic must compute the synthesised functions.
+		if err := core.VerifyEquivalence(res.Synthesis.Net, res.Mapped.Netlist); err != nil {
+			t.Errorf("%s: mapped netlist not equivalent: %v", res.Machine.Name, err)
+		}
+		ev := res.Evidence
+		if !ev.HazardFree || !ev.Settled {
+			t.Fatalf("%s: evidence failed: hazard_free=%v settled=%v\n%s",
+				res.Machine.Name, ev.HazardFree, ev.Settled, dumpEvidence(t, ev))
+		}
+		if len(ev.Transitions) < len(res.Machine.Edges) {
+			t.Errorf("%s: %d transitions for %d edges", res.Machine.Name, len(ev.Transitions), len(res.Machine.Edges))
+		}
+		for _, te := range ev.Transitions {
+			if len(te.Changing) == 0 || len(te.Signals) == 0 {
+				t.Errorf("%s: empty transition evidence %+v", res.Machine.Name, te)
+			}
+		}
+	}
+}
+
+// The pipeline's byte-identity bar: same spec, library and seed give the
+// same netlist and the same evidence JSON whatever the worker count.
+func TestPipelineDeterministic(t *testing.T) {
+	run := func(workers int) (string, string) {
+		res, err := Run(context.Background(), vmeSrc, Options{
+			Library: lib(t),
+			Map:     core.Options{Workers: workers},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Mapped.Netlist.String(), dumpEvidence(t, res.Evidence)
+	}
+	nl1, ev1 := run(1)
+	for _, w := range []int{1, 4} {
+		nl, ev := run(w)
+		if nl != nl1 {
+			t.Errorf("workers=%d: netlist differs:\n%s\nvs\n%s", w, nl, nl1)
+		}
+		if ev != ev1 {
+			t.Errorf("workers=%d: evidence differs", w)
+		}
+	}
+}
+
+func TestPipelineVCD(t *testing.T) {
+	res, err := Run(context.Background(), toggleSrc, Options{Library: lib(t), WithVCD: true, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range res.Evidence.Transitions {
+		if !strings.Contains(te.VCD, "$var") || !strings.Contains(te.VCD, "$enddefinitions") {
+			t.Fatalf("transition %d/%s: VCD missing or malformed:\n%s", te.Index, te.Phase, te.VCD)
+		}
+	}
+}
+
+func TestBadSpecSentinel(t *testing.T) {
+	_, err := Run(context.Background(), "name x\ninput + 0\n", Options{Library: lib(t)})
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("want ErrBadSpec, got %v", err)
+	}
+}
+
+func TestUnsynthesizableSentinel(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("name big\n")
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, "input x%d 0\n", i)
+	}
+	b.WriteString("initial s0\ns0 -> s1 : x0+ /\ns1 -> s0 : x0- /\n")
+	_, err := Run(context.Background(), b.String(), Options{Library: lib(t)})
+	if !errors.Is(err, ErrUnsynthesizable) {
+		t.Fatalf("want ErrUnsynthesizable, got %v", err)
+	}
+}
+
+func TestRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, vmeSrc, Options{Library: lib(t)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// Oracle sanity: the transition checker must detect a real hazard. The
+// classic static-1 hazard — f = s·a + s'·b with a=b=1 while s falls — must
+// glitch under some sampled delay assignment.
+func TestCheckTransitionDetectsHazard(t *testing.T) {
+	net := network.New("hazardous")
+	for _, in := range []string{"s", "a", "b"} {
+		if err := net.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expr := bexpr.Or(
+		bexpr.And(bexpr.Var("s"), bexpr.Var("a")),
+		bexpr.And(bexpr.Not(bexpr.Var("s")), bexpr.Var("b")),
+	)
+	if err := net.AddNode("f", expr); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.MarkOutput("f"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := dsim.New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := checkTransition(c, transitionCase{
+		from: "p", to: "q", phase: "input-burst",
+		initial:  map[string]bool{"s": true, "a": true, "b": true},
+		finals:   map[string]bool{"s": false},
+		want:     map[string]bool{"f": true},
+		observed: []string{"f"},
+	}, Options{Trials: 32}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te.HazardFree {
+		t.Fatal("static-1 hazard went undetected across 32 delay trials")
+	}
+}
+
+func dumpEvidence(t *testing.T, ev *Evidence) string {
+	t.Helper()
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
